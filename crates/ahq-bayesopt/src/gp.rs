@@ -1,0 +1,159 @@
+use crate::kernel::RbfKernel;
+use crate::linalg::{cholesky, cholesky_solve, forward_solve, Matrix};
+
+/// Exact Gaussian-process regression with an [`RbfKernel`].
+///
+/// Fit once over `(X, y)`, then query the posterior mean and variance at
+/// arbitrary points. Targets are internally centred on their mean so the
+/// zero-mean GP prior behaves sensibly for performance scores that live
+/// far from zero.
+///
+/// ```
+/// use ahq_bayesopt::{GaussianProcess, RbfKernel};
+///
+/// let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+/// let ys = vec![0.0, 1.0, 0.0];
+/// let gp = GaussianProcess::fit(RbfKernel::new(0.3, 1.0, 1e-6), xs, ys).unwrap();
+/// let (mean, var) = gp.predict(&[0.5]);
+/// assert!((mean - 1.0).abs() < 1e-3); // interpolates the data
+/// assert!(var < 1e-3);                // and is confident there
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: RbfKernel,
+    xs: Vec<Vec<f64>>,
+    y_mean: f64,
+    chol: Matrix,
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Fits the GP. Returns `None` when the kernel matrix is not positive
+    /// definite even after the kernel's noise jitter (e.g. duplicated
+    /// points with contradictory targets and zero noise), or when inputs
+    /// are empty/mismatched.
+    pub fn fit(kernel: RbfKernel, xs: Vec<Vec<f64>>, ys: Vec<f64>) -> Option<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let dim = xs[0].len();
+        if xs.iter().any(|x| x.len() != dim) {
+            return None;
+        }
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = kernel.eval(&xs[i], &xs[j]);
+                if i == j {
+                    v += kernel.noise();
+                }
+                k.set(i, j, v);
+            }
+        }
+        let chol = cholesky(&k)?;
+        let alpha = cholesky_solve(&chol, &centred);
+        Some(GaussianProcess {
+            kernel,
+            xs,
+            y_mean,
+            chol,
+            alpha,
+        })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the GP holds no training data (never true for a fitted GP).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Posterior `(mean, variance)` at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = self.y_mean
+            + kstar
+                .iter()
+                .zip(self.alpha.iter())
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        let v = forward_solve(&self.chol, &kstar);
+        let var = self.kernel.eval(x, x) - v.iter().map(|vi| vi * vi).sum::<f64>();
+        (mean, var.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.3], vec![0.7], vec![1.0]];
+        let ys = vec![1.0, 2.0, 0.5, -1.0];
+        let gp = GaussianProcess::fit(RbfKernel::new(0.25, 1.0, 1e-8), xs.clone(), ys.clone())
+            .unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 1e-3, "mean {m} vs target {y}");
+            assert!(v < 1e-4, "variance {v} at a training point");
+        }
+    }
+
+    #[test]
+    fn reverts_to_prior_far_from_data() {
+        let gp = GaussianProcess::fit(
+            RbfKernel::new(0.1, 2.0, 1e-8),
+            vec![vec![0.0]],
+            vec![5.0],
+        )
+        .unwrap();
+        let (m, v) = gp.predict(&[100.0]);
+        assert!((m - 5.0).abs() < 1e-9, "prior mean is the data mean");
+        assert!((v - 2.0).abs() < 1e-9, "prior variance is the signal variance");
+    }
+
+    #[test]
+    fn variance_grows_with_distance_from_data() {
+        let gp = GaussianProcess::fit(
+            RbfKernel::new(0.3, 1.0, 1e-6),
+            vec![vec![0.5]],
+            vec![0.0],
+        )
+        .unwrap();
+        let (_, v_near) = gp.predict(&[0.55]);
+        let (_, v_far) = gp.predict(&[2.0]);
+        assert!(v_far > v_near);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let k = RbfKernel::new(0.3, 1.0, 1e-6);
+        assert!(GaussianProcess::fit(k, vec![], vec![]).is_none());
+        assert!(GaussianProcess::fit(k, vec![vec![1.0]], vec![1.0, 2.0]).is_none());
+        assert!(
+            GaussianProcess::fit(k, vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]).is_none()
+        );
+    }
+
+    #[test]
+    fn multidimensional_inputs_work() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let ys = vec![0.0, 1.0, 2.0];
+        let gp = GaussianProcess::fit(RbfKernel::new(0.8, 1.0, 1e-6), xs, ys).unwrap();
+        let (m, _) = gp.predict(&[0.0, 1.0]);
+        assert!((m - 2.0).abs() < 0.2);
+        assert_eq!(gp.len(), 3);
+        assert!(!gp.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+/// The squared-exponential (RBF) covariance kernel with observation noise:
+///
+/// ```text
+/// k(x, x') = variance * exp(-|x - x'|² / (2 * lengthscale²))
+/// ```
+///
+/// plus `noise` added on the diagonal of the training covariance. This is
+/// the kernel CLITE's Bayesian optimizer uses over normalized resource
+/// allocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    lengthscale: f64,
+    variance: f64,
+    noise: f64,
+}
+
+impl RbfKernel {
+    /// Creates a kernel. Inputs are clamped to small positive floors so
+    /// the kernel is always positive definite.
+    pub fn new(lengthscale: f64, variance: f64, noise: f64) -> Self {
+        RbfKernel {
+            lengthscale: if lengthscale.is_finite() {
+                lengthscale.max(1e-6)
+            } else {
+                1.0
+            },
+            variance: if variance.is_finite() {
+                variance.max(1e-12)
+            } else {
+                1.0
+            },
+            noise: if noise.is_finite() { noise.max(1e-10) } else { 1e-6 },
+        }
+    }
+
+    /// The covariance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have different dimensionality.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "points must share dimensionality");
+        let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum();
+        self.variance * (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
+    }
+
+    /// The observation-noise variance added to the training diagonal.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The signal variance (prior variance far from all data).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// The lengthscale.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_covariance_is_variance() {
+        let k = RbfKernel::new(0.5, 2.0, 1e-6);
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_decays_with_distance() {
+        let k = RbfKernel::new(0.5, 1.0, 1e-6);
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[1.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+        assert!((k.eval(&[0.0], &[0.5]) - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let k = RbfKernel::new(0.3, 1.5, 1e-6);
+        assert_eq!(k.eval(&[0.2, 0.9], &[0.7, 0.1]), k.eval(&[0.7, 0.1], &[0.2, 0.9]));
+    }
+
+    #[test]
+    fn degenerate_params_are_clamped() {
+        let k = RbfKernel::new(0.0, -1.0, f64::NAN);
+        assert!(k.lengthscale() > 0.0);
+        assert!(k.variance() > 0.0);
+        assert!(k.noise() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dimension_mismatch_panics() {
+        RbfKernel::new(1.0, 1.0, 1e-6).eval(&[1.0], &[1.0, 2.0]);
+    }
+}

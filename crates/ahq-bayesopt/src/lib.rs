@@ -1,0 +1,48 @@
+//! # ahq-bayesopt — Bayesian optimization for CLITE
+//!
+//! The CLITE baseline in the Ah-Q paper (Patel & Tiwari, HPCA 2020) finds
+//! resource partitions with Bayesian optimization: a Gaussian-process
+//! surrogate over sampled allocations plus an expected-improvement
+//! acquisition that picks the next allocation to try. This crate is a
+//! self-contained implementation of exactly that machinery:
+//!
+//! * [`Matrix`] / [`cholesky`] — minimal dense linear algebra,
+//! * [`RbfKernel`] — squared-exponential kernel with observation noise,
+//! * [`GaussianProcess`] — exact GP regression (fit once, predict many),
+//! * [`expected_improvement`] — the EI acquisition for maximization,
+//! * [`BayesOpt`] — the optimize-over-candidate-set loop CLITE runs.
+//!
+//! The candidate set is discrete (resource allocations are integers), so
+//! the optimizer scores EI over caller-provided candidates instead of
+//! running a continuous inner optimization.
+//!
+//! ```
+//! use ahq_bayesopt::{BayesOpt, RbfKernel};
+//!
+//! // Maximize a 1-d toy function over a discrete grid.
+//! let candidates: Vec<Vec<f64>> = (0..=20).map(|i| vec![i as f64 / 20.0]).collect();
+//! let f = |x: &[f64]| -(x[0] - 0.3f64).powi(2);
+//! let mut opt = BayesOpt::new(RbfKernel::new(0.2, 1.0, 1e-4), 4, 99);
+//! for _ in 0..12 {
+//!     let x = opt.suggest(&candidates).to_vec();
+//!     let y = f(&x);
+//!     opt.observe(x, y);
+//! }
+//! let best = opt.best().unwrap();
+//! assert!((best.0[0] - 0.3).abs() <= 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acquisition;
+mod gp;
+mod kernel;
+mod linalg;
+mod optimizer;
+
+pub use acquisition::{expected_improvement, normal_cdf, normal_pdf};
+pub use gp::GaussianProcess;
+pub use kernel::RbfKernel;
+pub use linalg::{cholesky, cholesky_solve, Matrix};
+pub use optimizer::BayesOpt;

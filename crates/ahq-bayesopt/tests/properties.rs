@@ -1,0 +1,127 @@
+//! Property-based tests of the Gaussian-process machinery: positive
+//! definiteness, interpolation, and acquisition sanity for arbitrary
+//! training data.
+
+use ahq_bayesopt::{
+    cholesky, cholesky_solve, expected_improvement, GaussianProcess, Matrix, RbfKernel,
+};
+use proptest::prelude::*;
+
+fn training_data() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec((prop::array::uniform3(0.0f64..1.0), -5.0f64..5.0), 2..12).prop_map(
+        |pairs| {
+            // Drop near-duplicate points: two samples closer than the
+            // noise floor with different targets make exact interpolation
+            // ill-conditioned by construction (the GP rightly averages
+            // them), which is not the property under test.
+            let mut xs: Vec<Vec<f64>> = Vec::new();
+            let mut ys = Vec::new();
+            for (x, y) in pairs {
+                let x = x.to_vec();
+                let far_enough = xs.iter().all(|seen: &Vec<f64>| {
+                    let d2: f64 = seen
+                        .iter()
+                        .zip(x.iter())
+                        .map(|(a, b)| (a - b).powi(2))
+                        .sum();
+                    d2.sqrt() > 0.05
+                });
+                if far_enough {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+            (xs, ys)
+        },
+    )
+}
+
+proptest! {
+    /// The RBF kernel matrix (plus noise) is always positive definite:
+    /// Cholesky succeeds and the factor reconstructs the matrix.
+    #[test]
+    fn kernel_matrices_are_positive_definite((xs, _ys) in training_data()) {
+        let kernel = RbfKernel::new(0.4, 1.0, 1e-4);
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = kernel.eval(&xs[i], &xs[j]);
+                if i == j {
+                    v += kernel.noise();
+                }
+                k.set(i, j, v);
+            }
+        }
+        let l = cholesky(&k);
+        prop_assert!(l.is_some(), "kernel matrix must be PD");
+        let l = l.unwrap();
+        // Check L Lᵀ == K on a few entries.
+        for i in 0..n {
+            for j in 0..=i {
+                let mut v = 0.0;
+                for t in 0..n {
+                    v += l.get(i, t) * l.get(j, t);
+                }
+                prop_assert!((v - k.get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Cholesky solve inverts the system it was built from.
+    #[test]
+    fn solve_round_trips((xs, ys) in training_data()) {
+        let kernel = RbfKernel::new(0.4, 1.0, 1e-4);
+        let n = xs.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = kernel.eval(&xs[i], &xs[j]);
+                if i == j {
+                    v += kernel.noise();
+                }
+                k.set(i, j, v);
+            }
+        }
+        let l = cholesky(&k).expect("PD");
+        let x = cholesky_solve(&l, &ys);
+        // K x ≈ ys.
+        for i in 0..n {
+            let mut v = 0.0;
+            for j in 0..n {
+                v += k.get(i, j) * x[j];
+            }
+            prop_assert!((v - ys[i]).abs() < 1e-6, "row {i}: {v} vs {}", ys[i]);
+        }
+    }
+
+    /// A fitted GP interpolates its training targets (within the noise
+    /// floor) and never reports negative variance anywhere.
+    #[test]
+    fn gp_interpolates_and_variance_nonnegative(
+        (xs, ys) in training_data(),
+        probe in prop::array::uniform3(-0.5f64..1.5),
+    ) {
+        let gp = GaussianProcess::fit(RbfKernel::new(0.4, 1.0, 1e-6), xs.clone(), ys.clone())
+            .expect("PD fit");
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let (m, v) = gp.predict(x);
+            prop_assert!((m - y).abs() < 0.05, "mean {m} vs target {y}");
+            prop_assert!(v >= 0.0);
+        }
+        let (_, v) = gp.predict(&probe);
+        prop_assert!(v >= 0.0 && v.is_finite());
+    }
+
+    /// Expected improvement is non-negative, and zero only when there is
+    /// provably nothing to gain.
+    #[test]
+    fn ei_is_nonnegative(mean in -5.0f64..5.0, var in 0.0f64..4.0, best in -5.0f64..5.0) {
+        let ei = expected_improvement(mean, var, best);
+        prop_assert!(ei >= 0.0);
+        prop_assert!(ei.is_finite());
+        if var == 0.0 {
+            prop_assert!((ei - (mean - best).max(0.0)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::TheoryError;
+use crate::measurement::{BeMeasurement, LcMeasurement, QosElasticity};
+
+/// The relative importance `RI` of LC applications over BE applications
+/// (Eq. 7). Valid range is `[0, 1]`; the paper notes that when resources are
+/// insufficient the practically useful range narrows to `[0.5, 1]`, and all
+/// of its experiments use `0.8`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelativeImportance(f64);
+
+impl RelativeImportance {
+    /// The paper's setting, `RI = 0.8`.
+    pub const PAPER: RelativeImportance = RelativeImportance(0.8);
+
+    /// `RI = 1`: only LC applications matter (LC-only datacenter).
+    pub const LC_ONLY: RelativeImportance = RelativeImportance(1.0);
+
+    /// `RI = 0`: only BE applications matter (classic HPC).
+    pub const BE_ONLY: RelativeImportance = RelativeImportance(0.0);
+
+    /// Creates a relative importance in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::OutOfRange`] outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, TheoryError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(TheoryError::OutOfRange {
+                what: "relative importance",
+                value,
+                min: 0.0,
+                max: 1.0,
+            })
+        }
+    }
+
+    /// The weight as a plain fraction.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for RelativeImportance {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Per-LC-application breakdown inside an [`EntropyReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LcAppReport {
+    /// Application name.
+    pub name: String,
+    /// Interference tolerance `A_i`.
+    pub tolerance: f64,
+    /// Suffered interference `R_i`.
+    pub interference: f64,
+    /// Remaining tolerance `ReT_i`.
+    pub remaining_tolerance: f64,
+    /// Intolerable interference `Q_i`.
+    pub intolerable: f64,
+    /// Whether the QoS target is met under the configured elasticity.
+    pub satisfied: bool,
+}
+
+/// The result of evaluating the system entropy over one set of measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropyReport {
+    /// LC entropy `E_LC` (Eq. 5); `0` when no LC application is present.
+    pub lc: f64,
+    /// BE entropy `E_BE` (Eq. 6); `0` when no BE application is present.
+    pub be: f64,
+    /// System entropy `E_S` (Eq. 7).
+    pub system: f64,
+    /// The fraction of LC applications whose QoS target is satisfied
+    /// (the paper's *yield*); `1.0` when no LC application is present.
+    pub yield_fraction: f64,
+    /// Per-LC-application details, in input order.
+    pub lc_apps: Vec<LcAppReport>,
+}
+
+/// Evaluates the system entropy of a set of measurements.
+///
+/// The model is configured once with a [`RelativeImportance`] and a
+/// [`QosElasticity`] and can then score any number of measurement sets —
+/// exactly how the ARQ scheduler uses it as a feedback signal each
+/// monitoring window.
+///
+/// ```
+/// use ahq_core::{EntropyModel, LcMeasurement, RelativeImportance};
+///
+/// # fn main() -> Result<(), ahq_core::TheoryError> {
+/// let model = EntropyModel::default();
+/// let lc = vec![LcMeasurement::new("silo", 0.5, 0.6, 1.27)?];
+/// let report = model.evaluate(&lc, &[]);
+/// assert_eq!(report.lc, 0.0); // within tolerance
+/// assert_eq!(report.yield_fraction, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntropyModel {
+    relative_importance: RelativeImportance,
+    elasticity: QosElasticity,
+}
+
+impl EntropyModel {
+    /// Creates a model with the given relative importance and the paper's
+    /// 5 % QoS elasticity.
+    pub fn new(relative_importance: RelativeImportance) -> Self {
+        Self {
+            relative_importance,
+            elasticity: QosElasticity::PAPER,
+        }
+    }
+
+    /// Overrides the QoS elasticity used for the yield computation.
+    pub fn with_elasticity(mut self, elasticity: QosElasticity) -> Self {
+        self.elasticity = elasticity;
+        self
+    }
+
+    /// The configured relative importance.
+    pub fn relative_importance(&self) -> RelativeImportance {
+        self.relative_importance
+    }
+
+    /// The configured QoS elasticity.
+    pub fn elasticity(&self) -> QosElasticity {
+        self.elasticity
+    }
+
+    /// LC entropy `E_LC` (Eq. 5): the mean intolerable interference.
+    /// Returns `0` for an empty slice (scenario without LC applications).
+    pub fn lc_entropy(&self, lc: &[LcMeasurement]) -> f64 {
+        if lc.is_empty() {
+            return 0.0;
+        }
+        lc.iter().map(LcMeasurement::intolerable).sum::<f64>() / lc.len() as f64
+    }
+
+    /// BE entropy `E_BE` (Eq. 6): one minus the harmonic mean of the
+    /// speed ratios — equivalently `1 - M / sum(slowdown_i)`.
+    /// Returns `0` for an empty slice (scenario without BE applications).
+    pub fn be_entropy(&self, be: &[BeMeasurement]) -> f64 {
+        if be.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = be.iter().map(BeMeasurement::slowdown).sum();
+        1.0 - be.len() as f64 / sum
+    }
+
+    /// Full evaluation: `E_LC`, `E_BE`, `E_S`, yield and per-app details.
+    ///
+    /// The three scenarios of §II-B fall out naturally: with only LC
+    /// applications `E_S` uses `RI` against a zero `E_BE` term; callers who
+    /// want the paper's "pure" scenario semantics (`E_S = E_LC`) should use
+    /// [`RelativeImportance::LC_ONLY`] / [`RelativeImportance::BE_ONLY`],
+    /// or rely on [`EntropyModel::evaluate_auto`] which selects them
+    /// automatically when one population is empty.
+    pub fn evaluate(&self, lc: &[LcMeasurement], be: &[BeMeasurement]) -> EntropyReport {
+        let e_lc = self.lc_entropy(lc);
+        let e_be = self.be_entropy(be);
+        let ri = self.relative_importance.value();
+        let satisfied = lc
+            .iter()
+            .filter(|m| m.meets_qos(self.elasticity))
+            .count();
+        let yield_fraction = if lc.is_empty() {
+            1.0
+        } else {
+            satisfied as f64 / lc.len() as f64
+        };
+        let lc_apps = lc
+            .iter()
+            .map(|m| LcAppReport {
+                name: m.name().to_owned(),
+                tolerance: m.tolerance(),
+                interference: m.interference(),
+                remaining_tolerance: m.remaining_tolerance(),
+                intolerable: m.intolerable(),
+                satisfied: m.meets_qos(self.elasticity),
+            })
+            .collect();
+        EntropyReport {
+            lc: e_lc,
+            be: e_be,
+            system: ri * e_lc + (1.0 - ri) * e_be,
+            yield_fraction,
+            lc_apps,
+        }
+    }
+
+    /// Like [`EntropyModel::evaluate`], but when exactly one population is
+    /// empty the relative importance degenerates as the paper prescribes:
+    /// `RI = 1` for LC-only mixes and `RI = 0` for BE-only mixes, so that
+    /// `E_S` equals `E_LC` (resp. `E_BE`) exactly.
+    pub fn evaluate_auto(&self, lc: &[LcMeasurement], be: &[BeMeasurement]) -> EntropyReport {
+        let effective = match (lc.is_empty(), be.is_empty()) {
+            (false, true) => Self {
+                relative_importance: RelativeImportance::LC_ONLY,
+                elasticity: self.elasticity,
+            },
+            (true, false) => Self {
+                relative_importance: RelativeImportance::BE_ONLY,
+                elasticity: self.elasticity,
+            },
+            _ => *self,
+        };
+        effective.evaluate(lc, be)
+    }
+}
+
+impl Default for EntropyModel {
+    fn default() -> Self {
+        Self::new(RelativeImportance::PAPER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2(cores: u32) -> (Vec<LcMeasurement>, Vec<BeMeasurement>) {
+        // Table II of the paper: (TL_i0, TL_i1, M_i) per core count.
+        let rows: &[(&str, f64, f64, f64)] = match cores {
+            6 => &[
+                ("xapian", 2.77, 23.99, 4.22),
+                ("moses", 2.80, 16.54, 10.53),
+                ("img-dnn", 1.41, 14.35, 3.98),
+            ],
+            7 => &[
+                ("xapian", 2.77, 7.13, 4.22),
+                ("moses", 2.80, 6.78, 10.53),
+                ("img-dnn", 1.41, 5.65, 3.98),
+            ],
+            8 => &[
+                ("xapian", 2.77, 4.18, 4.22),
+                ("moses", 2.80, 4.43, 10.53),
+                ("img-dnn", 1.41, 3.53, 3.98),
+            ],
+            _ => unreachable!(),
+        };
+        let lc = rows
+            .iter()
+            .map(|&(n, i, o, t)| LcMeasurement::new(n, i, o, t).unwrap())
+            .collect();
+        (lc, Vec::new())
+    }
+
+    #[test]
+    fn table2_lc_entropy_matches_paper() {
+        let model = EntropyModel::default();
+        let (lc6, _) = table2(6);
+        let (lc7, _) = table2(7);
+        let (lc8, _) = table2(8);
+        assert!((model.lc_entropy(&lc6) - 0.64).abs() < 0.01);
+        assert!((model.lc_entropy(&lc7) - 0.23).abs() < 0.01);
+        assert_eq!(model.lc_entropy(&lc8), 0.0);
+    }
+
+    #[test]
+    fn table2_system_entropy_with_be_term() {
+        // 6-core row: E_LC = 0.64, E_BE = 0.20 -> E_S = 0.55 (paper).
+        let model = EntropyModel::default();
+        let (lc6, _) = table2(6);
+        // Reverse-engineer a BE measurement with slowdown 1.25 (E_BE = 0.2).
+        let be = vec![BeMeasurement::new("fluidanimate", 1.25, 1.0).unwrap()];
+        let report = model.evaluate(&lc6, &be);
+        assert!((report.be - 0.20).abs() < 1e-9);
+        assert!((report.system - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero_entropy() {
+        let model = EntropyModel::default();
+        let report = model.evaluate(&[], &[]);
+        assert_eq!(report.lc, 0.0);
+        assert_eq!(report.be, 0.0);
+        assert_eq!(report.system, 0.0);
+        assert_eq!(report.yield_fraction, 1.0);
+    }
+
+    #[test]
+    fn evaluate_auto_degenerates_ri() {
+        let model = EntropyModel::default();
+        let lc = vec![LcMeasurement::new("a", 1.0, 8.0, 2.0).unwrap()];
+        let auto = model.evaluate_auto(&lc, &[]);
+        assert_eq!(auto.system, auto.lc); // RI forced to 1
+        let be = vec![BeMeasurement::new("b", 2.0, 1.0).unwrap()];
+        let auto = model.evaluate_auto(&[], &be);
+        assert_eq!(auto.system, auto.be); // RI forced to 0
+    }
+
+    #[test]
+    fn yield_counts_elastic_satisfaction() {
+        let model = EntropyModel::default();
+        let lc = vec![
+            LcMeasurement::new("ok", 1.0, 1.5, 2.0).unwrap(),
+            LcMeasurement::new("elastic", 1.0, 2.04, 2.0).unwrap(), // within 5 %
+            LcMeasurement::new("violating", 1.0, 3.0, 2.0).unwrap(),
+        ];
+        let report = model.evaluate(&lc, &[]);
+        assert!((report.yield_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn be_entropy_uses_harmonic_aggregation() {
+        let model = EntropyModel::default();
+        let be = vec![
+            BeMeasurement::new("a", 2.0, 1.0).unwrap(), // slowdown 2
+            BeMeasurement::new("b", 3.0, 1.0).unwrap(), // slowdown 3
+        ];
+        // E_BE = 1 - 2 / (2 + 3) = 0.6.
+        assert!((model.be_entropy(&be) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_importance_validation() {
+        assert!(RelativeImportance::new(1.5).is_err());
+        assert!(RelativeImportance::new(-0.1).is_err());
+        assert!(RelativeImportance::new(f64::INFINITY).is_err());
+        assert_eq!(RelativeImportance::new(0.8).unwrap(), RelativeImportance::PAPER);
+        assert_eq!(RelativeImportance::default().value(), 0.8);
+    }
+
+    #[test]
+    fn report_lists_apps_in_input_order() {
+        let model = EntropyModel::default();
+        let lc = vec![
+            LcMeasurement::new("first", 1.0, 1.2, 2.0).unwrap(),
+            LcMeasurement::new("second", 1.0, 1.2, 2.0).unwrap(),
+        ];
+        let report = model.evaluate(&lc, &[]);
+        assert_eq!(report.lc_apps[0].name, "first");
+        assert_eq!(report.lc_apps[1].name, "second");
+    }
+}

@@ -1,0 +1,112 @@
+use serde::{Deserialize, Serialize};
+
+use crate::series::EntropySeries;
+
+/// The result of a resource-equivalence comparison between two strategies at
+/// one target entropy (§II-C and Fig. 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalencePoint {
+    /// The entropy level at which the two strategies were equated.
+    pub target_entropy: f64,
+    /// Resources the baseline strategy needs to reach the target.
+    pub baseline_resource: f64,
+    /// Resources the candidate strategy needs to reach the target.
+    pub candidate_resource: f64,
+    /// `baseline_resource - candidate_resource`: how many resource units the
+    /// candidate saves. Positive means the candidate is the better strategy.
+    pub saved: f64,
+}
+
+/// Computes the resource equivalence of `candidate` relative to `baseline`
+/// at `target_entropy`.
+///
+/// The paper's definition: strategy `p1` (baseline) is inferior to `p2`
+/// (candidate) if it must use `ΔR` more resources to reach the same `E_S`;
+/// that `ΔR` is the resource equivalence of `p2` relative to `p1`.
+///
+/// Returns `None` when either series never reaches the target entropy
+/// within its sampled range.
+///
+/// ```
+/// use ahq_core::{resource_equivalence, EntropySeries};
+///
+/// let unmanaged = EntropySeries::from_points("unmanaged",
+///     vec![(5.0, 0.7), (7.0, 0.35), (8.0, 0.12)]);
+/// let arq = EntropySeries::from_points("arq",
+///     vec![(5.0, 0.35), (6.0, 0.18), (8.0, 0.02)]);
+/// let eq = resource_equivalence(&unmanaged, &arq, 0.25).unwrap();
+/// assert!(eq.saved > 1.0); // ARQ saves more than one core
+/// ```
+pub fn resource_equivalence(
+    baseline: &EntropySeries,
+    candidate: &EntropySeries,
+    target_entropy: f64,
+) -> Option<EquivalencePoint> {
+    let baseline_resource = baseline.resource_for_entropy(target_entropy)?;
+    let candidate_resource = candidate.resource_for_entropy(target_entropy)?;
+    Some(EquivalencePoint {
+        target_entropy,
+        baseline_resource,
+        candidate_resource,
+        saved: baseline_resource - candidate_resource,
+    })
+}
+
+/// Computes one point of an *isentropic line* (Fig. 3(b)): given samples of
+/// `E_S` as a function of one resource dimension (while the other dimensions
+/// are held fixed), returns the smallest resource amount that achieves
+/// `E_S <= target`.
+///
+/// This is a thin, intention-revealing wrapper over
+/// [`EntropySeries::resource_for_entropy`] used by the Fig. 3(b)
+/// reproduction, which sweeps LLC ways on the x-axis and solves for the
+/// required core count on the y-axis.
+pub fn isentropic_resource(points: &[(f64, f64)], target: f64) -> Option<f64> {
+    EntropySeries::from_points("isentropic", points.to_vec()).resource_for_entropy(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_style_equivalence() {
+        // Shaped after Fig. 3(a): to reach E_S = 0.25, Unmanaged needs 7.61
+        // cores, ARQ needs 5.61 -> equivalence = 2 cores.
+        let unmanaged = EntropySeries::from_points(
+            "unmanaged",
+            vec![(5.0, 0.75), (7.0, 0.37), (7.61, 0.25), (9.0, 0.05)],
+        );
+        let arq = EntropySeries::from_points(
+            "arq",
+            vec![(5.0, 0.32), (5.61, 0.25), (7.0, 0.1), (9.0, 0.01)],
+        );
+        let eq = resource_equivalence(&unmanaged, &arq, 0.25).unwrap();
+        assert!((eq.saved - 2.0).abs() < 1e-9);
+        assert!((eq.baseline_resource - 7.61).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let a = EntropySeries::from_points("a", vec![(1.0, 0.9), (2.0, 0.5)]);
+        let b = EntropySeries::from_points("b", vec![(1.0, 0.4), (2.0, 0.2)]);
+        assert!(resource_equivalence(&a, &b, 0.3).is_none()); // a never reaches
+        assert!(resource_equivalence(&b, &a, 0.3).is_none());
+        assert!(resource_equivalence(&b, &b, 0.3).is_some());
+    }
+
+    #[test]
+    fn negative_saving_when_candidate_is_worse() {
+        let good = EntropySeries::from_points("good", vec![(2.0, 0.6), (4.0, 0.1)]);
+        let bad = EntropySeries::from_points("bad", vec![(2.0, 0.9), (6.0, 0.1)]);
+        let eq = resource_equivalence(&good, &bad, 0.3).unwrap();
+        assert!(eq.saved < 0.0);
+    }
+
+    #[test]
+    fn isentropic_point_matches_series_solution() {
+        let points = vec![(4.0, 0.8), (6.0, 0.4), (8.0, 0.2)];
+        let r = isentropic_resource(&points, 0.3).unwrap();
+        assert!(r > 6.0 && r < 8.0);
+    }
+}

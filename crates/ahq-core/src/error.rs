@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Errors produced when constructing or evaluating the entropy theory.
+///
+/// Every validation failure names the offending quantity so that callers
+/// (typically an experiment harness feeding measured latencies in) can tell
+/// exactly which input was malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TheoryError {
+    /// A latency, IPC or load value was not a finite, strictly positive number.
+    NonPositive {
+        /// Which quantity was rejected (e.g. `"ideal tail latency"`).
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The ideal tail latency was not below the QoS threshold
+    /// (`TL_i0 < M_i` is required for the tolerance `A_i` to be positive).
+    IdealExceedsThreshold {
+        /// Ideal tail latency `TL_i0`.
+        ideal: f64,
+        /// QoS threshold `M_i`.
+        threshold: f64,
+    },
+    /// A ratio-valued parameter (relative importance, elasticity, …) was
+    /// outside its documented range.
+    OutOfRange {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+}
+
+impl fmt::Display for TheoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TheoryError::NonPositive { what, value } => {
+                write!(f, "{what} must be finite and positive, got {value}")
+            }
+            TheoryError::IdealExceedsThreshold { ideal, threshold } => write!(
+                f,
+                "ideal tail latency {ideal} must be below the QoS threshold {threshold}"
+            ),
+            TheoryError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(f, "{what} must lie in [{min}, {max}], got {value}"),
+        }
+    }
+}
+
+impl std::error::Error for TheoryError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<f64, TheoryError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(TheoryError::NonPositive { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TheoryError::NonPositive {
+            what: "ideal tail latency",
+            value: -1.0,
+        };
+        assert!(err.to_string().contains("ideal tail latency"));
+        assert!(err.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn ensure_positive_accepts_positive() {
+        assert_eq!(ensure_positive("x", 3.5), Ok(3.5));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_negative_nan() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", -2.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+    }
+}

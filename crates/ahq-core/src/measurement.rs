@@ -1,0 +1,328 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ensure_positive, TheoryError};
+
+/// One monitoring-window observation of a latency-critical application,
+/// together with the two constants that characterise it: its ideal tail
+/// latency `TL_i0` and its QoS threshold `M_i`.
+///
+/// All latencies share one (arbitrary) time unit; the derived quantities are
+/// dimensionless ratios, which is the point of the theory.
+///
+/// ```
+/// use ahq_core::LcMeasurement;
+///
+/// # fn main() -> Result<(), ahq_core::TheoryError> {
+/// // Xapian with 8 cores (Table II, bottom block of the paper).
+/// let m = LcMeasurement::new("xapian", 2.77, 4.18, 4.22)?;
+/// assert!((m.tolerance() - 0.34).abs() < 0.01);
+/// assert!((m.interference() - 0.34).abs() < 0.01);
+/// assert!(m.intolerable() < 1e-9); // within tolerance: Q_i = 0
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LcMeasurement {
+    name: String,
+    ideal: f64,
+    observed: f64,
+    threshold: f64,
+}
+
+impl LcMeasurement {
+    /// Creates a measurement from `TL_i0` (`ideal`), `TL_i1` (`observed`)
+    /// and `M_i` (`threshold`).
+    ///
+    /// `observed` is clamped below by `ideal`: a collocated run can never be
+    /// *faster* than the interference-free run in the model, and small
+    /// measurement noise in that direction must not produce a negative
+    /// interference `R_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::NonPositive`] if any latency is not a finite
+    /// positive number, and [`TheoryError::IdealExceedsThreshold`] if
+    /// `ideal >= threshold` (the theory requires `TL_i0 < M_i`).
+    pub fn new(
+        name: impl Into<String>,
+        ideal: f64,
+        observed: f64,
+        threshold: f64,
+    ) -> Result<Self, TheoryError> {
+        let ideal = ensure_positive("ideal tail latency", ideal)?;
+        let observed = ensure_positive("observed tail latency", observed)?;
+        let threshold = ensure_positive("QoS threshold", threshold)?;
+        if ideal >= threshold {
+            return Err(TheoryError::IdealExceedsThreshold { ideal, threshold });
+        }
+        Ok(Self {
+            name: name.into(),
+            ideal,
+            observed: observed.max(ideal),
+            threshold,
+        })
+    }
+
+    /// The application name this measurement belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ideal (interference-free) tail latency `TL_i0`.
+    pub fn ideal(&self) -> f64 {
+        self.ideal
+    }
+
+    /// Observed tail latency under collocation, `TL_i1`.
+    pub fn observed(&self) -> f64 {
+        self.observed
+    }
+
+    /// QoS threshold `M_i` — the largest tail latency users tolerate.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Interference tolerance `A_i = 1 - TL_i0 / M_i` (Eq. 1). In `[0, 1)`.
+    pub fn tolerance(&self) -> f64 {
+        1.0 - self.ideal / self.threshold
+    }
+
+    /// Suffered interference `R_i = 1 - TL_i0 / TL_i1` (Eq. 2). In `[0, 1)`.
+    pub fn interference(&self) -> f64 {
+        1.0 - self.ideal / self.observed
+    }
+
+    /// Remaining tolerance `ReT_i` (Eq. 3): how much interference headroom
+    /// is left. Positive only while the application still meets its QoS
+    /// target (`A_i > R_i`), zero once it violates.
+    pub fn remaining_tolerance(&self) -> f64 {
+        if self.tolerance() > self.interference() {
+            1.0 - self.observed / self.threshold
+        } else {
+            0.0
+        }
+    }
+
+    /// Intolerable interference `Q_i` (Eq. 4): the part of the interference
+    /// the application could not absorb. Zero while within QoS, otherwise
+    /// `1 - M_i / TL_i1`.
+    pub fn intolerable(&self) -> f64 {
+        if self.interference() > self.tolerance() {
+            1.0 - self.threshold / self.observed
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the QoS target is met, optionally granting the paper's 5 %
+    /// threshold elasticity via [`QosElasticity`].
+    pub fn meets_qos(&self, elasticity: QosElasticity) -> bool {
+        self.observed <= self.threshold * (1.0 + elasticity.fraction())
+    }
+}
+
+/// The relative elasticity users grant a QoS threshold.
+///
+/// The paper observes that user-defined targets "have some elasticity" and
+/// assumes 5 %: a violation smaller than that is still counted as a
+/// satisfactory experience when computing the *yield*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosElasticity(f64);
+
+impl QosElasticity {
+    /// The paper's default of 5 %.
+    pub const PAPER: QosElasticity = QosElasticity(0.05);
+
+    /// A zero-slack elasticity: the threshold is hard.
+    pub const NONE: QosElasticity = QosElasticity(0.0);
+
+    /// Creates an elasticity from a fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::OutOfRange`] if `fraction` is outside `[0, 1]`
+    /// or not finite.
+    pub fn new(fraction: f64) -> Result<Self, TheoryError> {
+        if fraction.is_finite() && (0.0..=1.0).contains(&fraction) {
+            Ok(Self(fraction))
+        } else {
+            Err(TheoryError::OutOfRange {
+                what: "QoS elasticity",
+                value: fraction,
+                min: 0.0,
+                max: 1.0,
+            })
+        }
+    }
+
+    /// The elasticity as a fraction of the threshold.
+    pub fn fraction(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for QosElasticity {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// One monitoring-window observation of a best-effort application: its IPC
+/// when running alone (`IPC_solo`) and its IPC under collocation
+/// (`IPC_real`).
+///
+/// ```
+/// use ahq_core::BeMeasurement;
+///
+/// # fn main() -> Result<(), ahq_core::TheoryError> {
+/// let m = BeMeasurement::new("stream", 1.2, 0.6)?;
+/// assert!((m.slowdown() - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeMeasurement {
+    name: String,
+    ipc_solo: f64,
+    ipc_real: f64,
+}
+
+impl BeMeasurement {
+    /// Creates a measurement from the solo and collocated IPC.
+    ///
+    /// `ipc_real` is clamped above by `ipc_solo`: collocation can only slow
+    /// a BE application down in the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::NonPositive`] if either IPC is not a finite
+    /// positive number.
+    pub fn new(
+        name: impl Into<String>,
+        ipc_solo: f64,
+        ipc_real: f64,
+    ) -> Result<Self, TheoryError> {
+        let ipc_solo = ensure_positive("solo IPC", ipc_solo)?;
+        let ipc_real = ensure_positive("collocated IPC", ipc_real)?;
+        Ok(Self {
+            name: name.into(),
+            ipc_solo,
+            ipc_real: ipc_real.min(ipc_solo),
+        })
+    }
+
+    /// The application name this measurement belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// IPC when running alone.
+    pub fn ipc_solo(&self) -> f64 {
+        self.ipc_solo
+    }
+
+    /// IPC under collocation.
+    pub fn ipc_real(&self) -> f64 {
+        self.ipc_real
+    }
+
+    /// Slowdown ratio `IPC_solo / IPC_real >= 1`.
+    pub fn slowdown(&self) -> f64 {
+        self.ipc_solo / self.ipc_real
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xapian_6cores() -> LcMeasurement {
+        // Table II, first row: TL_i0 = 2.77, TL_i1 = 23.99, M_i = 4.22.
+        LcMeasurement::new("xapian", 2.77, 23.99, 4.22).unwrap()
+    }
+
+    #[test]
+    fn table2_xapian_quantities_match_paper() {
+        let m = xapian_6cores();
+        assert!((m.tolerance() - 0.34).abs() < 0.005, "{}", m.tolerance());
+        assert!((m.interference() - 0.88).abs() < 0.005);
+        assert_eq!(m.remaining_tolerance(), 0.0);
+        assert!((m.intolerable() - 0.82).abs() < 0.005);
+    }
+
+    #[test]
+    fn table2_moses_7cores() {
+        // ReT = 0.36, Q = 0 in the paper.
+        let m = LcMeasurement::new("moses", 2.80, 6.78, 10.53).unwrap();
+        assert!((m.remaining_tolerance() - 0.36).abs() < 0.005);
+        assert_eq!(m.intolerable(), 0.0);
+    }
+
+    #[test]
+    fn observed_below_ideal_is_clamped() {
+        let m = LcMeasurement::new("a", 2.0, 1.0, 4.0).unwrap();
+        assert_eq!(m.observed(), 2.0);
+        assert_eq!(m.interference(), 0.0);
+        assert_eq!(m.intolerable(), 0.0);
+    }
+
+    #[test]
+    fn ideal_must_be_below_threshold() {
+        assert!(matches!(
+            LcMeasurement::new("a", 5.0, 5.0, 4.0),
+            Err(TheoryError::IdealExceedsThreshold { .. })
+        ));
+        assert!(LcMeasurement::new("a", 4.0, 5.0, 4.0).is_err());
+    }
+
+    #[test]
+    fn qos_elasticity_grants_slack() {
+        let m = LcMeasurement::new("a", 2.0, 4.1, 4.0).unwrap();
+        assert!(!m.meets_qos(QosElasticity::NONE));
+        assert!(m.meets_qos(QosElasticity::PAPER)); // 4.1 <= 4.0 * 1.05
+    }
+
+    #[test]
+    fn qos_exact_threshold_is_satisfied() {
+        let m = LcMeasurement::new("a", 2.0, 4.0, 4.0).unwrap();
+        assert!(m.meets_qos(QosElasticity::NONE));
+    }
+
+    #[test]
+    fn elasticity_range_is_validated() {
+        assert!(QosElasticity::new(-0.01).is_err());
+        assert!(QosElasticity::new(1.01).is_err());
+        assert!(QosElasticity::new(f64::NAN).is_err());
+        assert_eq!(QosElasticity::new(0.05).unwrap(), QosElasticity::PAPER);
+    }
+
+    #[test]
+    fn be_slowdown_and_clamp() {
+        let m = BeMeasurement::new("fluid", 2.0, 2.5).unwrap();
+        assert_eq!(m.ipc_real(), 2.0);
+        assert_eq!(m.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn be_rejects_bad_ipc() {
+        assert!(BeMeasurement::new("b", 0.0, 1.0).is_err());
+        assert!(BeMeasurement::new("b", 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn remaining_tolerance_positive_inside_qos() {
+        let m = LcMeasurement::new("a", 2.0, 3.0, 4.0).unwrap();
+        // A = 0.5, R = 1/3 -> ReT = 1 - 3/4 = 0.25.
+        assert!((m.remaining_tolerance() - 0.25).abs() < 1e-12);
+        assert_eq!(m.intolerable(), 0.0);
+    }
+
+    #[test]
+    fn intolerable_positive_outside_qos() {
+        let m = LcMeasurement::new("a", 2.0, 8.0, 4.0).unwrap();
+        // A = 0.5, R = 0.75 -> Q = 1 - 4/8 = 0.5.
+        assert!((m.intolerable() - 0.5).abs() < 1e-12);
+        assert_eq!(m.remaining_tolerance(), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+use serde::{Deserialize, Serialize};
+
+/// A series of `(resource amount, E_S)` samples for one scheduling strategy,
+/// e.g. "system entropy as a function of the number of available cores".
+///
+/// The series is the raw material of the *resource equivalence* analysis
+/// (Fig. 3 of the paper): given two strategies' series, the equivalence at a
+/// target entropy is the difference between the resource amounts each needs
+/// to reach that entropy.
+///
+/// Entropy is expected to (weakly) decrease as the resource amount grows —
+/// property ② of §II-A. The interpolation helpers tolerate mild measurement
+/// noise by scanning for the first downward crossing.
+///
+/// ```
+/// use ahq_core::EntropySeries;
+///
+/// let unmanaged = EntropySeries::from_points("unmanaged",
+///     vec![(4.0, 0.8), (6.0, 0.53), (8.0, 0.1), (10.0, 0.006)]);
+/// // How many cores does Unmanaged need to bring E_S down to 0.25?
+/// let cores = unmanaged.resource_for_entropy(0.25).unwrap();
+/// assert!(cores > 6.0 && cores < 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropySeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl EntropySeries {
+    /// Creates a series from `(resource, entropy)` samples. Points are
+    /// sorted by resource amount; non-finite points are dropped.
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        let mut points: Vec<(f64, f64)> = points
+            .into_iter()
+            .filter(|(r, e)| r.is_finite() && e.is_finite())
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The strategy name this series belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted `(resource, entropy)` samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The smallest resource amount at which the series first reaches an
+    /// entropy of at most `target`, linearly interpolating between samples.
+    ///
+    /// Returns `None` when the series never gets down to `target` (or is
+    /// empty). If even the smallest sampled resource amount already
+    /// satisfies the target, that smallest amount is returned: the series
+    /// carries no information below its sampled range.
+    pub fn resource_for_entropy(&self, target: f64) -> Option<f64> {
+        let first = self.points.first()?;
+        if first.1 <= target {
+            return Some(first.0);
+        }
+        for window in self.points.windows(2) {
+            let (r0, e0) = window[0];
+            let (r1, e1) = window[1];
+            if e0 > target && e1 <= target {
+                if (e0 - e1).abs() < f64::EPSILON {
+                    return Some(r1);
+                }
+                let t = (e0 - target) / (e0 - e1);
+                return Some(r0 + t * (r1 - r0));
+            }
+        }
+        None
+    }
+
+    /// The entropy at a given resource amount, linearly interpolated.
+    /// Returns `None` outside the sampled range.
+    pub fn entropy_at(&self, resource: f64) -> Option<f64> {
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        if resource < first.0 || resource > last.0 {
+            return None;
+        }
+        for window in self.points.windows(2) {
+            let (r0, e0) = window[0];
+            let (r1, e1) = window[1];
+            if resource >= r0 && resource <= r1 {
+                if (r1 - r0).abs() < f64::EPSILON {
+                    return Some(e0);
+                }
+                let t = (resource - r0) / (r1 - r0);
+                return Some(e0 + t * (e1 - e0));
+            }
+        }
+        // `resource` equals the last sample up to rounding.
+        Some(last.1)
+    }
+
+    /// Number of samples in the series.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> EntropySeries {
+        EntropySeries::from_points(
+            "unmanaged",
+            vec![(10.0, 0.006), (4.0, 0.9), (6.0, 0.53), (8.0, 0.1)],
+        )
+    }
+
+    #[test]
+    fn points_are_sorted_by_resource() {
+        let s = series();
+        let rs: Vec<f64> = s.points().iter().map(|p| p.0).collect();
+        assert_eq!(rs, vec![4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn interpolates_resource_for_entropy() {
+        let s = series();
+        let r = s.resource_for_entropy(0.315).unwrap();
+        // Halfway between 0.53 (at 6) and 0.1 (at 8).
+        assert!((r - 7.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn target_below_series_floor_is_none() {
+        assert!(series().resource_for_entropy(0.001).is_none());
+    }
+
+    #[test]
+    fn target_above_first_sample_returns_min_resource() {
+        assert_eq!(series().resource_for_entropy(0.95), Some(4.0));
+    }
+
+    #[test]
+    fn entropy_at_interpolates_and_bounds() {
+        let s = series();
+        assert!((s.entropy_at(7.0).unwrap() - 0.315).abs() < 1e-9);
+        assert_eq!(s.entropy_at(4.0), Some(0.9));
+        assert!((s.entropy_at(10.0).unwrap() - 0.006).abs() < 1e-12);
+        assert!(s.entropy_at(3.0).is_none());
+        assert!(s.entropy_at(11.0).is_none());
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let s = EntropySeries::from_points("x", vec![(1.0, f64::NAN), (2.0, 0.5)]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_series_behaves() {
+        let s = EntropySeries::from_points("x", vec![]);
+        assert!(s.is_empty());
+        assert!(s.resource_for_entropy(0.5).is_none());
+        assert!(s.entropy_at(1.0).is_none());
+    }
+}

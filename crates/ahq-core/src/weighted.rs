@@ -1,0 +1,300 @@
+//! Weighted system entropy — the extension the paper sketches in §II-B:
+//! *"If necessary, the `E_S` model can be extended to involve different RI
+//! factors among the same type of applications."*
+//!
+//! Here each LC application carries a weight for its share of `E_LC`, and
+//! each BE application a weight for its share of the slowdown aggregate.
+//! Uniform weights recover the paper's unweighted definitions exactly,
+//! which [`WeightedEntropyModel`]'s tests verify.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entropy::{EntropyModel, EntropyReport, LcAppReport};
+use crate::error::TheoryError;
+use crate::measurement::{BeMeasurement, LcMeasurement};
+
+/// A measurement paired with its intra-class importance weight.
+///
+/// Weights are relative: only their proportions matter, and they are
+/// normalised internally. They must be finite and non-negative, with at
+/// least one strictly positive weight per non-empty class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weighted<M> {
+    /// The underlying measurement.
+    pub measurement: M,
+    /// Relative importance within its class (LC or BE).
+    pub weight: f64,
+}
+
+impl<M> Weighted<M> {
+    /// Pairs a measurement with a weight.
+    pub fn new(measurement: M, weight: f64) -> Self {
+        Weighted {
+            measurement,
+            weight,
+        }
+    }
+}
+
+/// The weighted variant of [`EntropyModel`].
+///
+/// ```
+/// use ahq_core::{EntropyModel, LcMeasurement, Weighted, WeightedEntropyModel};
+///
+/// # fn main() -> Result<(), ahq_core::TheoryError> {
+/// let violating = LcMeasurement::new("critical", 1.0, 8.0, 2.0)?;
+/// let fine = LcMeasurement::new("casual", 1.0, 1.2, 2.0)?;
+/// let model = WeightedEntropyModel::new(EntropyModel::default());
+///
+/// // Uniform weights match the base model ...
+/// let uniform = model.evaluate(
+///     &[Weighted::new(violating.clone(), 1.0), Weighted::new(fine.clone(), 1.0)],
+///     &[],
+/// )?;
+/// // ... while weighting the violating app higher raises E_LC.
+/// let skewed = model.evaluate(
+///     &[Weighted::new(violating, 3.0), Weighted::new(fine, 1.0)],
+///     &[],
+/// )?;
+/// assert!(skewed.lc > uniform.lc);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedEntropyModel {
+    base: EntropyModel,
+}
+
+impl WeightedEntropyModel {
+    /// Wraps a base model (which supplies `RI` and the QoS elasticity).
+    pub fn new(base: EntropyModel) -> Self {
+        WeightedEntropyModel { base }
+    }
+
+    /// The wrapped base model.
+    pub fn base(&self) -> &EntropyModel {
+        &self.base
+    }
+
+    /// Weighted LC entropy: `E_LC = Σ w_i Q_i / Σ w_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::OutOfRange`] when a weight is negative or
+    /// not finite, or when all weights of a non-empty class are zero.
+    pub fn lc_entropy(&self, lc: &[Weighted<LcMeasurement>]) -> Result<f64, TheoryError> {
+        if lc.is_empty() {
+            return Ok(0.0);
+        }
+        let total = validate_weights(lc.iter().map(|w| w.weight))?;
+        Ok(lc
+            .iter()
+            .map(|w| w.weight * w.measurement.intolerable())
+            .sum::<f64>()
+            / total)
+    }
+
+    /// Weighted BE entropy: one minus the weighted harmonic aggregate,
+    /// `E_BE = 1 - Σ w_i / Σ w_i * slowdown_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::OutOfRange`] on invalid weights, as for
+    /// [`WeightedEntropyModel::lc_entropy`].
+    pub fn be_entropy(&self, be: &[Weighted<BeMeasurement>]) -> Result<f64, TheoryError> {
+        if be.is_empty() {
+            return Ok(0.0);
+        }
+        let total = validate_weights(be.iter().map(|w| w.weight))?;
+        let weighted_slowdown: f64 = be
+            .iter()
+            .map(|w| w.weight * w.measurement.slowdown())
+            .sum();
+        Ok(1.0 - total / weighted_slowdown)
+    }
+
+    /// Full weighted evaluation, mirroring [`EntropyModel::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::OutOfRange`] on invalid weights.
+    pub fn evaluate(
+        &self,
+        lc: &[Weighted<LcMeasurement>],
+        be: &[Weighted<BeMeasurement>],
+    ) -> Result<EntropyReport, TheoryError> {
+        let e_lc = self.lc_entropy(lc)?;
+        let e_be = self.be_entropy(be)?;
+        let ri = self.base.relative_importance().value();
+        let elasticity = self.base.elasticity();
+        let satisfied = lc
+            .iter()
+            .filter(|w| w.measurement.meets_qos(elasticity))
+            .count();
+        let yield_fraction = if lc.is_empty() {
+            1.0
+        } else {
+            satisfied as f64 / lc.len() as f64
+        };
+        Ok(EntropyReport {
+            lc: e_lc,
+            be: e_be,
+            system: ri * e_lc + (1.0 - ri) * e_be,
+            yield_fraction,
+            lc_apps: lc
+                .iter()
+                .map(|w| {
+                    let m = &w.measurement;
+                    LcAppReport {
+                        name: m.name().to_owned(),
+                        tolerance: m.tolerance(),
+                        interference: m.interference(),
+                        remaining_tolerance: m.remaining_tolerance(),
+                        intolerable: m.intolerable(),
+                        satisfied: m.meets_qos(elasticity),
+                    }
+                })
+                .collect(),
+        })
+    }
+}
+
+impl Default for WeightedEntropyModel {
+    fn default() -> Self {
+        WeightedEntropyModel::new(EntropyModel::default())
+    }
+}
+
+fn validate_weights(weights: impl Iterator<Item = f64>) -> Result<f64, TheoryError> {
+    let mut total = 0.0;
+    for w in weights {
+        if !w.is_finite() || w < 0.0 {
+            return Err(TheoryError::OutOfRange {
+                what: "application weight",
+                value: w,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(TheoryError::OutOfRange {
+            what: "total application weight",
+            value: total,
+            min: f64::MIN_POSITIVE,
+            max: f64::INFINITY,
+        });
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lc_set() -> Vec<LcMeasurement> {
+        vec![
+            LcMeasurement::new("a", 1.0, 6.0, 2.0).unwrap(), // Q = 2/3
+            LcMeasurement::new("b", 1.0, 1.1, 2.0).unwrap(), // Q = 0
+        ]
+    }
+
+    fn be_set() -> Vec<BeMeasurement> {
+        vec![
+            BeMeasurement::new("x", 2.0, 1.0).unwrap(), // slowdown 2
+            BeMeasurement::new("y", 3.0, 3.0).unwrap(), // slowdown 1
+        ]
+    }
+
+    #[test]
+    fn uniform_weights_recover_the_paper_model() {
+        let base = EntropyModel::default();
+        let weighted = WeightedEntropyModel::new(base);
+        let lc: Vec<_> = lc_set().into_iter().map(|m| Weighted::new(m, 1.0)).collect();
+        let be: Vec<_> = be_set().into_iter().map(|m| Weighted::new(m, 1.0)).collect();
+        let w = weighted.evaluate(&lc, &be).unwrap();
+        let u = base.evaluate(&lc_set(), &be_set());
+        assert!((w.lc - u.lc).abs() < 1e-12);
+        assert!((w.be - u.be).abs() < 1e-12);
+        assert!((w.system - u.system).abs() < 1e-12);
+        assert_eq!(w.yield_fraction, u.yield_fraction);
+    }
+
+    #[test]
+    fn weights_are_scale_invariant() {
+        let model = WeightedEntropyModel::default();
+        let small: Vec<_> = lc_set().into_iter().map(|m| Weighted::new(m, 0.1)).collect();
+        let big: Vec<_> = lc_set().into_iter().map(|m| Weighted::new(m, 10.0)).collect();
+        assert!(
+            (model.lc_entropy(&small).unwrap() - model.lc_entropy(&big).unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn upweighting_the_victim_raises_entropy() {
+        let model = WeightedEntropyModel::default();
+        let ms = lc_set();
+        let uniform = model
+            .lc_entropy(&[
+                Weighted::new(ms[0].clone(), 1.0),
+                Weighted::new(ms[1].clone(), 1.0),
+            ])
+            .unwrap();
+        let skewed = model
+            .lc_entropy(&[
+                Weighted::new(ms[0].clone(), 5.0),
+                Weighted::new(ms[1].clone(), 1.0),
+            ])
+            .unwrap();
+        assert!(skewed > uniform);
+        // And down-weighting it hides the violation.
+        let hidden = model
+            .lc_entropy(&[
+                Weighted::new(ms[0].clone(), 0.0),
+                Weighted::new(ms[1].clone(), 1.0),
+            ])
+            .unwrap();
+        assert_eq!(hidden, 0.0);
+    }
+
+    #[test]
+    fn weighted_be_prefers_protecting_the_weighty() {
+        let model = WeightedEntropyModel::default();
+        let ms = be_set();
+        // Weighting the slowed-down app dominates the aggregate.
+        let slowed_heavy = model
+            .be_entropy(&[
+                Weighted::new(ms[0].clone(), 9.0),
+                Weighted::new(ms[1].clone(), 1.0),
+            ])
+            .unwrap();
+        let slowed_light = model
+            .be_entropy(&[
+                Weighted::new(ms[0].clone(), 1.0),
+                Weighted::new(ms[1].clone(), 9.0),
+            ])
+            .unwrap();
+        assert!(slowed_heavy > slowed_light);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let model = WeightedEntropyModel::default();
+        let m = lc_set().remove(0);
+        assert!(model
+            .lc_entropy(&[Weighted::new(m.clone(), -1.0)])
+            .is_err());
+        assert!(model
+            .lc_entropy(&[Weighted::new(m.clone(), f64::NAN)])
+            .is_err());
+        assert!(model.lc_entropy(&[Weighted::new(m, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_classes_are_zero() {
+        let model = WeightedEntropyModel::default();
+        assert_eq!(model.lc_entropy(&[]).unwrap(), 0.0);
+        assert_eq!(model.be_entropy(&[]).unwrap(), 0.0);
+    }
+}

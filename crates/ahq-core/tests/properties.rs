@@ -1,0 +1,166 @@
+//! Property-based tests for the required properties of `E_S` (§II-A of the
+//! paper) and for the algebraic invariants of the per-application
+//! quantities.
+
+use ahq_core::{
+    BeMeasurement, EntropyModel, EntropySeries, LcMeasurement, QosElasticity,
+    RelativeImportance,
+};
+use proptest::prelude::*;
+
+/// Strategy producing a valid (ideal, observed, threshold) triple.
+fn lc_triple() -> impl Strategy<Value = (f64, f64, f64)> {
+    // ideal in (0.1, 50), threshold = ideal * (1 + margin), observed >= ideal.
+    (0.1f64..50.0, 0.01f64..10.0, 1.0f64..50.0)
+        .prop_map(|(ideal, margin, infl)| (ideal, ideal * infl, ideal * (1.0 + margin)))
+}
+
+fn lc_measurement() -> impl Strategy<Value = LcMeasurement> {
+    lc_triple().prop_map(|(i, o, t)| LcMeasurement::new("app", i, o, t).unwrap())
+}
+
+fn be_measurement() -> impl Strategy<Value = BeMeasurement> {
+    (0.05f64..4.0, 1.0f64..100.0)
+        .prop_map(|(real, slow)| BeMeasurement::new("be", real * slow, real).unwrap())
+}
+
+proptest! {
+    /// Property ① (dimensionless): all derived quantities lie in [0, 1].
+    #[test]
+    fn per_app_quantities_are_unit_interval(m in lc_measurement()) {
+        for v in [m.tolerance(), m.interference(), m.remaining_tolerance(), m.intolerable()] {
+            prop_assert!((0.0..=1.0).contains(&v), "value {v} out of range for {m:?}");
+        }
+    }
+
+    /// Exactly one of ReT and Q can be positive: an app is either within
+    /// tolerance (headroom left) or violating (intolerable interference).
+    #[test]
+    fn ret_and_q_are_mutually_exclusive(m in lc_measurement()) {
+        prop_assert!(m.remaining_tolerance() == 0.0 || m.intolerable() == 0.0);
+    }
+
+    /// Q grows monotonically with the observed latency.
+    #[test]
+    fn q_monotone_in_observed_latency(
+        (ideal, observed, threshold) in lc_triple(),
+        bump in 1.0f64..4.0,
+    ) {
+        let a = LcMeasurement::new("a", ideal, observed, threshold).unwrap();
+        let b = LcMeasurement::new("b", ideal, observed * bump, threshold).unwrap();
+        prop_assert!(b.intolerable() >= a.intolerable() - 1e-12);
+    }
+
+    /// ReT shrinks monotonically with the observed latency.
+    #[test]
+    fn ret_antimonotone_in_observed_latency(
+        (ideal, observed, threshold) in lc_triple(),
+        bump in 1.0f64..4.0,
+    ) {
+        let a = LcMeasurement::new("a", ideal, observed, threshold).unwrap();
+        let b = LcMeasurement::new("b", ideal, observed * bump, threshold).unwrap();
+        prop_assert!(b.remaining_tolerance() <= a.remaining_tolerance() + 1e-12);
+    }
+
+    /// Property ①: E_LC, E_BE and E_S are all within [0, 1] for any
+    /// population and any relative importance.
+    #[test]
+    fn entropies_are_unit_interval(
+        lc in prop::collection::vec(lc_measurement(), 0..8),
+        be in prop::collection::vec(be_measurement(), 0..8),
+        ri in 0.0f64..=1.0,
+    ) {
+        let model = EntropyModel::new(RelativeImportance::new(ri).unwrap());
+        let report = model.evaluate(&lc, &be);
+        prop_assert!((0.0..=1.0).contains(&report.lc));
+        prop_assert!((0.0..=1.0).contains(&report.be));
+        prop_assert!((0.0..=1.0).contains(&report.system));
+        prop_assert!((0.0..=1.0).contains(&report.yield_fraction));
+    }
+
+    /// E_LC = 0 if and only if the strict (zero-elasticity) yield is 100 %.
+    #[test]
+    fn zero_lc_entropy_iff_full_yield(
+        lc in prop::collection::vec(lc_measurement(), 1..8),
+    ) {
+        let model = EntropyModel::default().with_elasticity(QosElasticity::NONE);
+        let report = model.evaluate(&lc, &[]);
+        prop_assert_eq!(report.lc == 0.0, report.yield_fraction == 1.0);
+    }
+
+    /// Property ② (resource-amount sensitiveness), algebraic form: making
+    /// every application's observation weakly worse cannot decrease any of
+    /// the entropies. Fewer resources manifest exactly as such pointwise
+    /// degradations.
+    #[test]
+    fn pointwise_degradation_never_decreases_entropy(
+        lc in prop::collection::vec(lc_triple(), 1..6),
+        be in prop::collection::vec((0.05f64..4.0, 1.0f64..50.0), 1..6),
+        lc_bump in 1.0f64..3.0,
+        be_bump in 1.0f64..3.0,
+    ) {
+        let model = EntropyModel::default();
+        let lc_before: Vec<_> = lc.iter()
+            .map(|&(i, o, t)| LcMeasurement::new("a", i, o, t).unwrap())
+            .collect();
+        let lc_after: Vec<_> = lc.iter()
+            .map(|&(i, o, t)| LcMeasurement::new("a", i, o * lc_bump, t).unwrap())
+            .collect();
+        let be_before: Vec<_> = be.iter()
+            .map(|&(real, slow)| BeMeasurement::new("b", real * slow, real).unwrap())
+            .collect();
+        let be_after: Vec<_> = be.iter()
+            .map(|&(real, slow)| BeMeasurement::new("b", real * slow, real / be_bump).unwrap())
+            .collect();
+        let before = model.evaluate(&lc_before, &be_before);
+        let after = model.evaluate(&lc_after, &be_after);
+        prop_assert!(after.lc >= before.lc - 1e-12);
+        prop_assert!(after.be >= before.be - 1e-12);
+        prop_assert!(after.system >= before.system - 1e-12);
+    }
+
+    /// E_S is linear in RI between the two component entropies.
+    #[test]
+    fn system_entropy_is_convex_combination(
+        lc in prop::collection::vec(lc_measurement(), 1..5),
+        be in prop::collection::vec(be_measurement(), 1..5),
+        ri in 0.0f64..=1.0,
+    ) {
+        let model = EntropyModel::new(RelativeImportance::new(ri).unwrap());
+        let report = model.evaluate(&lc, &be);
+        let expected = ri * report.lc + (1.0 - ri) * report.be;
+        prop_assert!((report.system - expected).abs() < 1e-12);
+        let (lo, hi) = if report.lc <= report.be {
+            (report.lc, report.be)
+        } else {
+            (report.be, report.lc)
+        };
+        prop_assert!(report.system >= lo - 1e-12 && report.system <= hi + 1e-12);
+    }
+
+    /// EntropySeries interpolation returns resources within the sampled
+    /// range and entropy targets are honoured at the returned point.
+    #[test]
+    fn series_interpolation_is_consistent(
+        mut entropies in prop::collection::vec(0.0f64..1.0, 2..12),
+        target in 0.0f64..1.0,
+    ) {
+        // Build a weakly decreasing series (property ② holds for real data).
+        entropies.sort_by(|a, b| b.total_cmp(a));
+        let points: Vec<(f64, f64)> = entropies
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i as f64 + 1.0, e))
+            .collect();
+        let n = points.len() as f64;
+        let series = EntropySeries::from_points("s", points);
+        if let Some(r) = series.resource_for_entropy(target) {
+            prop_assert!(r >= 1.0 && r <= n);
+            let e = series.entropy_at(r).unwrap();
+            prop_assert!(e <= target + 1e-9, "entropy {e} at {r} exceeds target {target}");
+        } else {
+            // Unreachable target: even the richest sample stays above it.
+            prop_assert!(series.points().last().unwrap().1 > target);
+        }
+    }
+}

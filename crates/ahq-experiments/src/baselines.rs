@@ -1,0 +1,98 @@
+//! Extra: the full six-strategy comparison (the paper's five plus the
+//! Heracles threshold controller) on both headline mixes — where the
+//! classic threshold baseline lands relative to the modern ones.
+
+use ahq_sim::MachineConfig;
+use ahq_workloads::mixes;
+
+use crate::report::{f2, f3, ExperimentReport, TextTable};
+use crate::runs::{run_strategy, ExpConfig};
+use crate::strategy::StrategyKind;
+
+/// Regenerates the six-strategy comparison.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "baselines",
+        "Extra: six-strategy comparison incl. Heracles",
+    );
+    let loads = if cfg.quick {
+        vec![0.1, 0.9]
+    } else {
+        vec![0.1, 0.5, 0.9]
+    };
+
+    for mix in [mixes::fluidanimate_mix(), mixes::stream_mix()] {
+        let be = mix.be_names()[0].to_owned();
+        let mut table = TextTable::new(
+            format!("{} — steady-state per strategy", mix.name),
+            &["xapian load", "strategy", "E_LC", "E_BE", "E_S", "yield", "BE IPC"],
+        );
+        for &load in &loads {
+            for strategy in StrategyKind::extended() {
+                let result = run_strategy(
+                    cfg,
+                    MachineConfig::paper_xeon(),
+                    &mix,
+                    &[("xapian", load), ("moses", 0.2), ("img-dnn", 0.2)],
+                    strategy,
+                );
+                let steady = cfg.steady();
+                table.push_row(vec![
+                    f2(load),
+                    strategy.name().into(),
+                    f3(result.steady_lc_entropy(steady)),
+                    f3(result.steady_be_entropy(steady)),
+                    f3(result.steady_entropy(steady)),
+                    f2(result.steady_yield(steady)),
+                    f2(result.steady_ipc(&be, steady).unwrap_or(f64::NAN)),
+                ]);
+            }
+        }
+        report.tables.push(table);
+    }
+    report.note(
+        "Heracles (threshold-based, ISCA 2015) is the ancestor the paper's related work cites: \
+         it protects LC latency like LC-first while letting BE reclaim slack, but without \
+         entropy feedback it cannot trade E_LC against E_BE the way ARQ does."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heracles_protects_lc_but_arq_wins_on_entropy() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 67,
+        };
+        let mix = mixes::stream_mix();
+        let get = |strategy: StrategyKind| {
+            let r = run_strategy(
+                &cfg,
+                MachineConfig::paper_xeon(),
+                &mix,
+                &[("xapian", 0.5), ("moses", 0.2), ("img-dnn", 0.2)],
+                strategy,
+            );
+            (
+                r.steady_lc_entropy(cfg.steady()),
+                r.steady_entropy(cfg.steady()),
+            )
+        };
+        let (lc_heracles, es_heracles) = get(StrategyKind::Heracles);
+        let (lc_unmanaged, _) = get(StrategyKind::Unmanaged);
+        let (_, es_arq) = get(StrategyKind::Arq);
+        assert!(
+            lc_heracles < lc_unmanaged,
+            "heracles must protect LC: {lc_heracles:.3} vs unmanaged {lc_unmanaged:.3}"
+        );
+        assert!(
+            es_arq <= es_heracles + 0.03,
+            "ARQ {es_arq:.3} should not lose to heracles {es_heracles:.3}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! `repro` — regenerate the Ah-Q paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] [--json FILE] [all | <ids>...]
+//! repro --list
+//! ```
+//!
+//! Each experiment prints aligned text tables; with `--out DIR` the tables
+//! are additionally written as CSV files (`<id>_<n>.csv`), and with
+//! `--json FILE` all reports are dumped as one JSON document.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ahq_experiments::{all_experiments, ExpConfig};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut picks: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => return usage("--out needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(file) => json = Some(PathBuf::from(file)),
+                None => return usage("--json needs a file path"),
+            },
+            "--list" => {
+                for (id, title, _) in all_experiments() {
+                    println!("{id:<10} {title}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other:?}"))
+            }
+            other => picks.push(other.to_string()),
+        }
+    }
+
+    let experiments = all_experiments();
+    let selected: Vec<_> = if picks.is_empty() || picks.iter().any(|p| p == "all") {
+        experiments
+    } else {
+        let known: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+        for p in &picks {
+            if !known.contains(&p.as_str()) {
+                return usage(&format!("unknown experiment {p:?}; try --list"));
+            }
+        }
+        experiments
+            .into_iter()
+            .filter(|(id, _, _)| picks.iter().any(|p| p == id))
+            .collect()
+    };
+
+    let cfg = ExpConfig { quick, seed };
+    if let Some(dir) = &out {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut reports = Vec::new();
+    for (id, title, runner) in selected {
+        eprintln!(">>> running {id} ({title}){}", if quick { " [quick]" } else { "" });
+        let t0 = Instant::now();
+        let report = runner(&cfg);
+        println!("{}", report.render());
+        eprintln!("<<< {id} done in {:.1?}\n", t0.elapsed());
+        if let Some(dir) = &out {
+            for (i, table) in report.tables.iter().enumerate() {
+                let path = dir.join(format!("{id}_{i}.csv"));
+                if let Err(e) = fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {path:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        reports.push(report);
+    }
+    if let Some(file) = &json {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(body) => {
+                if let Err(e) = fs::write(file, body) {
+                    eprintln!("cannot write {file:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot serialize reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: repro [--quick] [--seed N] [--out DIR] [--json FILE] [all | <ids>...]");
+    eprintln!("       repro --list");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

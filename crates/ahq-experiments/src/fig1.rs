@@ -1,0 +1,170 @@
+//! Fig. 1: the motivating example — two scheduling strategies, A and B,
+//! whose raw tail-latency/IPC numbers are hard to compare, disambiguated
+//! by `E_S`.
+//!
+//! Strategy A lets Img-dnn exceed its threshold by 4.4 % (within the 5 %
+//! elasticity) while the BE application thrives (IPC 2.63); strategy B
+//! fixes Img-dnn but crushes the BE application (IPC 1.15). The paper's
+//! point: 7 numbers per strategy are hard to weigh, one `E_S` is not —
+//! and it correctly prefers A.
+//!
+//! Two reproductions: (1) the paper's exact Fig. 1 numbers scored by our
+//! `E_S` implementation; (2) a simulated analogue where A shares the whole
+//! machine and B is a static strict partition biased toward Img-dnn.
+
+use ahq_core::{BeMeasurement, LcMeasurement};
+use ahq_sched::{run as run_sched, SchedContext, Scheduler};
+use ahq_sim::{AppSpec, MachineConfig, Partition, RegionAlloc, SharingPolicy};
+use ahq_workloads::mixes;
+
+use crate::report::{f2, f3, ExperimentReport, TextTable};
+use crate::runs::{build_sim, ExpConfig};
+use crate::strategy::StrategyKind;
+
+/// Regenerates Fig. 1.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig1", "Fig 1: motivating example (strategy A vs B)");
+    let model = cfg.model();
+
+    // --- 1. The paper's exact numbers -----------------------------------
+    // Fig. 1 gives Img-dnn's threshold 3.98 ms; strategy A exceeds it by
+    // 4.4 %, strategy B meets it; Fluidanimate's IPC is 2.63 under A and
+    // 1.15 under B. Xapian and Moses meet their targets under both.
+    let lc_a = vec![
+        LcMeasurement::new("xapian", 2.77, 3.60, 4.22).expect("valid"),
+        LcMeasurement::new("moses", 2.80, 5.00, 10.53).expect("valid"),
+        LcMeasurement::new("img-dnn", 1.41, 3.98 * 1.044, 3.98).expect("valid"),
+    ];
+    let lc_b = vec![
+        LcMeasurement::new("xapian", 2.77, 3.60, 4.22).expect("valid"),
+        LcMeasurement::new("moses", 2.80, 5.00, 10.53).expect("valid"),
+        LcMeasurement::new("img-dnn", 1.41, 3.40, 3.98).expect("valid"),
+    ];
+    let be_a = vec![BeMeasurement::new("fluidanimate", 2.8, 2.63).expect("valid")];
+    let be_b = vec![BeMeasurement::new("fluidanimate", 2.8, 1.15).expect("valid")];
+    let report_a = model.evaluate(&lc_a, &be_a);
+    let report_b = model.evaluate(&lc_b, &be_b);
+
+    let mut paper_table = TextTable::new(
+        "The paper's Fig. 1 numbers, scored by this implementation",
+        &["strategy", "img-dnn p95", "fluid IPC", "E_LC", "E_BE", "E_S", "yield (5% elastic)"],
+    );
+    for (label, lc, be, r) in [
+        ("A", &lc_a, &be_a, &report_a),
+        ("B", &lc_b, &be_b, &report_b),
+    ] {
+        paper_table.push_row(vec![
+            label.into(),
+            f2(lc[2].observed()),
+            f2(be[0].ipc_real()),
+            f3(r.lc),
+            f3(r.be),
+            f3(r.system),
+            f2(r.yield_fraction),
+        ]);
+    }
+    report.tables.push(paper_table);
+    report.note(format!(
+        "E_S prefers strategy A ({:.3}) over B ({:.3}): the 4.4 % Img-dnn violation is within \
+         the 5 % threshold elasticity, while B's BE collapse is not — the paper's exact \
+         argument.",
+        report_a.system, report_b.system
+    ));
+
+    // --- 2. A simulated analogue ----------------------------------------
+    let mix = mixes::fluidanimate_mix();
+    let loads = [("xapian", 0.3), ("moses", 0.3), ("img-dnn", 0.5)];
+    let machine = MachineConfig::paper_xeon();
+
+    // Strategy A: everything shared — latency a whisker over target,
+    // BE thriving.
+    let mut sim = build_sim(machine, &mix, &loads, cfg.seed);
+    let mut shared = StrategyKind::Unmanaged.build();
+    let a = run_sched(&mut sim, shared.as_mut(), cfg.windows(), &model);
+
+    // Strategy B: a static strict partition biased toward Img-dnn.
+    let mut sim = build_sim(machine, &mix, &loads, cfg.seed);
+    let mut static_b = StaticPartition(Partition::strict(vec![
+        RegionAlloc::new(2, 4),
+        RegionAlloc::new(2, 4),
+        RegionAlloc::new(5, 10), // img-dnn hoards
+        RegionAlloc::new(1, 2),  // fluidanimate gets the sliver
+    ]));
+    let b = run_sched(&mut sim, &mut static_b, cfg.windows(), &model);
+
+    let steady = cfg.steady();
+    let mut sim_table = TextTable::new(
+        "Simulated analogue (A = full sharing, B = static Img-dnn-biased partition)",
+        &["strategy", "img-dnn p95", "fluid IPC", "E_LC", "E_BE", "E_S"],
+    );
+    for (label, r) in [("A (shared)", &a), ("B (strict)", &b)] {
+        sim_table.push_row(vec![
+            label.into(),
+            f2(r.steady_p95("img-dnn", steady).unwrap_or(f64::NAN)),
+            f2(r.steady_ipc("fluidanimate", steady).unwrap_or(f64::NAN)),
+            f3(r.steady_lc_entropy(steady)),
+            f3(r.steady_be_entropy(steady)),
+            f3(r.steady_entropy(steady)),
+        ]);
+    }
+    report.tables.push(sim_table);
+    report.note(
+        "Simulated analogue shape: the BE-crushing strict partition scores a higher E_S than \
+         managed sharing even though its Img-dnn latency is lower."
+            .to_string(),
+    );
+    report
+}
+
+/// A scheduler that installs one fixed partition and never adjusts —
+/// strategy "B" of the motivating example.
+struct StaticPartition(Partition);
+
+impl Scheduler for StaticPartition {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn policy(&self) -> SharingPolicy {
+        SharingPolicy::LcPriority
+    }
+
+    fn initial_partition(&self, _machine: &MachineConfig, _apps: &[AppSpec]) -> Partition {
+        self.0.clone()
+    }
+
+    fn decide(&mut self, _ctx: &SchedContext<'_>) -> Option<Partition> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_prefers_strategy_a_like_the_paper() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 61,
+        };
+        let report = run(&cfg);
+        let t = &report.tables[0];
+        let es = |label: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == label)
+                .and_then(|r| r[5].parse().ok())
+                .expect("strategy row")
+        };
+        assert!(es("A") < es("B"), "A {:.3} must beat B {:.3}", es("A"), es("B"));
+        // The elastic yield forgives A's 4.4 % violation.
+        let yield_a: f64 = t.rows[0][6].parse().unwrap();
+        assert_eq!(yield_a, 1.0);
+        // The simulated analogue points the same way.
+        let sim = &report.tables[1];
+        let es_a: f64 = sim.rows[0][5].parse().unwrap();
+        let es_b: f64 = sim.rows[1][5].parse().unwrap();
+        assert!(es_a < es_b, "simulated A {es_a:.3} vs B {es_b:.3}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 10: entropy heatmaps over the (Xapian load x Img-dnn load) grid,
+//! Moses pinned at 20 %, collocated with STREAM — PARTIES vs ARQ.
+
+use ahq_sim::MachineConfig;
+use ahq_workloads::mixes;
+
+use crate::report::{f2, f3, ExperimentReport, TextTable};
+use crate::runs::{run_strategy, ExpConfig};
+use crate::strategy::StrategyKind;
+
+/// The grid of loads swept on both axes.
+pub fn grid_loads(cfg: &ExpConfig) -> Vec<f64> {
+    if cfg.quick {
+        vec![0.1, 0.5, 0.9]
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    }
+}
+
+/// One strategy's heatmap: `result[(xapian, imgdnn)] = (e_lc, e_be, e_s)`.
+pub fn heatmap(
+    cfg: &ExpConfig,
+    strategy: StrategyKind,
+) -> Vec<((f64, f64), (f64, f64, f64))> {
+    let mix = mixes::stream_mix();
+    let loads = grid_loads(cfg);
+    let mut cells = Vec::new();
+    for &x in &loads {
+        for &i in &loads {
+            let result = run_strategy(
+                cfg,
+                MachineConfig::paper_xeon(),
+                &mix,
+                &[("xapian", x), ("img-dnn", i), ("moses", 0.2)],
+                strategy,
+            );
+            let steady = cfg.steady();
+            cells.push((
+                (x, i),
+                (
+                    result.steady_lc_entropy(steady),
+                    result.steady_be_entropy(steady),
+                    result.steady_entropy(steady),
+                ),
+            ));
+        }
+    }
+    cells
+}
+
+/// Regenerates Fig. 10.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig10", "Fig 10: load-grid heatmaps");
+    let loads = grid_loads(cfg);
+
+    for strategy in [StrategyKind::Parties, StrategyKind::Arq] {
+        let cells = heatmap(cfg, strategy);
+        for (metric, pick) in [("E_LC", 0usize), ("E_BE", 1), ("E_S", 2)] {
+            let mut headers: Vec<String> = vec!["xapian\\img-dnn".into()];
+            headers.extend(loads.iter().map(|l| f2(*l)));
+            let mut t = TextTable::new(
+                format!("{metric} heatmap — {}", strategy.name()),
+                &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+            );
+            for &x in &loads {
+                let mut row = vec![f2(x)];
+                for &i in &loads {
+                    let (e_lc, e_be, e_s) = cells
+                        .iter()
+                        .find(|(k, _)| *k == (x, i))
+                        .map(|(_, v)| *v)
+                        .expect("cell exists");
+                    row.push(f3(match pick {
+                        0 => e_lc,
+                        1 => e_be,
+                        _ => e_s,
+                    }));
+                }
+                t.push_row(row);
+            }
+            report.tables.push(t);
+        }
+    }
+    report.note(
+        "Paper shape: in the low-load corner ARQ's shared region gives the BE application far \
+         more resources (lower E_BE); in the high-load corner the LC applications pull shared \
+         resources, trading E_BE for lower E_LC — both relative to PARTIES."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arq_dominates_the_corners() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 31,
+        };
+        let parties = heatmap(&cfg, StrategyKind::Parties);
+        let arq = heatmap(&cfg, StrategyKind::Arq);
+        let get = |cells: &[((f64, f64), (f64, f64, f64))], k: (f64, f64)| {
+            cells.iter().find(|(c, _)| *c == k).map(|(_, v)| *v).unwrap()
+        };
+        // Low-load corner: ARQ must have lower E_BE.
+        let (_, be_p, _) = get(&parties, (0.1, 0.1));
+        let (_, be_a, _) = get(&arq, (0.1, 0.1));
+        assert!(be_a < be_p, "ARQ E_BE {be_a:.3} vs PARTIES {be_p:.3}");
+        // High-load corner: ARQ must have no worse E_LC and lower E_S.
+        let (lc_p, _, es_p) = get(&parties, (0.9, 0.9));
+        let (lc_a, _, es_a) = get(&arq, (0.9, 0.9));
+        assert!(lc_a <= lc_p + 0.05, "E_LC {lc_a:.3} vs {lc_p:.3}");
+        assert!(es_a <= es_p + 0.02, "E_S {es_a:.3} vs {es_p:.3}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 12: scalability — all six LC applications (Moses, Xapian, Img-dnn,
+//! Sphinx, Masstree, Silo) at 20 % load collocated with two BE
+//! applications (Fluidanimate, Streamcluster), PARTIES vs ARQ.
+
+use ahq_sim::MachineConfig;
+use ahq_workloads::mixes;
+
+use crate::report::{f2, f3, ExperimentReport, TextTable};
+use crate::runs::{run_strategy, ExpConfig};
+use crate::strategy::StrategyKind;
+
+/// Regenerates Fig. 12.
+pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig12", "Fig 12: 6 LC + 2 BE collocation");
+    let mix = mixes::large_mix();
+    let loads: Vec<(&str, f64)> = mix.lc_names().into_iter().map(|n| (n, 0.2)).collect();
+
+    let mut lat_table = TextTable::new(
+        "Per-app p95 (ms) at 20 % load",
+        &["app", "M_i", "parties", "arq"],
+    );
+    let mut ipc_table = TextTable::new("BE IPC", &["app", "ipc_solo", "parties", "arq"]);
+    let mut entropy_table = TextTable::new(
+        "Entropy",
+        &["strategy", "E_LC", "E_BE", "E_S", "yield"],
+    );
+
+    let mut results = Vec::new();
+    for strategy in [StrategyKind::Parties, StrategyKind::Arq] {
+        let result = run_strategy(cfg, MachineConfig::paper_xeon(), &mix, &loads, strategy);
+        let steady = cfg.steady();
+        entropy_table.push_row(vec![
+            strategy.name().into(),
+            f3(result.steady_lc_entropy(steady)),
+            f3(result.steady_be_entropy(steady)),
+            f3(result.steady_entropy(steady)),
+            f2(result.steady_yield(steady)),
+        ]);
+        results.push((strategy, result));
+    }
+
+    for spec in &mix.apps {
+        let steady = cfg.steady();
+        match spec.qos_threshold_ms() {
+            Some(qos) => {
+                let mut row = vec![spec.name().to_owned(), f2(qos)];
+                for (_, result) in &results {
+                    row.push(f2(result.steady_p95(spec.name(), steady).unwrap_or(f64::NAN)));
+                }
+                lat_table.push_row(row);
+            }
+            None => {
+                let mut row = vec![
+                    spec.name().to_owned(),
+                    f2(spec.ipc_solo().expect("BE app")),
+                ];
+                for (_, result) in &results {
+                    row.push(f2(result.steady_ipc(spec.name(), steady).unwrap_or(f64::NAN)));
+                }
+                ipc_table.push_row(row);
+            }
+        }
+    }
+
+    report.tables.push(lat_table);
+    report.tables.push(ipc_table);
+    report.tables.push(entropy_table);
+    report.note(
+        "Paper: doubling the collocation count keeps ARQ effective — it reduces E_S by ~36 % \
+         vs PARTIES (0.33 -> 0.21) by pooling the shared region instead of fragmenting 10 \
+         cores across 8 strict partitions."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arq_scales_better_than_parties() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 41,
+        };
+        let report = run(&cfg);
+        let entropy = report
+            .tables
+            .iter()
+            .find(|t| t.title == "Entropy")
+            .expect("entropy table");
+        let es = |name: &str| -> f64 {
+            entropy
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .and_then(|r| r[3].parse().ok())
+                .expect("strategy row")
+        };
+        assert!(
+            es("arq") < es("parties"),
+            "ARQ E_S {} must beat PARTIES {}",
+            es("arq"),
+            es("parties")
+        );
+    }
+}

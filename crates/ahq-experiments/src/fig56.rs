@@ -1,0 +1,129 @@
+//! Figs. 5 & 6: steady-state resource-allocation snapshots of PARTIES vs
+//! ARQ on the STREAM mix, at low (30 %) and high (90 %) Xapian load.
+//!
+//! The paper's claim: at low load ARQ leaves most resources in the shared
+//! region for the BE application; at high load it channels them to the
+//! loaded LC application instead of fragmenting them across strict
+//! partitions.
+
+use ahq_sim::MachineConfig;
+use ahq_workloads::mixes;
+
+use crate::report::{f2, ExperimentReport, TextTable};
+use crate::runs::{run_strategy, ExpConfig};
+use crate::strategy::StrategyKind;
+
+/// Runs the snapshot experiment at the given Xapian load.
+fn snapshot(cfg: &ExpConfig, id: &str, title: &str, xapian_load: f64) -> ExperimentReport {
+    let mut report = ExperimentReport::new(id, title);
+    let mix = mixes::stream_mix();
+    let loads = [
+        ("xapian", xapian_load),
+        ("moses", 0.2),
+        ("img-dnn", 0.2),
+    ];
+    let machine = MachineConfig::paper_xeon();
+
+    let mut table = TextTable::new(
+        format!(
+            "Final partitions (% of machine), Xapian at {:.0} % load",
+            xapian_load * 100.0
+        ),
+        &["strategy", "region", "cores %", "ways %"],
+    );
+
+    for strategy in [StrategyKind::Parties, StrategyKind::Arq] {
+        let result = run_strategy(cfg, machine, &mix, &loads, strategy);
+        let partition = result.partitions.last().expect("windows ran").clone();
+        for (id, alloc) in partition.iter() {
+            let name = mix.apps[id.index()].name();
+            table.push_row(vec![
+                strategy.name().into(),
+                name.into(),
+                f2(alloc.cores as f64 / machine.cores as f64 * 100.0),
+                f2(alloc.ways as f64 / machine.llc_ways as f64 * 100.0),
+            ]);
+        }
+        table.push_row(vec![
+            strategy.name().into(),
+            "shared".into(),
+            f2(partition.shared_cores(&machine) as f64 / machine.cores as f64 * 100.0),
+            f2(partition.shared_ways(&machine) as f64 / machine.llc_ways as f64 * 100.0),
+        ]);
+
+        let steady = cfg.steady();
+        report.note(format!(
+            "{}: E_LC {:.3}, E_BE {:.3}, E_S {:.3}, stream IPC {:.2}",
+            strategy.name(),
+            result.steady_lc_entropy(steady),
+            result.steady_be_entropy(steady),
+            result.steady_entropy(steady),
+            result.steady_ipc("stream", steady).unwrap_or(f64::NAN),
+        ));
+    }
+
+    report.tables.push(table);
+    report
+}
+
+/// Regenerates Fig. 5 (Xapian at 30 %).
+pub fn run_fig5(cfg: &ExpConfig) -> ExperimentReport {
+    let mut r = snapshot(
+        cfg,
+        "fig5",
+        "Fig 5: allocation snapshot at Xapian 30 %",
+        0.3,
+    );
+    r.note(
+        "Paper shape: PARTIES fences every app; ARQ keeps a large shared region so the BE \
+         application sees far more resources, with E_LC still ~0."
+            .to_string(),
+    );
+    r
+}
+
+/// Regenerates Fig. 6 (Xapian at 90 %).
+pub fn run_fig6(cfg: &ExpConfig) -> ExperimentReport {
+    let mut r = snapshot(
+        cfg,
+        "fig6",
+        "Fig 6: allocation snapshot at Xapian 90 %",
+        0.9,
+    );
+    r.note(
+        "Paper shape: under high load ARQ lets the other LC apps live off the shared region \
+         so the loaded application (Xapian) effectively reaches more resources than under \
+         PARTIES' strict split."
+            .to_string(),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arq_keeps_a_larger_shared_region_at_low_load() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 11,
+        };
+        let report = run_fig5(&cfg);
+        let table = &report.tables[0];
+        let shared_cores = |strategy: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == strategy && r[1] == "shared")
+                .and_then(|r| r[2].parse::<f64>().ok())
+                .expect("shared row")
+        };
+        assert_eq!(shared_cores("parties"), 0.0, "PARTIES is strict");
+        assert!(
+            shared_cores("arq") >= 40.0,
+            "ARQ must keep a large shared region at low load, got {}",
+            shared_cores("arq")
+        );
+    }
+}

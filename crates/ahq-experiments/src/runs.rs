@@ -1,0 +1,211 @@
+//! Shared run machinery: building simulations from mixes, steady-state
+//! windows, and the experiment configuration.
+
+use ahq_core::EntropyModel;
+use ahq_sched::{run, RunResult};
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::mixes::Mix;
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::StrategyKind;
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Shorter runs and coarser sweeps (CI-friendly).
+    pub quick: bool,
+    /// Base RNG seed; every run derives a per-configuration seed from it.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Monitoring windows per run (500 ms each).
+    pub fn windows(&self) -> usize {
+        if self.quick {
+            90
+        } else {
+            240
+        }
+    }
+
+    /// Steady-state windows used for reported averages.
+    pub fn steady(&self) -> usize {
+        if self.quick {
+            30
+        } else {
+            80
+        }
+    }
+
+    /// The entropy model every experiment scores with (paper settings:
+    /// `RI = 0.8`, 5 % elasticity).
+    pub fn model(&self) -> EntropyModel {
+        EntropyModel::default()
+    }
+}
+
+/// Builds a simulation of `mix` on `machine` (normalised against the full
+/// paper machine) with the given per-LC-app loads.
+///
+/// # Panics
+///
+/// Panics on invalid mixes/loads — experiment inputs are static and a
+/// mistake is a bug, not a runtime condition.
+pub fn build_sim(machine: MachineConfig, mix: &Mix, loads: &[(&str, f64)], seed: u64) -> NodeSim {
+    let mut sim = NodeSim::with_reference(
+        machine,
+        MachineConfig::paper_xeon(),
+        mix.apps.clone(),
+        seed,
+    )
+    .expect("experiment mixes are valid");
+    for (name, load) in loads {
+        sim.set_load(name, *load).expect("load targets an LC app");
+    }
+    sim
+}
+
+/// Runs one `(mix, loads, strategy)` configuration to steady state.
+pub fn run_strategy(
+    cfg: &ExpConfig,
+    machine: MachineConfig,
+    mix: &Mix,
+    loads: &[(&str, f64)],
+    strategy: StrategyKind,
+) -> RunResult {
+    let mut sim = build_sim(machine, mix, loads, cfg.seed);
+    let mut sched = strategy.build();
+    run(&mut sim, sched.as_mut(), cfg.windows(), &cfg.model())
+}
+
+/// Mean and spread of a replicated measurement — every headline number in
+/// the paper is a single run on real hardware; the simulator can afford
+/// replication across seeds to quantify run-to-run noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n = 1).
+    pub std_dev: f64,
+    /// Number of replicas.
+    pub n: usize,
+}
+
+impl ReplicatedStats {
+    /// Summarises a sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(ReplicatedStats {
+            mean,
+            std_dev: var.sqrt(),
+            n,
+        })
+    }
+}
+
+/// Replicates one configuration's steady-state `E_S` across `n` seeds.
+pub fn replicate_entropy(
+    cfg: &ExpConfig,
+    machine: MachineConfig,
+    mix: &Mix,
+    loads: &[(&str, f64)],
+    strategy: StrategyKind,
+    n: usize,
+) -> ReplicatedStats {
+    let samples: Vec<f64> = (0..n.max(1))
+        .map(|i| {
+            let seeded = ExpConfig {
+                seed: cfg.seed.wrapping_add(i as u64 * 0x9E37),
+                ..*cfg
+            };
+            run_strategy(&seeded, machine, mix, loads, strategy).steady_entropy(cfg.steady())
+        })
+        .collect();
+    ReplicatedStats::from_samples(&samples).expect("n >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahq_workloads::mixes;
+
+    #[test]
+    fn quick_mode_shrinks_runs() {
+        let quick = ExpConfig {
+            quick: true,
+            ..ExpConfig::default()
+        };
+        let full = ExpConfig::default();
+        assert!(quick.windows() < full.windows());
+        assert!(quick.steady() < full.steady());
+    }
+
+    #[test]
+    fn replicated_stats_math() {
+        let s = ReplicatedStats::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        let single = ReplicatedStats::from_samples(&[5.0]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+        assert!(ReplicatedStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn replication_bounds_run_to_run_noise() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 71,
+        };
+        let mix = mixes::fluidanimate_mix();
+        let stats = replicate_entropy(
+            &cfg,
+            MachineConfig::paper_xeon(),
+            &mix,
+            &[("xapian", 0.5), ("moses", 0.2), ("img-dnn", 0.2)],
+            StrategyKind::Unmanaged,
+            3,
+        );
+        assert_eq!(stats.n, 3);
+        assert!(stats.mean >= 0.0 && stats.mean <= 1.0);
+        assert!(
+            stats.std_dev < 0.1,
+            "steady-state entropy should be stable across seeds: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn build_and_run_smoke() {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 1,
+        };
+        let mix = mixes::fluidanimate_mix();
+        let r = run_strategy(
+            &cfg,
+            MachineConfig::paper_xeon(),
+            &mix,
+            &[("xapian", 0.2), ("moses", 0.2), ("img-dnn", 0.2)],
+            StrategyKind::Unmanaged,
+        );
+        assert_eq!(r.observations.len(), cfg.windows());
+    }
+}

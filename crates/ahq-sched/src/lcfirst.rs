@@ -1,0 +1,39 @@
+use ahq_sim::SharingPolicy;
+
+use crate::{SchedContext, Scheduler};
+
+/// The paper's *LC-first* baseline: everything is still shared (no
+/// partitioning), but LC applications run at real-time priority and
+/// preempt BE threads whenever they are runnable — Linux `SCHED_RR`
+/// semantics.
+///
+/// Protects LC tail latency far better than [`crate::Unmanaged`], at the
+/// price of a substantial increase in BE entropy (the paper's Fig. 8
+/// observation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LcFirst;
+
+impl Scheduler for LcFirst {
+    fn name(&self) -> &'static str {
+        "lc-first"
+    }
+
+    fn policy(&self) -> SharingPolicy {
+        SharingPolicy::LcPriority
+    }
+
+    fn decide(&mut self, _ctx: &SchedContext<'_>) -> Option<ahq_sim::Partition> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_priority_sharing() {
+        assert_eq!(LcFirst.policy(), SharingPolicy::LcPriority);
+        assert_eq!(LcFirst.name(), "lc-first");
+    }
+}

@@ -1,0 +1,121 @@
+//! Bridges simulator observations to the entropy theory's measurement
+//! types.
+
+use ahq_core::{BeMeasurement, LcMeasurement};
+use ahq_sim::WindowObservation;
+
+/// Converts a window observation into the `(LC, BE)` measurement vectors
+/// the entropy model scores.
+///
+/// LC applications that have not completed any request yet (no latency
+/// estimate) are counted at their ideal latency — they have suffered no
+/// observable interference. BE IPC is floored at a tiny positive value so
+/// a fully starved application registers as an (arbitrarily large but
+/// finite) slowdown instead of an invalid measurement.
+pub fn measurements(obs: &WindowObservation) -> (Vec<LcMeasurement>, Vec<BeMeasurement>) {
+    let lc = obs
+        .lc
+        .iter()
+        .map(|s| {
+            let observed = s.p95_ms.unwrap_or(s.ideal_ms).max(s.ideal_ms);
+            LcMeasurement::new(&s.name, s.ideal_ms, observed, s.qos_ms)
+                .expect("simulator guarantees ideal < qos and positive latencies")
+        })
+        .collect();
+    let be = obs
+        .be
+        .iter()
+        .map(|s| {
+            BeMeasurement::new(&s.name, s.ipc_solo, s.ipc.max(s.ipc_solo * 1e-3))
+                .expect("simulator guarantees positive solo IPC")
+        })
+        .collect();
+    (lc, be)
+}
+
+/// Counts the QoS violations in one observation (no elasticity): LC
+/// applications whose p95 exceeded their threshold.
+pub fn violations(obs: &WindowObservation) -> u64 {
+    obs.lc.iter().filter(|s| !s.meets_qos()).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahq_sim::{BeWindowStats, LcWindowStats};
+
+    fn obs() -> WindowObservation {
+        WindowObservation {
+            window_index: 0,
+            start_ms: 0.0,
+            end_ms: 500.0,
+            lc: vec![
+                LcWindowStats {
+                    name: "ok".into(),
+                    p95_ms: Some(2.0),
+                    ideal_ms: 1.0,
+                    qos_ms: 4.0,
+                    load: 0.2,
+                    arrivals: 10,
+                    completions: 10,
+                    drops: 0,
+                    backlog: 0,
+                    mean_core_capacity: 1.0,
+                },
+                LcWindowStats {
+                    name: "fresh".into(),
+                    p95_ms: None,
+                    ideal_ms: 1.0,
+                    qos_ms: 4.0,
+                    load: 0.0,
+                    arrivals: 0,
+                    completions: 0,
+                    drops: 0,
+                    backlog: 0,
+                    mean_core_capacity: 0.0,
+                },
+                LcWindowStats {
+                    name: "bad".into(),
+                    p95_ms: Some(9.0),
+                    ideal_ms: 1.0,
+                    qos_ms: 4.0,
+                    load: 0.9,
+                    arrivals: 10,
+                    completions: 2,
+                    drops: 3,
+                    backlog: 8,
+                    mean_core_capacity: 0.5,
+                },
+            ],
+            be: vec![BeWindowStats {
+                name: "be".into(),
+                ipc: 0.0,
+                ipc_solo: 2.0,
+                mean_core_capacity: 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn conversion_covers_all_apps() {
+        let (lc, be) = measurements(&obs());
+        assert_eq!(lc.len(), 3);
+        assert_eq!(be.len(), 1);
+        assert_eq!(lc[0].observed(), 2.0);
+        // Fresh app measured at its ideal: zero interference.
+        assert_eq!(lc[1].observed(), 1.0);
+        assert_eq!(lc[1].interference(), 0.0);
+    }
+
+    #[test]
+    fn starved_be_app_is_finite_but_awful() {
+        let (_, be) = measurements(&obs());
+        assert!(be[0].slowdown().is_finite());
+        assert!(be[0].slowdown() > 100.0);
+    }
+
+    #[test]
+    fn violation_count() {
+        assert_eq!(violations(&obs()), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! The window-driven scheduling loop: simulate a window, score it with the
+//! entropy model, let the scheduler react, repeat.
+
+use ahq_core::{EntropyModel, EntropyReport};
+use ahq_sim::{NodeSim, Partition, WindowObservation};
+use serde::{Deserialize, Serialize};
+
+use crate::observe;
+use crate::{SchedContext, Scheduler};
+
+/// The full record of one scheduled run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Per-window observations.
+    pub observations: Vec<WindowObservation>,
+    /// Per-window entropy reports (parallel to `observations`).
+    pub entropy: Vec<EntropyReport>,
+    /// Per-window partitions in force (parallel to `observations`).
+    pub partitions: Vec<Partition>,
+    /// Total QoS violations across all windows and LC applications.
+    pub violations: u64,
+    /// Number of partition adjustments the scheduler made.
+    pub adjustments: u64,
+}
+
+impl RunResult {
+    /// Mean system entropy over the last `n` windows (or all, if fewer) —
+    /// the steady-state score experiments report.
+    pub fn steady_entropy(&self, n: usize) -> f64 {
+        let tail: Vec<f64> = self
+            .entropy
+            .iter()
+            .rev()
+            .take(n)
+            .map(|e| e.system)
+            .collect();
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+
+    /// Mean LC entropy over the last `n` windows.
+    pub fn steady_lc_entropy(&self, n: usize) -> f64 {
+        mean(self.entropy.iter().rev().take(n).map(|e| e.lc))
+    }
+
+    /// Mean BE entropy over the last `n` windows.
+    pub fn steady_be_entropy(&self, n: usize) -> f64 {
+        mean(self.entropy.iter().rev().take(n).map(|e| e.be))
+    }
+
+    /// Mean yield over the last `n` windows.
+    pub fn steady_yield(&self, n: usize) -> f64 {
+        mean(self.entropy.iter().rev().take(n).map(|e| e.yield_fraction))
+    }
+
+    /// Mean p95 of one LC application over the last `n` windows.
+    pub fn steady_p95(&self, name: &str, n: usize) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .observations
+            .iter()
+            .rev()
+            .take(n)
+            .filter_map(|o| o.lc_by_name(name).and_then(|s| s.p95_ms))
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Mean IPC of one BE application over the last `n` windows.
+    pub fn steady_ipc(&self, name: &str, n: usize) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .observations
+            .iter()
+            .rev()
+            .take(n)
+            .filter_map(|o| o.be_by_name(name).map(|s| s.ipc))
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Runs `scheduler` over `windows` monitoring windows of `sim`.
+///
+/// Installs the scheduler's initial partition and sharing policy, then per
+/// window: simulate, convert the observation to entropy measurements,
+/// score, hand everything to [`Scheduler::decide`], and apply any
+/// repartition (invalid proposals are ignored — a real controller's
+/// actuation layer would equally refuse them).
+pub fn run(
+    sim: &mut NodeSim,
+    scheduler: &mut dyn Scheduler,
+    windows: usize,
+    model: &EntropyModel,
+) -> RunResult {
+    run_with_hook(sim, scheduler, windows, model, |_, _| {})
+}
+
+/// Like [`run`], but calls `hook(sim, window_index)` *before* each window —
+/// the place to replay load traces (Fig. 13) or inject faults.
+pub fn run_with_hook(
+    sim: &mut NodeSim,
+    scheduler: &mut dyn Scheduler,
+    windows: usize,
+    model: &EntropyModel,
+    mut hook: impl FnMut(&mut NodeSim, usize),
+) -> RunResult {
+    let apps: Vec<ahq_sim::AppSpec> = sim.specs().cloned().collect();
+    sim.set_policy(scheduler.policy());
+    let initial = scheduler.initial_partition(sim.machine(), &apps);
+    // An unsound initial partition is a scheduler bug; surface it loudly.
+    sim.set_partition(initial)
+        .expect("scheduler proposed an invalid initial partition");
+    let adjustments_before = sim.adjustments();
+
+    let mut result = RunResult {
+        strategy: scheduler.name().to_owned(),
+        observations: Vec::with_capacity(windows),
+        entropy: Vec::with_capacity(windows),
+        partitions: Vec::with_capacity(windows),
+        violations: 0,
+        adjustments: 0,
+    };
+
+    for w in 0..windows {
+        hook(sim, w);
+        let partition = sim.partition().clone();
+        let obs = sim.run_window();
+        let (lc, be) = observe::measurements(&obs);
+        let entropy = model.evaluate_auto(&lc, &be);
+        result.violations += observe::violations(&obs);
+
+        let ctx = SchedContext {
+            machine: sim.machine(),
+            apps: &apps,
+            partition: &partition,
+            obs: &obs,
+            entropy: &entropy,
+            now_s: sim.now().as_secs(),
+        };
+        if let Some(next) = scheduler.decide(&ctx) {
+            // Refuse invalid proposals instead of crashing the run.
+            let _ = sim.set_partition(next);
+        }
+
+        result.observations.push(obs);
+        result.entropy.push(entropy);
+        result.partitions.push(partition);
+    }
+    result.adjustments = sim.adjustments() - adjustments_before;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unmanaged;
+    use ahq_sim::{AppSpec, MachineConfig};
+
+    fn sim() -> NodeSim {
+        let lc = AppSpec::lc("svc")
+            .mean_service_ms(1.0)
+            .qos_threshold_ms(5.0)
+            .max_load_qps(2000.0)
+            .build()
+            .unwrap();
+        let be = AppSpec::be("batch").ipc_solo(2.0).build().unwrap();
+        let mut sim = NodeSim::new(MachineConfig::paper_xeon(), vec![lc, be], 9).unwrap();
+        sim.set_load("svc", 0.3).unwrap();
+        sim
+    }
+
+    #[test]
+    fn run_produces_parallel_vectors() {
+        let mut s = sim();
+        let mut sched = Unmanaged;
+        let r = run(&mut s, &mut sched, 5, &EntropyModel::default());
+        assert_eq!(r.observations.len(), 5);
+        assert_eq!(r.entropy.len(), 5);
+        assert_eq!(r.partitions.len(), 5);
+        assert_eq!(r.strategy, "unmanaged");
+    }
+
+    #[test]
+    fn hook_fires_each_window() {
+        let mut s = sim();
+        let mut sched = Unmanaged;
+        let mut fired = Vec::new();
+        run_with_hook(&mut s, &mut sched, 3, &EntropyModel::default(), |_, w| {
+            fired.push(w)
+        });
+        assert_eq!(fired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn steady_state_helpers() {
+        let mut s = sim();
+        let mut sched = Unmanaged;
+        let r = run(&mut s, &mut sched, 6, &EntropyModel::default());
+        let e = r.steady_entropy(3);
+        assert!((0.0..=1.0).contains(&e));
+        assert!(r.steady_p95("svc", 3).is_some());
+        assert!(r.steady_ipc("batch", 3).is_some());
+        assert!(r.steady_p95("nope", 3).is_none());
+        assert!((0.0..=1.0).contains(&r.steady_yield(3)));
+    }
+}

@@ -1,0 +1,44 @@
+use ahq_sim::SharingPolicy;
+
+use crate::{SchedContext, Scheduler};
+
+/// The paper's *Unmanaged* baseline: no isolation, no priorities — every
+/// application shares the whole machine under CFS-style fair scheduling.
+///
+/// This is the strategy that wins at very low load (sharing maximises
+/// utilization) and collapses at high load (nothing protects the LC
+/// applications), exactly as Figs. 8 and 9 show.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unmanaged;
+
+impl Scheduler for Unmanaged {
+    fn name(&self) -> &'static str {
+        "unmanaged"
+    }
+
+    fn policy(&self) -> SharingPolicy {
+        SharingPolicy::Fair
+    }
+
+    fn decide(&mut self, _ctx: &SchedContext<'_>) -> Option<ahq_sim::Partition> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahq_sim::{AppSpec, MachineConfig, Partition};
+
+    #[test]
+    fn never_repartitions() {
+        let apps = vec![AppSpec::be("b").build().unwrap()];
+        let machine = MachineConfig::paper_xeon();
+        let sched = Unmanaged;
+        assert_eq!(
+            sched.initial_partition(&machine, &apps),
+            Partition::all_shared(1)
+        );
+        assert_eq!(sched.policy(), SharingPolicy::Fair);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the schedulers: whatever observations they are
+//! fed, their proposed partitions must stay valid and conserve resources.
+
+use ahq_core::{BeMeasurement, EntropyModel, LcMeasurement};
+use ahq_sched::{Arq, Parties, SchedContext, Scheduler};
+use ahq_sim::{
+    AppSpec, BeWindowStats, LcWindowStats, MachineConfig, Partition, WindowObservation,
+};
+use proptest::prelude::*;
+
+fn apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec::lc("lc0")
+            .mean_service_ms(1.0)
+            .qos_threshold_ms(5.0)
+            .max_load_qps(2000.0)
+            .build()
+            .unwrap(),
+        AppSpec::lc("lc1")
+            .mean_service_ms(1.0)
+            .qos_threshold_ms(8.0)
+            .max_load_qps(1500.0)
+            .build()
+            .unwrap(),
+        AppSpec::be("be0").ipc_solo(2.0).build().unwrap(),
+    ]
+}
+
+/// Builds a synthetic observation from per-LC p95s and a BE IPC.
+fn make_obs(p95s: &[f64], be_ipc: f64, usage: &[f64]) -> WindowObservation {
+    let specs = apps();
+    let lc = specs
+        .iter()
+        .filter(|a| a.qos_threshold_ms().is_some())
+        .zip(p95s.iter())
+        .zip(usage.iter())
+        .map(|((spec, &p95), &u)| LcWindowStats {
+            name: spec.name().to_owned(),
+            p95_ms: Some(p95),
+            ideal_ms: spec.ideal_tail_ms().unwrap(),
+            qos_ms: spec.qos_threshold_ms().unwrap(),
+            load: 0.5,
+            arrivals: 500,
+            completions: 490,
+            drops: 0,
+            backlog: 10,
+            mean_core_capacity: u,
+        })
+        .collect();
+    let be = vec![BeWindowStats {
+        name: "be0".into(),
+        ipc: be_ipc,
+        ipc_solo: 2.0,
+        mean_core_capacity: 2.0,
+    }];
+    WindowObservation {
+        window_index: 0,
+        start_ms: 0.0,
+        end_ms: 500.0,
+        lc,
+        be,
+    }
+}
+
+/// Drives a scheduler through a random observation sequence, validating
+/// every proposed partition and returning the final one.
+fn drive(
+    sched: &mut dyn Scheduler,
+    observations: &[([f64; 2], f64, [f64; 2])],
+) -> Result<Partition, TestCaseError> {
+    let machine = MachineConfig::paper_xeon();
+    let specs = apps();
+    let model = EntropyModel::default();
+    let mut partition = sched.initial_partition(&machine, &specs);
+    prop_assert!(partition.validate(&machine).is_ok());
+    for (i, (p95s, be_ipc, usage)) in observations.iter().enumerate() {
+        let obs = make_obs(p95s, *be_ipc, usage);
+        let lc_m: Vec<LcMeasurement> = obs
+            .lc
+            .iter()
+            .map(|s| LcMeasurement::new(&s.name, s.ideal_ms, s.p95_ms.unwrap(), s.qos_ms).unwrap())
+            .collect();
+        let be_m =
+            vec![BeMeasurement::new("be0", 2.0, be_ipc.max(1e-3)).unwrap()];
+        let entropy = model.evaluate(&lc_m, &be_m);
+        let ctx = SchedContext {
+            machine: &machine,
+            apps: &specs,
+            partition: &partition,
+            obs: &obs,
+            entropy: &entropy,
+            now_s: i as f64 * 0.5,
+        };
+        if let Some(next) = sched.decide(&ctx) {
+            prop_assert!(
+                next.validate(&machine).is_ok(),
+                "invalid proposal from {}: {next:?}",
+                sched.name()
+            );
+            // Nobody may be starved of cores entirely.
+            let shared = next.shared_cores(&machine);
+            for (id, alloc) in next.iter() {
+                prop_assert!(
+                    alloc.cores > 0 || shared > 0,
+                    "{} starves app {id:?}",
+                    sched.name()
+                );
+            }
+            partition = next;
+        }
+    }
+    Ok(partition)
+}
+
+fn observation_seq() -> impl Strategy<Value = Vec<([f64; 2], f64, [f64; 2])>> {
+    prop::collection::vec(
+        (
+            prop::array::uniform2(0.5f64..40.0),
+            0.01f64..2.0,
+            prop::array::uniform2(0.0f64..4.0),
+        ),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ARQ never proposes an invalid or starving partition, whatever it
+    /// observes.
+    #[test]
+    fn arq_partitions_stay_valid(seq in observation_seq()) {
+        let mut arq = Arq::new();
+        drive(&mut arq, &seq)?;
+    }
+
+    /// PARTIES conserves the machine exactly: it is a strict partitioner,
+    /// so every core, way and bandwidth unit stays accounted to some app.
+    #[test]
+    fn parties_conserves_the_machine(seq in observation_seq()) {
+        let machine = MachineConfig::paper_xeon();
+        let mut parties = Parties::new();
+        let final_partition = drive(&mut parties, &seq)?;
+        prop_assert_eq!(final_partition.isolated_cores(), machine.cores);
+        prop_assert_eq!(final_partition.isolated_ways(), machine.llc_ways);
+        prop_assert_eq!(final_partition.isolated_membw_pct(), 100);
+        // Floors: strict partitioning never zeroes anyone out.
+        for (_, alloc) in final_partition.iter() {
+            prop_assert!(alloc.cores >= 1);
+            prop_assert!(alloc.ways >= 1);
+        }
+    }
+
+    /// ARQ's isolated regions never exceed the machine, and the BE app
+    /// never receives an isolated region (it lives in the shared region).
+    #[test]
+    fn arq_never_isolates_the_be_app(seq in observation_seq()) {
+        let mut arq = Arq::new();
+        let p = drive(&mut arq, &seq)?;
+        let machine = MachineConfig::paper_xeon();
+        prop_assert!(p.isolated_cores() <= machine.cores);
+        prop_assert!(p.isolated_ways() <= machine.llc_ways);
+        // App index 2 is the BE app.
+        prop_assert!(p.isolated(2.into()).is_empty(), "BE app got an isolated region");
+    }
+}

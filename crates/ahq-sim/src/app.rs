@@ -1,0 +1,548 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::MissRatioCurve;
+use crate::error::SimError;
+
+/// Index of an application within one simulation. Assigned in registration
+/// order by [`crate::NodeSim::new`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AppId(usize);
+
+impl AppId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for AppId {
+    fn from(value: usize) -> Self {
+        AppId(value)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// Whether an application is latency-critical or best-effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Latency-critical: measured by tail latency against a QoS target.
+    Lc,
+    /// Best-effort: measured by IPC.
+    Be,
+}
+
+/// Cache and memory behaviour of an application: its miss-ratio-curve
+/// parameters plus per-thread bandwidth appetite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheProfile {
+    /// Asymptotic miss ratio (compulsory misses), `[0, 1]`.
+    pub miss_floor: f64,
+    /// Working-set knee in LLC ways.
+    pub footprint_ways: f64,
+    /// Memory intensity: how strongly misses inflate CPI.
+    pub intensity: f64,
+    /// Bandwidth drawn per active thread at the full-cache miss ratio, GB/s.
+    pub bw_gbps_per_thread: f64,
+}
+
+impl CacheProfile {
+    /// A balanced server application: moderate footprint, moderate
+    /// memory intensity.
+    pub fn balanced() -> Self {
+        CacheProfile {
+            miss_floor: 0.10,
+            footprint_ways: 5.0,
+            intensity: 0.8,
+            bw_gbps_per_thread: 1.5,
+        }
+    }
+
+    /// A cache-hungry application (large working set, hurt badly by losing
+    /// ways).
+    pub fn cache_hungry() -> Self {
+        CacheProfile {
+            miss_floor: 0.05,
+            footprint_ways: 9.0,
+            intensity: 1.4,
+            bw_gbps_per_thread: 2.0,
+        }
+    }
+
+    /// A compute-bound application that barely notices the cache.
+    pub fn compute() -> Self {
+        CacheProfile {
+            miss_floor: 0.05,
+            footprint_ways: 2.0,
+            intensity: 0.25,
+            bw_gbps_per_thread: 0.6,
+        }
+    }
+
+    /// A streaming application: the cache cannot hold its working set
+    /// (STREAM-like); extremely bandwidth hungry.
+    pub fn streaming() -> Self {
+        CacheProfile {
+            miss_floor: 0.85,
+            footprint_ways: 1.5,
+            intensity: 2.2,
+            bw_gbps_per_thread: 7.0,
+        }
+    }
+
+    /// A small-footprint latency application (in-memory KV store style).
+    pub fn small_footprint() -> Self {
+        CacheProfile {
+            miss_floor: 0.12,
+            footprint_ways: 3.0,
+            intensity: 0.6,
+            bw_gbps_per_thread: 1.0,
+        }
+    }
+
+    /// Builds the miss-ratio curve normalised against `full_ways`.
+    pub fn curve(&self, full_ways: u32) -> MissRatioCurve {
+        MissRatioCurve::new(self.miss_floor, self.footprint_ways, self.intensity, full_ways)
+    }
+}
+
+/// Latency-critical behavioural parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LcParams {
+    /// Mean per-request service demand at full speed, milliseconds of one
+    /// core's time.
+    pub mean_service_ms: f64,
+    /// Log-normal sigma of the service demand.
+    pub sigma: f64,
+    /// QoS threshold `M_i` in milliseconds.
+    pub qos_threshold_ms: f64,
+    /// Nominal maximum load in QPS (Table IV); experiments express load as
+    /// a fraction of this.
+    pub max_load_qps: f64,
+    /// Maximum outstanding requests (in service + queued). Tailbench-style
+    /// load generators are finitely concurrent, so the backlog an
+    /// overloaded service can build is bounded; further arrivals are
+    /// dropped. `None` derives a default from the max load.
+    pub max_outstanding: Option<u32>,
+}
+
+/// Best-effort behavioural parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct BeParams {
+    /// Aggregate IPC when running alone on the full machine.
+    pub ipc_solo: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum KindParams {
+    Lc(LcParams),
+    Be(BeParams),
+}
+
+/// Full static description of one application in the simulation.
+///
+/// Construct via the builders: [`AppSpec::lc`] for latency-critical
+/// applications, [`AppSpec::be`] for best-effort ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    name: String,
+    threads: u32,
+    cache: CacheProfile,
+    pub(crate) params: KindParams,
+}
+
+impl AppSpec {
+    /// Starts building a latency-critical application.
+    pub fn lc(name: impl Into<String>) -> LcSpecBuilder {
+        LcSpecBuilder {
+            name: name.into(),
+            threads: 4,
+            cache: CacheProfile::balanced(),
+            mean_service_ms: 1.0,
+            sigma: 0.6,
+            qos_threshold_ms: 5.0,
+            max_load_qps: 1000.0,
+            max_outstanding: None,
+        }
+    }
+
+    /// Starts building a best-effort application.
+    pub fn be(name: impl Into<String>) -> BeSpecBuilder {
+        BeSpecBuilder {
+            name: name.into(),
+            threads: 4,
+            cache: CacheProfile::balanced(),
+            ipc_solo: 1.0,
+        }
+    }
+
+    /// The application's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Latency-critical or best-effort.
+    pub fn kind(&self) -> AppKind {
+        match self.params {
+            KindParams::Lc(_) => AppKind::Lc,
+            KindParams::Be(_) => AppKind::Be,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Cache/memory behaviour.
+    pub fn cache_profile(&self) -> &CacheProfile {
+        &self.cache
+    }
+
+    /// QoS threshold `M_i` in milliseconds. `None` for BE applications.
+    pub fn qos_threshold_ms(&self) -> Option<f64> {
+        match &self.params {
+            KindParams::Lc(p) => Some(p.qos_threshold_ms),
+            KindParams::Be(_) => None,
+        }
+    }
+
+    /// Nominal maximum load in QPS. `None` for BE applications.
+    pub fn max_load_qps(&self) -> Option<f64> {
+        match &self.params {
+            KindParams::Lc(p) => Some(p.max_load_qps),
+            KindParams::Be(_) => None,
+        }
+    }
+
+    /// Mean per-request service demand in core-milliseconds. `None` for BE
+    /// applications.
+    pub fn mean_service_ms(&self) -> Option<f64> {
+        match &self.params {
+            KindParams::Lc(p) => Some(p.mean_service_ms),
+            KindParams::Be(_) => None,
+        }
+    }
+
+    /// The maximum outstanding requests for an LC application: the
+    /// configured cap, or a default of `max(32, 40 ms worth of max-load
+    /// arrivals)` — roughly a Tailbench client pool. `None` for BE
+    /// applications.
+    pub fn max_outstanding(&self) -> Option<u32> {
+        match &self.params {
+            KindParams::Lc(p) => Some(
+                p.max_outstanding
+                    .unwrap_or(((p.max_load_qps * 0.04) as u32).max(32)),
+            ),
+            KindParams::Be(_) => None,
+        }
+    }
+
+    /// Solo IPC. `None` for LC applications.
+    pub fn ipc_solo(&self) -> Option<f64> {
+        match &self.params {
+            KindParams::Lc(_) => None,
+            KindParams::Be(p) => Some(p.ipc_solo),
+        }
+    }
+
+    /// The ideal (interference-free) p95 tail latency `TL_i0` in
+    /// milliseconds: the analytic p95 of the service-demand distribution,
+    /// i.e. the latency a request sees on an idle, fully provisioned node.
+    /// `None` for BE applications.
+    pub fn ideal_tail_ms(&self) -> Option<f64> {
+        match &self.params {
+            KindParams::Lc(p) => {
+                Some(p.mean_service_ms * (1.645 * p.sigma - p.sigma * p.sigma / 2.0).exp())
+            }
+            KindParams::Be(_) => None,
+        }
+    }
+
+    /// Returns a copy with the thread count replaced — Fig. 7 runs the LC
+    /// applications with as many threads as cores under test.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Builder for latency-critical [`AppSpec`]s. See [`AppSpec::lc`].
+#[derive(Debug, Clone)]
+pub struct LcSpecBuilder {
+    name: String,
+    threads: u32,
+    cache: CacheProfile,
+    mean_service_ms: f64,
+    sigma: f64,
+    qos_threshold_ms: f64,
+    max_load_qps: f64,
+    max_outstanding: Option<u32>,
+}
+
+impl LcSpecBuilder {
+    /// Sets the worker-thread count (paper default: 4).
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the cache/memory behaviour.
+    pub fn cache(mut self, cache: CacheProfile) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the mean per-request service demand (core-milliseconds at full
+    /// speed).
+    pub fn mean_service_ms(mut self, ms: f64) -> Self {
+        self.mean_service_ms = ms;
+        self
+    }
+
+    /// Sets the log-normal sigma of the service demand (request-size
+    /// variability; larger values fatten the latency tail).
+    pub fn service_sigma(mut self, sigma: f64) -> Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Sets the QoS threshold `M_i` in milliseconds.
+    pub fn qos_threshold_ms(mut self, ms: f64) -> Self {
+        self.qos_threshold_ms = ms;
+        self
+    }
+
+    /// Sets the nominal maximum load in QPS; experiment load fractions are
+    /// relative to this.
+    pub fn max_load_qps(mut self, qps: f64) -> Self {
+        self.max_load_qps = qps;
+        self
+    }
+
+    /// Caps the outstanding requests (in service + queued); arrivals beyond
+    /// the cap are dropped, modelling a finitely concurrent client.
+    pub fn max_outstanding(mut self, cap: u32) -> Self {
+        self.max_outstanding = Some(cap);
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a parameter is
+    /// non-positive/non-finite, or when the QoS threshold does not exceed
+    /// the ideal tail latency implied by the service distribution
+    /// (the entropy theory requires `TL_i0 < M_i`).
+    pub fn build(self) -> Result<AppSpec, SimError> {
+        check_positive("threads", self.threads as f64)?;
+        check_positive("mean_service_ms", self.mean_service_ms)?;
+        check_positive("qos_threshold_ms", self.qos_threshold_ms)?;
+        check_positive("max_load_qps", self.max_load_qps)?;
+        if !self.sigma.is_finite() || self.sigma < 0.0 {
+            return Err(SimError::InvalidConfig {
+                what: "service_sigma",
+                reason: format!("must be finite and non-negative, got {}", self.sigma),
+            });
+        }
+        let spec = AppSpec {
+            name: self.name,
+            threads: self.threads,
+            cache: self.cache,
+            params: KindParams::Lc(LcParams {
+                mean_service_ms: self.mean_service_ms,
+                sigma: self.sigma,
+                qos_threshold_ms: self.qos_threshold_ms,
+                max_load_qps: self.max_load_qps,
+                max_outstanding: self.max_outstanding,
+            }),
+        };
+        let ideal = spec.ideal_tail_ms().expect("LC spec has an ideal tail");
+        if ideal >= self.qos_threshold_ms {
+            return Err(SimError::InvalidConfig {
+                what: "qos_threshold_ms",
+                reason: format!(
+                    "threshold {} must exceed the ideal tail latency {ideal:.3} implied by \
+                     the service distribution",
+                    self.qos_threshold_ms
+                ),
+            });
+        }
+        Ok(spec)
+    }
+}
+
+/// Builder for best-effort [`AppSpec`]s. See [`AppSpec::be`].
+#[derive(Debug, Clone)]
+pub struct BeSpecBuilder {
+    name: String,
+    threads: u32,
+    cache: CacheProfile,
+    ipc_solo: f64,
+}
+
+impl BeSpecBuilder {
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the cache/memory behaviour.
+    pub fn cache(mut self, cache: CacheProfile) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the aggregate IPC measured when running alone on the full
+    /// machine.
+    pub fn ipc_solo(mut self, ipc: f64) -> Self {
+        self.ipc_solo = ipc;
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the thread count or the
+    /// solo IPC is non-positive or non-finite.
+    pub fn build(self) -> Result<AppSpec, SimError> {
+        check_positive("threads", self.threads as f64)?;
+        check_positive("ipc_solo", self.ipc_solo)?;
+        Ok(AppSpec {
+            name: self.name,
+            threads: self.threads,
+            cache: self.cache,
+            params: KindParams::Be(BeParams {
+                ipc_solo: self.ipc_solo,
+            }),
+        })
+    }
+}
+
+fn check_positive(what: &'static str, value: f64) -> Result<(), SimError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(SimError::InvalidConfig {
+            what,
+            reason: format!("must be positive and finite, got {value}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lc() -> AppSpec {
+        AppSpec::lc("xapian")
+            .threads(4)
+            .mean_service_ms(1.0)
+            .service_sigma(0.8)
+            .qos_threshold_ms(4.22)
+            .max_load_qps(3400.0)
+            .cache(CacheProfile::balanced())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lc_builder_round_trips() {
+        let spec = lc();
+        assert_eq!(spec.name(), "xapian");
+        assert_eq!(spec.kind(), AppKind::Lc);
+        assert_eq!(spec.threads(), 4);
+        assert_eq!(spec.qos_threshold_ms(), Some(4.22));
+        assert_eq!(spec.max_load_qps(), Some(3400.0));
+        assert_eq!(spec.ipc_solo(), None);
+    }
+
+    #[test]
+    fn ideal_tail_is_analytic_lognormal_p95() {
+        let spec = lc();
+        // mean 1.0, sigma 0.8: p95 = exp(1.645*0.8 - 0.32) = e^0.996.
+        let expected = (1.645f64 * 0.8 - 0.32).exp();
+        assert!((spec.ideal_tail_ms().unwrap() - expected).abs() < 1e-12);
+        assert!(spec.ideal_tail_ms().unwrap() < spec.qos_threshold_ms().unwrap());
+    }
+
+    #[test]
+    fn qos_must_exceed_ideal_tail() {
+        let err = AppSpec::lc("tight")
+            .mean_service_ms(2.0)
+            .service_sigma(0.8)
+            .qos_threshold_ms(2.0) // below the ~5.4ms ideal tail
+            .build();
+        assert!(matches!(err, Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn be_builder_round_trips() {
+        let spec = AppSpec::be("stream")
+            .threads(10)
+            .ipc_solo(0.9)
+            .cache(CacheProfile::streaming())
+            .build()
+            .unwrap();
+        assert_eq!(spec.kind(), AppKind::Be);
+        assert_eq!(spec.threads(), 10);
+        assert_eq!(spec.ipc_solo(), Some(0.9));
+        assert_eq!(spec.qos_threshold_ms(), None);
+        assert_eq!(spec.ideal_tail_ms(), None);
+    }
+
+    #[test]
+    fn builders_validate_inputs() {
+        assert!(AppSpec::lc("x").mean_service_ms(0.0).build().is_err());
+        assert!(AppSpec::lc("x").max_load_qps(-1.0).build().is_err());
+        assert!(AppSpec::lc("x").service_sigma(f64::NAN).build().is_err());
+        assert!(AppSpec::be("x").ipc_solo(0.0).build().is_err());
+        assert!(AppSpec::be("x").threads(0).build().is_err());
+    }
+
+    #[test]
+    fn with_threads_overrides() {
+        let spec = lc().with_threads(8);
+        assert_eq!(spec.threads(), 8);
+        assert_eq!(lc().with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn cache_presets_are_distinct() {
+        let presets = [
+            CacheProfile::balanced(),
+            CacheProfile::cache_hungry(),
+            CacheProfile::compute(),
+            CacheProfile::streaming(),
+            CacheProfile::small_footprint(),
+        ];
+        for (i, a) in presets.iter().enumerate() {
+            for b in presets.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Streaming is the bandwidth hog of the set.
+        assert!(
+            CacheProfile::streaming().bw_gbps_per_thread
+                > CacheProfile::cache_hungry().bw_gbps_per_thread
+        );
+    }
+
+    #[test]
+    fn app_id_display_and_index() {
+        let id: AppId = 3.into();
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "app#3");
+    }
+}

@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+
+/// The memory-bandwidth contention model.
+///
+/// Each application advertises a bandwidth demand (GB/s) derived from its
+/// active threads, per-thread traffic and current miss ratio. When the
+/// summed demand exceeds the node's capacity, the memory system saturates:
+/// every application's *memory-bound* execution fraction is stretched by
+/// the oversubscription ratio, while its compute-bound fraction is
+/// unaffected. The per-application slowdown is therefore
+///
+/// ```text
+/// speed_mem = 1 / ((1 - mf) + mf / s),   s = capacity / total_demand
+/// ```
+///
+/// where `mf` is the application's memory-bound fraction. This is the
+/// standard fluid "latency-bandwidth knee" approximation: bandwidth hogs
+/// (high `mf`, e.g. STREAM) suffer and inflict the most.
+///
+/// ```
+/// use ahq_sim::BandwidthModel;
+///
+/// let model = BandwidthModel::new(68.0);
+/// // Demand below capacity: nobody slows down.
+/// assert_eq!(model.saturation(40.0), 1.0);
+/// // 2x oversubscription halves the memory-bound part.
+/// let s = model.saturation(136.0);
+/// assert!((s - 0.5).abs() < 1e-12);
+/// assert!((BandwidthModel::memory_slowdown(s, 1.0) - 0.5).abs() < 1e-12);
+/// assert_eq!(BandwidthModel::memory_slowdown(s, 0.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    capacity_gbps: f64,
+}
+
+impl BandwidthModel {
+    /// Creates a model with the given capacity (GB/s); non-positive or
+    /// non-finite capacities are clamped to a small positive floor so the
+    /// model stays total.
+    pub fn new(capacity_gbps: f64) -> Self {
+        let capacity_gbps = if capacity_gbps.is_finite() {
+            capacity_gbps.max(1e-3)
+        } else {
+            1e-3
+        };
+        BandwidthModel { capacity_gbps }
+    }
+
+    /// The node's bandwidth capacity in GB/s.
+    pub fn capacity_gbps(&self) -> f64 {
+        self.capacity_gbps
+    }
+
+    /// The fraction `s` of requested bandwidth the memory system can grant:
+    /// `min(1, capacity / total_demand)`.
+    pub fn saturation(&self, total_demand_gbps: f64) -> f64 {
+        if total_demand_gbps <= self.capacity_gbps {
+            1.0
+        } else {
+            self.capacity_gbps / total_demand_gbps
+        }
+    }
+
+    /// The speed factor an application with memory-bound fraction
+    /// `memory_fraction` retains when the memory system grants fraction
+    /// `saturation` of requested bandwidth.
+    pub fn memory_slowdown(saturation: f64, memory_fraction: f64) -> f64 {
+        let s = saturation.clamp(1e-6, 1.0);
+        let mf = memory_fraction.clamp(0.0, 1.0);
+        1.0 / ((1.0 - mf) + mf / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_is_free() {
+        let m = BandwidthModel::new(68.0);
+        assert_eq!(m.saturation(0.0), 1.0);
+        assert_eq!(m.saturation(68.0), 1.0);
+        assert_eq!(BandwidthModel::memory_slowdown(1.0, 0.8), 1.0);
+    }
+
+    #[test]
+    fn oversubscription_slows_memory_bound_apps_more() {
+        let m = BandwidthModel::new(50.0);
+        let s = m.saturation(100.0);
+        assert!((s - 0.5).abs() < 1e-12);
+        let hog = BandwidthModel::memory_slowdown(s, 0.9);
+        let compute = BandwidthModel::memory_slowdown(s, 0.1);
+        assert!(hog < compute);
+        assert!(hog > 0.5 - 1e-12);
+        assert!(compute > 0.9);
+    }
+
+    #[test]
+    fn slowdown_is_monotone_in_saturation() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let s = i as f64 / 10.0;
+            let v = BandwidthModel::memory_slowdown(s, 0.7);
+            assert!(v > prev);
+            prev = v;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_capacity_is_clamped() {
+        let m = BandwidthModel::new(0.0);
+        assert!(m.capacity_gbps() > 0.0);
+        let m = BandwidthModel::new(f64::NAN);
+        assert!(m.capacity_gbps() > 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+use serde::{Deserialize, Serialize};
+
+/// A per-application miss-ratio curve (MRC) over allocated LLC ways,
+/// together with the CPI model that turns a miss ratio into a speed factor.
+///
+/// The curve is the classic concave-exponential shape used by cache
+/// partitioning studies: with `w` ways the miss ratio is
+///
+/// ```text
+/// miss(w) = m_min + (1 - m_min) * exp(-w / footprint_ways)
+/// ```
+///
+/// `m_min` captures compulsory/streaming misses that no amount of cache
+/// removes; `footprint_ways` is the working-set knee. Speed is derived from
+/// a two-term CPI model — `CPI(w) = CPI_core * (1 + intensity * miss(w))` —
+/// normalised so that the full machine's ways give speed 1:
+///
+/// ```text
+/// speed(w) = (1 + intensity * miss(W_full)) / (1 + intensity * miss(w))
+/// ```
+///
+/// ```
+/// use ahq_sim::MissRatioCurve;
+///
+/// let mrc = MissRatioCurve::new(0.05, 6.0, 1.2, 20);
+/// assert!(mrc.miss_ratio(2.0) > mrc.miss_ratio(10.0)); // monotone
+/// assert!((mrc.speed_factor(20.0) - 1.0).abs() < 1e-12); // normalised
+/// assert!(mrc.speed_factor(2.0) < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// Asymptotic miss ratio with unbounded cache, in `[0, 1]`.
+    m_min: f64,
+    /// Working-set knee in ways; larger values mean more cache-hungry.
+    footprint_ways: f64,
+    /// Memory intensity: how strongly misses inflate CPI.
+    intensity: f64,
+    /// The way count at which the speed factor is defined to be 1.
+    full_ways: u32,
+}
+
+impl MissRatioCurve {
+    /// Creates a curve. Inputs are clamped to sane ranges rather than
+    /// rejected: the curve is an internal model component fed from vetted
+    /// profiles, and clamping keeps it total.
+    pub fn new(m_min: f64, footprint_ways: f64, intensity: f64, full_ways: u32) -> Self {
+        MissRatioCurve {
+            m_min: m_min.clamp(0.0, 1.0),
+            footprint_ways: footprint_ways.max(0.1),
+            intensity: intensity.max(0.0),
+            full_ways: full_ways.max(1),
+        }
+    }
+
+    /// The miss ratio with `ways` effective ways (fractional ways arise
+    /// from shared-region splitting). Clamped below at zero ways.
+    pub fn miss_ratio(&self, ways: f64) -> f64 {
+        let w = ways.max(0.0);
+        self.m_min + (1.0 - self.m_min) * (-w / self.footprint_ways).exp()
+    }
+
+    /// The speed factor (≤ 1 for `ways <= full_ways`) with `ways` effective
+    /// ways, normalised to 1 at the full machine's way count.
+    pub fn speed_factor(&self, ways: f64) -> f64 {
+        let full = 1.0 + self.intensity * self.miss_ratio(self.full_ways as f64);
+        let now = 1.0 + self.intensity * self.miss_ratio(ways);
+        full / now
+    }
+
+    /// The fraction of execution time spent waiting on memory at `ways`
+    /// effective ways — used to size the impact of bandwidth saturation.
+    pub fn memory_fraction(&self, ways: f64) -> f64 {
+        let stall = self.intensity * self.miss_ratio(ways);
+        stall / (1.0 + stall)
+    }
+
+    /// Relative traffic factor: how much more bandwidth the application
+    /// draws at `ways` effective ways than at the full allocation
+    /// (misses drive traffic). Always ≥ 1 for `ways <= full_ways`.
+    pub fn traffic_factor(&self, ways: f64) -> f64 {
+        let full = self.miss_ratio(self.full_ways as f64).max(1e-6);
+        self.miss_ratio(ways) / full
+    }
+
+    /// The memory intensity parameter.
+    pub fn intensity(&self) -> f64 {
+        self.intensity
+    }
+
+    /// The working-set knee in ways.
+    pub fn footprint_ways(&self) -> f64 {
+        self.footprint_ways
+    }
+
+    /// Reparameterises the normalisation point — used when the experiment
+    /// shrinks the machine (Fig. 2 sweeps the way budget) while keeping
+    /// speed 1 defined against the *paper machine's* 20 ways so results
+    /// stay comparable across budgets.
+    pub fn with_full_ways(mut self, full_ways: u32) -> Self {
+        self.full_ways = full_ways.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> MissRatioCurve {
+        MissRatioCurve::new(0.05, 6.0, 1.5, 20)
+    }
+
+    #[test]
+    fn miss_ratio_is_monotone_decreasing() {
+        let c = curve();
+        let mut prev = c.miss_ratio(0.0);
+        assert!((prev - 1.0).abs() < 1e-9, "zero ways miss everything");
+        for w in 1..=30 {
+            let m = c.miss_ratio(w as f64);
+            assert!(m < prev);
+            assert!(m >= 0.05);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn speed_factor_normalised_and_monotone() {
+        let c = curve();
+        assert!((c.speed_factor(20.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for w in 0..=20 {
+            let s = c.speed_factor(w as f64);
+            assert!(s > prev);
+            assert!(s <= 1.0 + 1e-12);
+            prev = s;
+        }
+        // Beyond the normalisation point speed exceeds 1 slightly.
+        assert!(c.speed_factor(40.0) >= 1.0);
+    }
+
+    #[test]
+    fn memory_fraction_in_unit_interval() {
+        let c = curve();
+        for w in 0..=20 {
+            let f = c.memory_fraction(w as f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(c.memory_fraction(1.0) > c.memory_fraction(19.0));
+    }
+
+    #[test]
+    fn traffic_grows_when_cache_shrinks() {
+        let c = curve();
+        assert!(c.traffic_factor(2.0) > c.traffic_factor(10.0));
+        assert!((c.traffic_factor(20.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inputs_are_clamped() {
+        let c = MissRatioCurve::new(-1.0, -5.0, -2.0, 0);
+        assert!(c.miss_ratio(1.0) <= 1.0);
+        assert_eq!(c.intensity(), 0.0);
+        assert!((c.speed_factor(0.0) - 1.0).abs() < 1e-12); // zero intensity
+    }
+
+    #[test]
+    fn renormalisation_changes_reference_point() {
+        let c = curve().with_full_ways(10);
+        assert!((c.speed_factor(10.0) - 1.0).abs() < 1e-12);
+        assert!(c.speed_factor(20.0) > 1.0);
+    }
+}

@@ -1,0 +1,386 @@
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppKind;
+use crate::bandwidth::BandwidthModel;
+use crate::cache::MissRatioCurve;
+use crate::partition::Partition;
+use crate::resources::MachineConfig;
+
+/// How the shared region's cores are divided among the threads that spill
+/// into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SharingPolicy {
+    /// CFS-like fair sharing: every runnable thread gets an equal slice.
+    /// This is the paper's *Unmanaged* strategy.
+    Fair,
+    /// Strict LC priority: LC threads are served first (preempting BE), BE
+    /// threads share what remains. This is the paper's *LC-first* strategy
+    /// and the shared-region discipline of ARQ.
+    LcPriority,
+}
+
+/// One application's instantaneous demand on the fluid contention model.
+#[derive(Debug, Clone)]
+pub struct AppDemand {
+    /// LC or BE.
+    pub kind: AppKind,
+    /// Currently runnable threads: in-service requests for LC, all threads
+    /// for BE.
+    pub busy: u32,
+    /// Miss-ratio curve (normalised against the reference machine).
+    pub curve: MissRatioCurve,
+    /// Bandwidth appetite per running thread at the full-cache miss ratio,
+    /// GB/s.
+    pub bw_per_thread: f64,
+}
+
+/// The instantaneous rates granted to one application by
+/// [`compute_rates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppRates {
+    /// Fractional cores granted (isolated cores actually used plus the
+    /// shared-region grant). Never exceeds `busy`.
+    pub core_capacity: f64,
+    /// Effective LLC ways (isolated plus pressure-weighted shared share).
+    pub effective_ways: f64,
+    /// Cache speed factor in `(0, 1]` (relative to the full machine).
+    pub cache_factor: f64,
+    /// Memory-bandwidth speed factor in `(0, 1]`.
+    pub membw_factor: f64,
+    /// Service progress per running thread: `min(1, capacity/busy) *
+    /// cache_factor * membw_factor`. Equals `cache * membw` when idle.
+    pub speed_per_thread: f64,
+}
+
+/// Mild extra conflict pressure per additional sharer of the shared LLC
+/// ways: beyond the capacity split, co-runners also cause conflict misses
+/// and coherence traffic.
+const SHARED_WAY_CONFLICT: f64 = 0.08;
+
+/// Computes every application's instantaneous resource rates under the
+/// fluid contention model. Pure function of the current demands,
+/// partition, policy and machine; the node calls it whenever the set of
+/// busy threads or the partition changes.
+pub fn compute_rates(
+    machine: &MachineConfig,
+    partition: &Partition,
+    demands: &[AppDemand],
+    policy: SharingPolicy,
+    bw: &BandwidthModel,
+) -> Vec<AppRates> {
+    assert_eq!(
+        partition.num_apps(),
+        demands.len(),
+        "partition and demand vector must cover the same applications"
+    );
+
+    let shared_cores = partition.shared_cores(machine) as f64;
+    let shared_ways = partition.shared_ways(machine) as f64;
+
+    // --- Phase 1: core allocation -------------------------------------
+    // Isolated cores are used up to the owner's busy thread count; the
+    // spill (busy threads beyond isolated cores) competes in the shared
+    // region according to the sharing policy.
+    let iso_use: Vec<f64> = demands
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.busy as f64).min(partition.isolated(i.into()).cores as f64))
+        .collect();
+    let overflow: Vec<f64> = demands
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.busy as f64 - iso_use[i]).max(0.0))
+        .collect();
+
+    let grants = match policy {
+        SharingPolicy::Fair => grant_fairly(&overflow, shared_cores),
+        SharingPolicy::LcPriority => grant_with_priority(demands, &overflow, shared_cores),
+    };
+
+    // --- Phase 2: LLC way division -------------------------------------
+    // Every application's CLOS covers its isolated ways plus the shared
+    // ways; the shared ways are divided by footprint-weighted pressure,
+    // with a mild conflict penalty per extra sharer.
+    let pressures: Vec<f64> = demands
+        .iter()
+        .map(|d| {
+            // Idle applications keep warm data in the cache, so they retain
+            // some pressure even with zero busy threads.
+            d.curve.footprint_ways() * (d.busy as f64).max(0.5)
+        })
+        .collect();
+    let total_pressure: f64 = pressures.iter().sum();
+    let sharers = demands.iter().filter(|d| d.busy > 0).count().max(1);
+    let conflict = 1.0 / (1.0 + SHARED_WAY_CONFLICT * (sharers as f64 - 1.0));
+
+    let effective_ways: Vec<f64> = demands
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let iso = partition.isolated(i.into()).ways as f64;
+            let share = if total_pressure > 0.0 {
+                shared_ways * pressures[i] / total_pressure * conflict
+            } else {
+                0.0
+            };
+            iso + share
+        })
+        .collect();
+
+    // --- Phase 3: bandwidth saturation ---------------------------------
+    // Each application's bandwidth is its MBA-style reservation plus a
+    // demand-proportional share of the unreserved pool; its individual
+    // saturation is what it was granted over what it asked for. With no
+    // reservations this reduces to the global-pool model.
+    let cache_factors: Vec<f64> = demands
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.curve.speed_factor(effective_ways[i]))
+        .collect();
+    let capacities: Vec<f64> = iso_use
+        .iter()
+        .zip(grants.iter())
+        .map(|(iso, grant)| iso + grant)
+        .collect();
+    let bw_demand: Vec<f64> = demands
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.bw_per_thread * capacities[i] * d.curve.traffic_factor(effective_ways[i]))
+        .collect();
+    let reserved: Vec<f64> = (0..demands.len())
+        .map(|i| partition.isolated(i.into()).membw_pct as f64 / 100.0 * bw.capacity_gbps())
+        .collect();
+    let pool = partition.shared_membw_pct() as f64 / 100.0 * bw.capacity_gbps();
+    let unmet: Vec<f64> = bw_demand
+        .iter()
+        .zip(reserved.iter())
+        .map(|(d, r)| (d - r).max(0.0))
+        .collect();
+    let total_unmet: f64 = unmet.iter().sum();
+    let pool_fraction = if total_unmet <= pool {
+        1.0
+    } else {
+        pool / total_unmet
+    };
+    let saturations: Vec<f64> = (0..demands.len())
+        .map(|i| {
+            if bw_demand[i] <= 1e-12 {
+                return 1.0;
+            }
+            let granted = bw_demand[i].min(reserved[i]) + unmet[i] * pool_fraction;
+            (granted / bw_demand[i]).clamp(1e-6, 1.0)
+        })
+        .collect();
+
+    demands
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let membw_factor = BandwidthModel::memory_slowdown(
+                saturations[i],
+                d.curve.memory_fraction(effective_ways[i]),
+            );
+            let core_share = if d.busy > 0 {
+                (capacities[i] / d.busy as f64).min(1.0)
+            } else {
+                1.0
+            };
+            AppRates {
+                core_capacity: capacities[i],
+                effective_ways: effective_ways[i],
+                cache_factor: cache_factors[i],
+                membw_factor,
+                speed_per_thread: core_share * cache_factors[i] * membw_factor,
+            }
+        })
+        .collect()
+}
+
+/// Fair division: every overflowing thread gets the same share of the
+/// shared cores, capped at one core per thread.
+fn grant_fairly(overflow: &[f64], shared_cores: f64) -> Vec<f64> {
+    proportional(overflow, shared_cores)
+}
+
+/// Priority division: LC overflow is served first, BE shares the rest.
+fn grant_with_priority(demands: &[AppDemand], overflow: &[f64], shared_cores: f64) -> Vec<f64> {
+    let lc_overflow: Vec<f64> = demands
+        .iter()
+        .zip(overflow.iter())
+        .map(|(d, &o)| if d.kind == AppKind::Lc { o } else { 0.0 })
+        .collect();
+    let be_overflow: Vec<f64> = demands
+        .iter()
+        .zip(overflow.iter())
+        .map(|(d, &o)| if d.kind == AppKind::Be { o } else { 0.0 })
+        .collect();
+    let lc_grants = proportional(&lc_overflow, shared_cores);
+    let lc_used: f64 = lc_grants.iter().sum();
+    let be_grants = proportional(&be_overflow, (shared_cores - lc_used).max(0.0));
+    lc_grants
+        .iter()
+        .zip(be_grants.iter())
+        .map(|(a, b)| a + b)
+        .collect()
+}
+
+/// Divides `budget` cores across per-application thread demands. Every
+/// thread asks for exactly one core, so CFS-style equal-per-thread sharing
+/// is the same as granting each application `demand * min(1, budget /
+/// total)` — no application ever receives more cores than it has runnable
+/// threads.
+fn proportional(demands: &[f64], budget: f64) -> Vec<f64> {
+    let total: f64 = demands.iter().sum();
+    if total <= budget || total <= 0.0 {
+        return demands.to_vec();
+    }
+    let scale = budget / total;
+    demands.iter().map(|d| d * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::RegionAlloc;
+
+    fn demand(kind: AppKind, _threads: u32, busy: u32) -> AppDemand {
+        AppDemand {
+            kind,
+            busy,
+            curve: MissRatioCurve::new(0.1, 5.0, 0.8, 20),
+            bw_per_thread: 1.0,
+        }
+    }
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_xeon()
+    }
+
+    fn bw() -> BandwidthModel {
+        BandwidthModel::new(machine().membw_gbps)
+    }
+
+    #[test]
+    fn proportional_respects_demand_caps() {
+        let grants = proportional(&[2.0, 4.0, 0.0], 10.0);
+        assert_eq!(grants, vec![2.0, 4.0, 0.0]); // budget exceeds demand
+        let grants = proportional(&[2.0, 2.0], 2.0);
+        assert!((grants[0] - 1.0).abs() < 1e-9);
+        assert!((grants[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_is_per_thread_fair() {
+        // 6 threads share 4 cores: each thread gets 2/3 of a core.
+        let grants = proportional(&[1.0, 5.0], 4.0);
+        assert!((grants[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((grants[1] - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_sharing_splits_evenly() {
+        let demands = vec![demand(AppKind::Lc, 4, 4), demand(AppKind::Be, 4, 4)];
+        let p = Partition::all_shared(2);
+        let rates = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+        // 10 cores for 8 busy threads: everyone fully served.
+        assert!((rates[0].core_capacity - 4.0).abs() < 1e-9);
+        assert!((rates[1].core_capacity - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_sharing_scales_down_when_oversubscribed() {
+        let demands = vec![demand(AppKind::Lc, 8, 8), demand(AppKind::Be, 8, 8)];
+        let m = machine().with_budget(8, 20);
+        let p = Partition::all_shared(2);
+        let rates = compute_rates(&m, &p, &demands, SharingPolicy::Fair, &bw());
+        assert!((rates[0].core_capacity - 4.0).abs() < 1e-9);
+        assert!((rates[1].core_capacity - 4.0).abs() < 1e-9);
+        assert!(rates[0].speed_per_thread < rates[0].cache_factor);
+    }
+
+    #[test]
+    fn lc_priority_starves_be_first() {
+        let demands = vec![demand(AppKind::Lc, 8, 8), demand(AppKind::Be, 8, 8)];
+        let m = machine().with_budget(8, 20);
+        let p = Partition::all_shared(2);
+        let rates = compute_rates(&m, &p, &demands, SharingPolicy::LcPriority, &bw());
+        assert!((rates[0].core_capacity - 8.0).abs() < 1e-9);
+        assert!(rates[1].core_capacity < 1e-9);
+    }
+
+    #[test]
+    fn isolated_cores_are_exclusive_even_when_idle() {
+        // LC app holds 4 isolated cores but is idle; BE wants 8 threads on
+        // the 6 remaining shared cores: the idle isolated cores are wasted,
+        // exactly the Fig. 4(b) phenomenon.
+        let demands = vec![demand(AppKind::Lc, 4, 0), demand(AppKind::Be, 8, 8)];
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(0.into(), RegionAlloc::new(4, 0));
+        let rates = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+        assert_eq!(rates[0].core_capacity, 0.0);
+        assert!((rates[1].core_capacity - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_ways_add_to_effective_ways() {
+        let demands = vec![demand(AppKind::Lc, 4, 4), demand(AppKind::Be, 4, 4)];
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(0.into(), RegionAlloc::new(0, 10));
+        let rates = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+        assert!(rates[0].effective_ways > 10.0);
+        assert!(rates[1].effective_ways < 10.0);
+        // Conservation (up to the deliberate conflict penalty).
+        let total = rates[0].effective_ways + rates[1].effective_ways;
+        assert!(total <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn busy_app_pressures_cache_harder() {
+        let demands = vec![demand(AppKind::Lc, 4, 4), demand(AppKind::Lc, 4, 1)];
+        let p = Partition::all_shared(2);
+        let rates = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+        assert!(rates[0].effective_ways > rates[1].effective_ways);
+    }
+
+    #[test]
+    fn bandwidth_hog_triggers_saturation() {
+        let mut hog = demand(AppKind::Be, 10, 10);
+        hog.bw_per_thread = 7.0;
+        hog.curve = MissRatioCurve::new(0.85, 1.5, 2.2, 20);
+        let victim = demand(AppKind::Lc, 4, 4);
+        let p = Partition::all_shared(2);
+        // A memory system sized so the hog's demand clearly exceeds it.
+        let tight_bw = BandwidthModel::new(30.0);
+        let rates = compute_rates(
+            &machine(),
+            &p,
+            &[victim.clone(), hog],
+            SharingPolicy::Fair,
+            &tight_bw,
+        );
+        assert!(
+            rates[0].membw_factor < 1.0,
+            "victim should feel bandwidth pressure, got {}",
+            rates[0].membw_factor
+        );
+        // Without the hog there is no pressure.
+        let solo = compute_rates(&machine(), &Partition::all_shared(1), &[victim], SharingPolicy::Fair, &bw());
+        assert!((solo[0].membw_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_app_has_neutral_thread_speed() {
+        let demands = vec![demand(AppKind::Lc, 4, 0)];
+        let p = Partition::all_shared(1);
+        let rates = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+        assert!(rates[0].speed_per_thread > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same applications")]
+    fn mismatched_lengths_panic() {
+        let demands = vec![demand(AppKind::Lc, 4, 4)];
+        let p = Partition::all_shared(2);
+        compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+    }
+}

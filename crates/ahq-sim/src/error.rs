@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced while configuring or driving the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A numeric configuration value was invalid.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Human-readable explanation of the constraint.
+        reason: String,
+    },
+    /// A partition referenced an unknown application or oversubscribed the
+    /// machine.
+    InvalidPartition {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An application name was not found in the simulation.
+    UnknownApp {
+        /// The offending name.
+        name: String,
+    },
+    /// Two applications were registered under the same name.
+    DuplicateApp {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An operation that only applies to one kind of application (LC / BE)
+    /// was invoked on the other kind.
+    WrongKind {
+        /// The application name.
+        name: String,
+        /// What was attempted.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { what, reason } => {
+                write!(f, "invalid configuration for {what}: {reason}")
+            }
+            SimError::InvalidPartition { reason } => write!(f, "invalid partition: {reason}"),
+            SimError::UnknownApp { name } => write!(f, "unknown application {name:?}"),
+            SimError::DuplicateApp { name } => {
+                write!(f, "application {name:?} registered twice")
+            }
+            SimError::WrongKind { name, operation } => {
+                write!(f, "operation {operation:?} does not apply to application {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_offenders() {
+        let err = SimError::UnknownApp {
+            name: "xapian".into(),
+        };
+        assert!(err.to_string().contains("xapian"));
+        let err = SimError::InvalidPartition {
+            reason: "14 cores exceed machine capacity of 10".into(),
+        };
+        assert!(err.to_string().contains("14 cores"));
+    }
+}

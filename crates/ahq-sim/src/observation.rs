@@ -1,0 +1,166 @@
+use serde::{Deserialize, Serialize};
+
+/// Per-window statistics for one latency-critical application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LcWindowStats {
+    /// Application name.
+    pub name: String,
+    /// Estimated p95 tail latency in milliseconds, `None` until the first
+    /// request completes.
+    pub p95_ms: Option<f64>,
+    /// The application's ideal tail latency `TL_i0` (ms).
+    pub ideal_ms: f64,
+    /// The application's QoS threshold `M_i` (ms).
+    pub qos_ms: f64,
+    /// Offered load as a fraction of the nominal maximum load.
+    pub load: f64,
+    /// Requests that arrived during the window.
+    pub arrivals: u64,
+    /// Requests that completed during the window.
+    pub completions: u64,
+    /// Requests dropped during the window because the client pool was
+    /// exhausted (timeouts, from the user's point of view).
+    pub drops: u64,
+    /// Requests waiting or in service at window end.
+    pub backlog: usize,
+    /// Time-averaged fractional cores the application actually held.
+    pub mean_core_capacity: f64,
+}
+
+impl LcWindowStats {
+    /// Whether the QoS target was met this window (no elasticity). A
+    /// window that dropped requests can never meet QoS: those users saw a
+    /// timeout.
+    pub fn meets_qos(&self) -> bool {
+        if self.drops > 0 {
+            return false;
+        }
+        match self.p95_ms {
+            Some(p95) => p95 <= self.qos_ms,
+            None => true,
+        }
+    }
+
+    /// The PARTIES-style latency slack: `(M_i - p95) / M_i`. Positive while
+    /// within QoS. Falls back to full slack before any completion.
+    pub fn slack(&self) -> f64 {
+        match self.p95_ms {
+            Some(p95) => (self.qos_ms - p95) / self.qos_ms,
+            None => 1.0,
+        }
+    }
+}
+
+/// Per-window statistics for one best-effort application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeWindowStats {
+    /// Application name.
+    pub name: String,
+    /// Aggregate IPC achieved this window.
+    pub ipc: f64,
+    /// Aggregate IPC the application achieves alone on the reference
+    /// machine.
+    pub ipc_solo: f64,
+    /// Time-averaged fractional cores the application actually held.
+    pub mean_core_capacity: f64,
+}
+
+impl BeWindowStats {
+    /// Slowdown relative to solo execution, `>= 1`.
+    pub fn slowdown(&self) -> f64 {
+        if self.ipc <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.ipc_solo / self.ipc).max(1.0)
+        }
+    }
+}
+
+/// Everything a scheduler gets to see at the end of one monitoring window
+/// — the simulator's analogue of reading latency histograms and IPC
+/// counters every 500 ms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowObservation {
+    /// Zero-based index of the window since simulation start.
+    pub window_index: u64,
+    /// Window start time in milliseconds.
+    pub start_ms: f64,
+    /// Window end time in milliseconds.
+    pub end_ms: f64,
+    /// LC application stats, in registration order.
+    pub lc: Vec<LcWindowStats>,
+    /// BE application stats, in registration order.
+    pub be: Vec<BeWindowStats>,
+}
+
+impl WindowObservation {
+    /// Looks up an LC application's stats by name.
+    pub fn lc_by_name(&self, name: &str) -> Option<&LcWindowStats> {
+        self.lc.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a BE application's stats by name.
+    pub fn be_by_name(&self, name: &str) -> Option<&BeWindowStats> {
+        self.be.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lc_stats(p95: Option<f64>) -> LcWindowStats {
+        LcWindowStats {
+            name: "x".into(),
+            p95_ms: p95,
+            ideal_ms: 1.0,
+            qos_ms: 4.0,
+            load: 0.5,
+            arrivals: 100,
+            completions: 99,
+            drops: 0,
+            backlog: 1,
+            mean_core_capacity: 2.0,
+        }
+    }
+
+    #[test]
+    fn qos_and_slack() {
+        let ok = lc_stats(Some(3.0));
+        assert!(ok.meets_qos());
+        assert!((ok.slack() - 0.25).abs() < 1e-12);
+        let bad = lc_stats(Some(5.0));
+        assert!(!bad.meets_qos());
+        assert!(bad.slack() < 0.0);
+        let fresh = lc_stats(None);
+        assert!(fresh.meets_qos());
+        assert_eq!(fresh.slack(), 1.0);
+    }
+
+    #[test]
+    fn be_slowdown_floors_at_one() {
+        let s = BeWindowStats {
+            name: "b".into(),
+            ipc: 2.0,
+            ipc_solo: 1.5,
+            mean_core_capacity: 4.0,
+        };
+        assert_eq!(s.slowdown(), 1.0);
+        let s = BeWindowStats { ipc: 0.75, ..s };
+        assert!((s.slowdown() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let obs = WindowObservation {
+            window_index: 0,
+            start_ms: 0.0,
+            end_ms: 500.0,
+            lc: vec![lc_stats(Some(1.0))],
+            be: vec![],
+        };
+        assert!(obs.lc_by_name("x").is_some());
+        assert!(obs.lc_by_name("y").is_none());
+        assert!(obs.be_by_name("x").is_none());
+    }
+}

@@ -1,0 +1,275 @@
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppId;
+use crate::error::SimError;
+use crate::resources::MachineConfig;
+
+/// The resources held by one isolated region: a number of exclusive cores,
+/// exclusive LLC ways, and a reserved share of the memory bandwidth
+/// (MBA-style, in percent of the node's peak; 0 means the region draws
+/// from the shared bandwidth pool like everyone else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct RegionAlloc {
+    /// Exclusive cores.
+    pub cores: u32,
+    /// Exclusive LLC ways.
+    pub ways: u32,
+    /// Reserved memory bandwidth, percent of the node's peak.
+    pub membw_pct: u32,
+}
+
+impl RegionAlloc {
+    /// An empty region (no isolated resources).
+    pub const EMPTY: RegionAlloc = RegionAlloc {
+        cores: 0,
+        ways: 0,
+        membw_pct: 0,
+    };
+
+    /// Creates an allocation of cores and ways with no bandwidth
+    /// reservation.
+    pub fn new(cores: u32, ways: u32) -> Self {
+        RegionAlloc {
+            cores,
+            ways,
+            membw_pct: 0,
+        }
+    }
+
+    /// Adds a reserved bandwidth share (percent of peak).
+    pub fn with_membw(mut self, pct: u32) -> Self {
+        self.membw_pct = pct;
+        self
+    }
+
+    /// Whether this region holds no resources at all.
+    pub fn is_empty(&self) -> bool {
+        self.cores == 0 && self.ways == 0 && self.membw_pct == 0
+    }
+}
+
+/// A partition of the machine into per-application *isolated regions* plus
+/// one implicit *shared region* that receives every core and way not
+/// isolated to anyone.
+///
+/// This single representation covers every strategy in the paper:
+///
+/// * **Unmanaged / LC-first** — all isolated regions empty; everything is
+///   shared (they differ only in how the shared cores are divided).
+/// * **PARTIES / CLITE** — every application holds an isolated region and
+///   the shared region is (close to) empty: strict partitioning.
+/// * **ARQ** — LC applications hold isolated regions sized by feedback; BE
+///   applications hold none and live in the shared region, which LC
+///   applications may also overflow into.
+///
+/// ```
+/// use ahq_sim::{MachineConfig, Partition, RegionAlloc};
+///
+/// let machine = MachineConfig::paper_xeon();
+/// let mut p = Partition::all_shared(3);
+/// p.set_isolated(0.into(), RegionAlloc::new(2, 5));
+/// assert_eq!(p.shared_cores(&machine), 8);
+/// assert_eq!(p.shared_ways(&machine), 15);
+/// assert!(p.validate(&machine).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    isolated: Vec<RegionAlloc>,
+}
+
+impl Partition {
+    /// A partition where every application's isolated region is empty:
+    /// the whole machine is one shared region.
+    pub fn all_shared(num_apps: usize) -> Self {
+        Partition {
+            isolated: vec![RegionAlloc::EMPTY; num_apps],
+        }
+    }
+
+    /// A strict partition built from explicit per-application allocations.
+    pub fn strict(allocs: Vec<RegionAlloc>) -> Self {
+        Partition { isolated: allocs }
+    }
+
+    /// Number of applications this partition covers.
+    pub fn num_apps(&self) -> usize {
+        self.isolated.len()
+    }
+
+    /// The isolated region of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range for this partition.
+    pub fn isolated(&self, app: AppId) -> RegionAlloc {
+        self.isolated[app.index()]
+    }
+
+    /// Replaces the isolated region of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range for this partition.
+    pub fn set_isolated(&mut self, app: AppId, alloc: RegionAlloc) {
+        self.isolated[app.index()] = alloc;
+    }
+
+    /// Sum of all isolated cores.
+    pub fn isolated_cores(&self) -> u32 {
+        self.isolated.iter().map(|a| a.cores).sum()
+    }
+
+    /// Sum of all isolated ways.
+    pub fn isolated_ways(&self) -> u32 {
+        self.isolated.iter().map(|a| a.ways).sum()
+    }
+
+    /// Sum of all reserved bandwidth shares (percent).
+    pub fn isolated_membw_pct(&self) -> u32 {
+        self.isolated.iter().map(|a| a.membw_pct).sum()
+    }
+
+    /// The bandwidth share left to the shared pool (percent).
+    pub fn shared_membw_pct(&self) -> u32 {
+        100u32.saturating_sub(self.isolated_membw_pct())
+    }
+
+    /// Cores left to the shared region on `machine`.
+    pub fn shared_cores(&self, machine: &MachineConfig) -> u32 {
+        machine.cores.saturating_sub(self.isolated_cores())
+    }
+
+    /// LLC ways left to the shared region on `machine`.
+    pub fn shared_ways(&self, machine: &MachineConfig) -> u32 {
+        machine.llc_ways.saturating_sub(self.isolated_ways())
+    }
+
+    /// Validates that the isolated regions fit within the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPartition`] when the summed isolated
+    /// cores or ways exceed the machine's capacity.
+    pub fn validate(&self, machine: &MachineConfig) -> Result<(), SimError> {
+        let cores = self.isolated_cores();
+        if cores > machine.cores {
+            return Err(SimError::InvalidPartition {
+                reason: format!(
+                    "{cores} isolated cores exceed machine capacity of {}",
+                    machine.cores
+                ),
+            });
+        }
+        let ways = self.isolated_ways();
+        if ways > machine.llc_ways {
+            return Err(SimError::InvalidPartition {
+                reason: format!(
+                    "{ways} isolated LLC ways exceed machine capacity of {}",
+                    machine.llc_ways
+                ),
+            });
+        }
+        let membw = self.isolated_membw_pct();
+        if membw > 100 {
+            return Err(SimError::InvalidPartition {
+                reason: format!("{membw} % reserved memory bandwidth exceeds 100 %"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The set of applications whose isolated allocation differs between
+    /// `self` and `other` — i.e. who will pay a warm-up penalty when
+    /// switching from one to the other. A change in the shared region size
+    /// affects everyone who uses the shared region; the caller handles
+    /// that separately.
+    pub fn changed_apps(&self, other: &Partition) -> Vec<AppId> {
+        self.isolated
+            .iter()
+            .zip(other.isolated.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| AppId::from(i))
+            .collect()
+    }
+
+    /// Iterates over `(AppId, RegionAlloc)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, RegionAlloc)> + '_ {
+        self.isolated
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (AppId::from(i), a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shared_has_empty_regions() {
+        let p = Partition::all_shared(4);
+        assert_eq!(p.num_apps(), 4);
+        assert!(p.iter().all(|(_, a)| a.is_empty()));
+        let m = MachineConfig::paper_xeon();
+        assert_eq!(p.shared_cores(&m), 10);
+        assert_eq!(p.shared_ways(&m), 20);
+    }
+
+    #[test]
+    fn strict_partition_accounts_resources() {
+        let m = MachineConfig::paper_xeon();
+        let p = Partition::strict(vec![
+            RegionAlloc::new(3, 6),
+            RegionAlloc::new(4, 8),
+            RegionAlloc::new(3, 6),
+        ]);
+        assert_eq!(p.isolated_cores(), 10);
+        assert_eq!(p.shared_cores(&m), 0);
+        assert_eq!(p.shared_ways(&m), 0);
+        assert!(p.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn oversubscription_is_rejected() {
+        let m = MachineConfig::paper_xeon();
+        let p = Partition::strict(vec![RegionAlloc::new(6, 4), RegionAlloc::new(5, 4)]);
+        assert!(p.validate(&m).is_err());
+        let p = Partition::strict(vec![RegionAlloc::new(2, 12), RegionAlloc::new(2, 12)]);
+        assert!(p.validate(&m).is_err());
+    }
+
+    #[test]
+    fn changed_apps_detects_diffs() {
+        let mut a = Partition::all_shared(3);
+        let mut b = a.clone();
+        assert!(a.changed_apps(&b).is_empty());
+        b.set_isolated(1.into(), RegionAlloc::new(1, 0));
+        assert_eq!(a.changed_apps(&b), vec![AppId::from(1)]);
+        a.set_isolated(2.into(), RegionAlloc::new(0, 3));
+        let mut diff = a.changed_apps(&b);
+        diff.sort();
+        assert_eq!(diff, vec![AppId::from(1), AppId::from(2)]);
+    }
+
+    #[test]
+    fn membw_accounting_and_validation() {
+        let m = MachineConfig::paper_xeon();
+        let mut p = Partition::all_shared(2);
+        assert_eq!(p.shared_membw_pct(), 100);
+        p.set_isolated(0.into(), RegionAlloc::new(2, 4).with_membw(30));
+        assert_eq!(p.isolated_membw_pct(), 30);
+        assert_eq!(p.shared_membw_pct(), 70);
+        assert!(p.validate(&m).is_ok());
+        p.set_isolated(1.into(), RegionAlloc::new(2, 4).with_membw(80));
+        assert!(p.validate(&m).is_err(), "110 % reserved must be rejected");
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(0.into(), RegionAlloc::new(2, 7));
+        assert_eq!(p.isolated(0.into()), RegionAlloc::new(2, 7));
+        assert_eq!(p.isolated(1.into()), RegionAlloc::EMPTY);
+    }
+}

@@ -1,0 +1,105 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Static description of the simulated node's hardware resources.
+///
+/// Mirrors the paper's experimental platform (Table III): an Intel Xeon
+/// E5-2630 v4 with 10 cores, a 20-way 25 MB LLC and DDR4-2400 memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of physical cores (Hyper-Threading disabled, as in the paper).
+    pub cores: u32,
+    /// Number of LLC ways available to CAT-style partitioning.
+    pub llc_ways: u32,
+    /// Peak memory bandwidth in GB/s.
+    pub membw_gbps: f64,
+}
+
+impl MachineConfig {
+    /// The paper's testbed: 10 cores, 20 LLC ways, quad-channel DDR4-2400
+    /// (~68 GB/s peak).
+    pub fn paper_xeon() -> Self {
+        MachineConfig {
+            cores: 10,
+            llc_ways: 20,
+            membw_gbps: 68.0,
+        }
+    }
+
+    /// A machine with a different core / way budget but the paper's memory
+    /// system — used by the resource-scaling experiments (Fig. 2, Fig. 3).
+    pub fn with_budget(self, cores: u32, llc_ways: u32) -> Self {
+        MachineConfig {
+            cores,
+            llc_ways,
+            ..self
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any resource count is zero or
+    /// the bandwidth is not a positive finite number.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "cores",
+                reason: "at least one core is required".into(),
+            });
+        }
+        if self.llc_ways == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "llc_ways",
+                reason: "at least one LLC way is required".into(),
+            });
+        }
+        if !self.membw_gbps.is_finite() || self.membw_gbps <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                what: "membw_gbps",
+                reason: format!("must be positive and finite, got {}", self.membw_gbps),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_xeon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_xeon_matches_table3() {
+        let m = MachineConfig::paper_xeon();
+        assert_eq!(m.cores, 10);
+        assert_eq!(m.llc_ways, 20);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn with_budget_preserves_memory_system() {
+        let m = MachineConfig::paper_xeon().with_budget(6, 12);
+        assert_eq!(m.cores, 6);
+        assert_eq!(m.llc_ways, 12);
+        assert_eq!(m.membw_gbps, MachineConfig::paper_xeon().membw_gbps);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_machines() {
+        assert!(MachineConfig::paper_xeon().with_budget(0, 20).validate().is_err());
+        assert!(MachineConfig::paper_xeon().with_budget(10, 0).validate().is_err());
+        let mut m = MachineConfig::paper_xeon();
+        m.membw_gbps = 0.0;
+        assert!(m.validate().is_err());
+        m.membw_gbps = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,145 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time with microsecond resolution.
+///
+/// A newtype over `u64` microseconds: cheap to copy, totally ordered, and
+/// immune to the unit confusion that plagues mixed ms/µs code.
+///
+/// ```
+/// use ahq_sim::SimTime;
+///
+/// let t = SimTime::from_ms(1.5) + SimTime::from_us(250);
+/// assert_eq!(t.as_us(), 1750);
+/// assert!((t.as_ms() - 1.75).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant, used as "never" for inactive
+    /// event sources.
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from (possibly fractional) milliseconds, rounding to
+    /// the nearest microsecond. Negative or non-finite inputs saturate to
+    /// zero — callers feed in computed spans that may carry `-1e-17` noise.
+    pub fn from_ms(ms: f64) -> Self {
+        if !ms.is_finite() || ms <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((ms * 1_000.0).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Creates a time from (possibly fractional) seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        Self::from_ms(secs * 1_000.0)
+    }
+
+    /// This instant in whole microseconds.
+    pub fn as_us(&self) -> u64 {
+        self.0
+    }
+
+    /// This instant in milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant in seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(&self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// Saturating subtraction; clock arithmetic never underflows.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "never")
+        } else {
+            write!(f, "{:.3}ms", self.as_ms())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(2.5);
+        assert_eq!(t.as_us(), 2500);
+        assert!((t.as_ms() - 2.5).abs() < 1e-12);
+        assert!((SimTime::from_secs(0.25).as_ms() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_saturate_to_zero() {
+        assert_eq!(SimTime::from_ms(-0.001), SimTime::ZERO);
+        assert_eq!(SimTime::from_ms(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_ms(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime::from_us(3) - SimTime::from_us(5), SimTime::ZERO);
+        assert_eq!(SimTime::NEVER + SimTime::from_us(1), SimTime::NEVER);
+        assert_eq!(
+            SimTime::from_us(7).since(SimTime::from_us(2)),
+            SimTime::from_us(5)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_ms(1.5).to_string(), "1.500ms");
+        assert_eq!(SimTime::NEVER.to_string(), "never");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_us(10) < SimTime::from_us(11));
+        assert!(SimTime::NEVER > SimTime::from_secs(1e6));
+    }
+}

@@ -1,0 +1,261 @@
+//! Whole-run latency tracing: logarithmically bucketed histograms with
+//! percentile queries.
+//!
+//! The per-window p95 in [`crate::LcWindowStats`] is what schedulers see;
+//! experiments that want the *full* latency distribution over a run (for
+//! CDF plots, deep-tail studies, or cross-checking the windowed
+//! estimates) enable tracing on the node and read these histograms back.
+
+use serde::{Deserialize, Serialize};
+
+/// A logarithmically bucketed latency histogram.
+///
+/// Buckets grow geometrically from `min_ms` by `growth` per bucket, so a
+/// fixed number of buckets spans microseconds to minutes with bounded
+/// relative error (≈ `growth - 1` per quantile query).
+///
+/// ```
+/// use ahq_sim::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64 / 100.0); // 0.01 .. 10 ms uniform
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((4.0..6.5).contains(&p50), "median ~5ms, got {p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    min_ms: f64,
+    growth: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    count: u64,
+    sum_ms: f64,
+    max_ms: f64,
+}
+
+impl LatencyHistogram {
+    /// Default geometry: 256 buckets from 1 µs growing 7 % per bucket —
+    /// covers 1 µs to ~3 hours with ≤ 7 % relative quantile error.
+    pub fn new() -> Self {
+        Self::with_geometry(1e-3, 1.07, 256)
+    }
+
+    /// Custom geometry. Inputs are clamped to sane ranges.
+    pub fn with_geometry(min_ms: f64, growth: f64, buckets: usize) -> Self {
+        LatencyHistogram {
+            min_ms: if min_ms.is_finite() && min_ms > 0.0 {
+                min_ms
+            } else {
+                1e-3
+            },
+            growth: if growth.is_finite() { growth.max(1.001) } else { 1.07 },
+            buckets: vec![0; buckets.clamp(8, 4096)],
+            underflow: 0,
+            count: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    fn bucket_index(&self, ms: f64) -> Option<usize> {
+        if ms < self.min_ms {
+            return None;
+        }
+        let idx = (ms / self.min_ms).ln() / self.growth.ln();
+        Some((idx as usize).min(self.buckets.len() - 1))
+    }
+
+    /// The lower bound of bucket `i` in milliseconds.
+    fn bucket_floor(&self, i: usize) -> f64 {
+        self.min_ms * self.growth.powi(i as i32)
+    }
+
+    /// Records one latency (ms). Non-finite or negative samples are
+    /// ignored.
+    pub fn record(&mut self, ms: f64) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.sum_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+        match self.bucket_index(ms) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (ms), `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ms / self.count as f64)
+    }
+
+    /// Largest recorded latency (ms), `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max_ms)
+    }
+
+    /// The `q`-quantile (ms) with the histogram's relative error, `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return Some(self.min_ms);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                // Geometric midpoint of the bucket.
+                return Some(self.bucket_floor(i) * self.growth.sqrt());
+            }
+        }
+        Some(self.max_ms)
+    }
+
+    /// Merges another histogram (must share the geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.min_ms, other.min_ms, "geometry mismatch");
+        assert_eq!(self.growth, other.growth, "geometry mismatch");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "geometry mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+
+    /// A compact percentile summary.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        (self.count > 0).then(|| HistogramSummary {
+            count: self.count,
+            mean_ms: self.mean().expect("non-empty"),
+            p50_ms: self.quantile(0.50).expect("non-empty"),
+            p90_ms: self.quantile(0.90).expect("non-empty"),
+            p95_ms: self.quantile(0.95).expect("non-empty"),
+            p99_ms: self.quantile(0.99).expect("non-empty"),
+            max_ms: self.max_ms,
+        })
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Percentile summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_accurate() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64 / 1000.0); // 1 µs steps up to 10 ms
+        }
+        let s = h.summary().unwrap();
+        assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        assert!((s.p50_ms - 5.0).abs() / 5.0 < 0.08, "p50 {}", s.p50_ms);
+        assert!((s.p99_ms - 9.9).abs() / 9.9 < 0.08, "p99 {}", s.p99_ms);
+        assert_eq!(s.count, 10_000);
+        assert!((s.mean_ms - 5.0).abs() < 0.01);
+        assert!((s.max_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.summary().is_none());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn bad_samples_are_ignored() {
+        let mut h = LatencyHistogram::new();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn underflow_lands_in_the_floor_bucket() {
+        let mut h = LatencyHistogram::with_geometry(1.0, 1.1, 64);
+        h.record(0.001);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..100 {
+            a.record(1.0);
+            b.record(100.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let p25 = a.quantile(0.25).unwrap();
+        let p75 = a.quantile(0.75).unwrap();
+        assert!(p25 < 2.0, "{p25}");
+        assert!(p75 > 50.0, "{p75}");
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LatencyHistogram::with_geometry(1.0, 1.1, 64);
+        let b = LatencyHistogram::with_geometry(1.0, 1.2, 64);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_bucket() {
+        let mut h = LatencyHistogram::with_geometry(1.0, 1.1, 8);
+        h.record(1e12);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).unwrap() > 1.0);
+    }
+}

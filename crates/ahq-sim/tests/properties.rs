@@ -1,0 +1,168 @@
+//! Property-based tests of the simulator's invariants: resource
+//! conservation, monotone model components, and bookkeeping identities
+//! that must hold for any workload and any valid partition.
+
+use ahq_sim::{
+    AppSpec, BandwidthModel, CacheProfile, MachineConfig, MissRatioCurve, NodeSim, Partition,
+    RegionAlloc, SharingPolicy,
+};
+use proptest::prelude::*;
+
+fn cache_profile() -> impl Strategy<Value = CacheProfile> {
+    (0.01f64..0.9, 1.0f64..12.0, 0.0f64..3.0, 0.1f64..10.0).prop_map(
+        |(miss_floor, footprint_ways, intensity, bw)| CacheProfile {
+            miss_floor,
+            footprint_ways,
+            intensity,
+            bw_gbps_per_thread: bw,
+        },
+    )
+}
+
+proptest! {
+    /// Miss-ratio curves are monotone decreasing in ways and bounded.
+    #[test]
+    fn mrc_monotone_and_bounded(profile in cache_profile(), full in 4u32..32) {
+        let curve = profile.curve(full);
+        let mut prev = curve.miss_ratio(0.0);
+        prop_assert!(prev <= 1.0 + 1e-12);
+        for w in 1..=full {
+            let m = curve.miss_ratio(w as f64);
+            prop_assert!(m <= prev + 1e-12, "miss ratio rose at {w} ways");
+            prop_assert!(m >= 0.0);
+            prev = m;
+        }
+        // Speed factor is monotone increasing and 1 at the full budget.
+        let mut prev = curve.speed_factor(0.0);
+        for w in 1..=full {
+            let s = curve.speed_factor(w as f64);
+            prop_assert!(s + 1e-12 >= prev);
+            prev = s;
+        }
+        prop_assert!((curve.speed_factor(full as f64) - 1.0).abs() < 1e-12);
+    }
+
+    /// Bandwidth saturation and slowdown live in (0, 1] and are monotone.
+    #[test]
+    fn bandwidth_model_bounds(capacity in 1.0f64..200.0, demand in 0.0f64..500.0, mf in 0.0f64..1.0) {
+        let model = BandwidthModel::new(capacity);
+        let s = model.saturation(demand);
+        prop_assert!(s > 0.0 && s <= 1.0);
+        let slow = BandwidthModel::memory_slowdown(s, mf);
+        prop_assert!(slow > 0.0 && slow <= 1.0 + 1e-12);
+        // More demand never increases the saturation fraction.
+        prop_assert!(model.saturation(demand * 2.0) <= s + 1e-12);
+    }
+
+    /// Partition arithmetic conserves resources for any valid allocation.
+    #[test]
+    fn partition_conservation(
+        cores in prop::collection::vec(0u32..4, 1..6),
+        ways in prop::collection::vec(0u32..6, 1..6),
+    ) {
+        let n = cores.len().min(ways.len());
+        let machine = MachineConfig::paper_xeon();
+        let allocs: Vec<RegionAlloc> = cores
+            .iter()
+            .zip(ways.iter())
+            .take(n)
+            .map(|(&c, &w)| RegionAlloc::new(c, w))
+            .collect();
+        let p = Partition::strict(allocs);
+        prop_assume!(p.validate(&machine).is_ok());
+        prop_assert_eq!(
+            p.isolated_cores() + p.shared_cores(&machine),
+            machine.cores
+        );
+        prop_assert_eq!(
+            p.isolated_ways() + p.shared_ways(&machine),
+            machine.llc_ways
+        );
+    }
+
+    /// The end-to-end bookkeeping identity: over any run,
+    /// `arrivals = completions + drops + backlog_at_end`, per application.
+    #[test]
+    fn request_conservation(
+        load in 0.05f64..1.4,
+        seed in 0u64..32,
+        windows in 2usize..8,
+    ) {
+        let lc = AppSpec::lc("svc")
+            .threads(4)
+            .mean_service_ms(1.0)
+            .service_sigma(0.6)
+            .qos_threshold_ms(5.0)
+            .max_load_qps(2000.0)
+            .build()
+            .expect("valid");
+        let be = AppSpec::be("batch").ipc_solo(2.0).build().expect("valid");
+        let mut sim = NodeSim::new(MachineConfig::paper_xeon().with_budget(3, 20), vec![lc, be], seed)
+            .expect("valid sim");
+        sim.set_load("svc", load).expect("LC app");
+        let obs = sim.run_windows(windows);
+        let arrivals: u64 = obs.iter().map(|o| o.lc[0].arrivals).sum();
+        let completions: u64 = obs.iter().map(|o| o.lc[0].completions).sum();
+        let drops: u64 = obs.iter().map(|o| o.lc[0].drops).sum();
+        let backlog = obs.last().unwrap().lc[0].backlog as u64;
+        prop_assert_eq!(arrivals, completions + drops + backlog);
+    }
+
+    /// Latency and IPC observations stay physical for any load and policy.
+    #[test]
+    fn observations_stay_physical(
+        load in 0.0f64..1.5,
+        seed in 0u64..16,
+        lc_priority in any::<bool>(),
+        iso_cores in 0u32..4,
+        iso_ways in 0u32..8,
+    ) {
+        let lc = AppSpec::lc("svc")
+            .threads(4)
+            .mean_service_ms(0.8)
+            .service_sigma(0.5)
+            .qos_threshold_ms(4.0)
+            .max_load_qps(2500.0)
+            .build()
+            .expect("valid");
+        let be = AppSpec::be("batch").threads(6).ipc_solo(1.8).build().expect("valid");
+        let mut sim = NodeSim::new(MachineConfig::paper_xeon(), vec![lc, be], seed)
+            .expect("valid sim");
+        sim.set_policy(if lc_priority {
+            SharingPolicy::LcPriority
+        } else {
+            SharingPolicy::Fair
+        });
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(0.into(), RegionAlloc::new(iso_cores, iso_ways));
+        sim.set_partition(p).expect("valid partition");
+        sim.set_load("svc", load).expect("LC app");
+        for obs in sim.run_windows(4) {
+            let s = &obs.lc[0];
+            if let Some(p95) = s.p95_ms {
+                prop_assert!(p95 > 0.0 && p95.is_finite());
+            }
+            prop_assert!(s.mean_core_capacity >= -1e-9);
+            prop_assert!(s.mean_core_capacity <= 10.0 + 1e-9);
+            let b = &obs.be[0];
+            prop_assert!(b.ipc >= 0.0 && b.ipc <= b.ipc_solo * 1.05,
+                "BE IPC {} exceeds solo {}", b.ipc, b.ipc_solo);
+        }
+    }
+
+    /// More isolated cache for an app never makes it slower (solo).
+    #[test]
+    fn isolated_ways_never_hurt_their_owner(
+        profile in cache_profile(),
+        ways_a in 0u32..10,
+        ways_b in 10u32..20,
+    ) {
+        let curve = MissRatioCurve::new(
+            profile.miss_floor,
+            profile.footprint_ways,
+            profile.intensity,
+            20,
+        );
+        prop_assert!(curve.speed_factor(ways_b as f64) + 1e-12 >= curve.speed_factor(ways_a as f64));
+    }
+}

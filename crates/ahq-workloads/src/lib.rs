@@ -1,0 +1,42 @@
+//! # ahq-workloads — the paper's application zoo and load generators
+//!
+//! The Ah-Q paper evaluates on six latency-critical (LC) applications from
+//! Tailbench — **Xapian** (search), **Moses** (statistical MT), **Img-dnn**
+//! (handwriting recognition), **Masstree** (in-memory KV), **Sphinx**
+//! (speech recognition) and **Silo** (in-memory OLTP) — plus three
+//! best-effort (BE) applications: **Fluidanimate** and **Streamcluster**
+//! from PARSEC and the **STREAM** bandwidth benchmark.
+//!
+//! This crate provides calibrated [`ahq_sim::AppSpec`] profiles for all
+//! nine ([`profiles`]), the named collocation mixes used by each figure of
+//! the paper ([`mixes`]), and load-shape generators ([`load`]) including
+//! the fluctuating trace of Fig. 13 and a Zipfian popularity model
+//! ([`zipf`]) documenting how the service-time variability parameters were
+//! chosen.
+//!
+//! ## Calibration
+//!
+//! Each LC profile reproduces the application's row of Table IV:
+//! the QoS threshold `M_i` is taken verbatim, and the mean service demand
+//! and log-normal sigma are solved so that (a) the interference-free p95
+//! (`TL_i0`) lands on the value implied by Table II, and (b) the
+//! load-latency knee (Fig. 7) appears near the paper's max-load when the
+//! application saturates its cores. See [`profiles`] for the per-app
+//! numbers.
+//!
+//! ```
+//! use ahq_workloads::profiles;
+//!
+//! let xapian = profiles::xapian();
+//! assert_eq!(xapian.qos_threshold_ms(), Some(4.22)); // Table IV
+//! let tl0 = xapian.ideal_tail_ms().unwrap();
+//! assert!((tl0 - 2.77).abs() < 0.15);                // Table II
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod mixes;
+pub mod profiles;
+pub mod zipf;

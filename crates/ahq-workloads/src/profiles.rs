@@ -1,0 +1,298 @@
+//! Calibrated application profiles for the paper's nine applications.
+//!
+//! LC profiles take `M_i` (QoS threshold) and the nominal max load from
+//! Table IV verbatim. The service-demand distribution (mean, sigma) is
+//! solved per application so that its ideal tail latency `TL_i0` matches
+//! the paper's Table II values (where given) and the load-latency knee
+//! falls near the nominal max load on the core counts the paper uses:
+//!
+//! | app      | threads | M_i (ms) | max load (sim / paper) | mean svc (ms) | sigma | TL_i0 (ms) |
+//! |----------|---------|----------|------------------------|---------------|-------|------------|
+//! | xapian   | 4       | 4.22     | 3034 / 3400 QPS        | 1.000         | 0.82  | ≈2.76      |
+//! | moses    | 4       | 10.53    | 2107 / 1800 QPS        | 1.778         | 0.30  | ≈2.78      |
+//! | img-dnn  | 4       | 3.98     | 5637 / 5300 QPS        | 0.642         | 0.58  | ≈1.41      |
+//! | masstree | 4       | 1.05     | 4884 / 4420 QPS        | 0.543         | 0.25  | ≈0.79      |
+//! | sphinx   | 4       | 2682     | 6.0 / 4.8 QPS          | 667           | 0.50  | ≈1341      |
+//! | silo     | 4       | 1.27     | 220 / 220 QPS          | 0.447         | 0.30  | ≈0.70      |
+//!
+//! The *max load* column is the simulator's measured knee — the QPS at
+//! which the solo p95 crosses `M_i` on the full machine, found by a load
+//! sweep exactly as the paper's Fig. 7 methodology prescribes. It sits
+//! within 6–25 % of Table IV's hardware numbers; experiments express load
+//! as a fraction of this calibrated knee, matching the paper's
+//! "% of max load" semantics. [`paper_max_load_qps`] reports the paper's
+//! hardware values for the Table IV reproduction.
+//!
+//! (The paper's Table II gives `TL_i0` = 2.77 / 2.80 / 1.41 for Xapian /
+//! Moses / Img-dnn; Masstree, Sphinx and Silo have no published `TL_i0`,
+//! so a tolerance `A_i` in the 0.25–0.5 range was assumed.)
+//!
+//! Cache/memory behaviour is assigned qualitatively from the workloads'
+//! published characterisations: Moses and Masstree are cache- and
+//! memory-hungry, Sphinx is compute-bound, STREAM is a pure bandwidth hog,
+//! and so on. These drive the miss-ratio curves in `ahq-sim`.
+
+use ahq_sim::{AppSpec, CacheProfile};
+
+/// Xapian — the Tailbench web-search engine (Zipfian query popularity is
+/// what fattens its service-time tail; see [`crate::zipf`]).
+pub fn xapian() -> AppSpec {
+    AppSpec::lc("xapian")
+        .threads(4)
+        .mean_service_ms(1.0)
+        .service_sigma(0.82)
+        .qos_threshold_ms(4.22)
+        .max_load_qps(3034.0)
+        .cache(CacheProfile {
+            miss_floor: 0.08,
+            footprint_ways: 7.0,
+            intensity: 1.0,
+            bw_gbps_per_thread: 1.2,
+        })
+        .build()
+        .expect("xapian profile is valid")
+}
+
+/// Moses — statistical machine translation; uniform sentence cost but a
+/// large phrase-table working set.
+pub fn moses() -> AppSpec {
+    AppSpec::lc("moses")
+        .threads(4)
+        .mean_service_ms(1.778)
+        .service_sigma(0.30)
+        .qos_threshold_ms(10.53)
+        .max_load_qps(2107.0)
+        .cache(CacheProfile {
+            miss_floor: 0.12,
+            footprint_ways: 8.0,
+            intensity: 1.1,
+            bw_gbps_per_thread: 1.8,
+        })
+        .build()
+        .expect("moses profile is valid")
+}
+
+/// Img-dnn — handwriting recognition on MNIST; compute-heavy with a
+/// modest working set.
+pub fn img_dnn() -> AppSpec {
+    AppSpec::lc("img-dnn")
+        .threads(4)
+        .mean_service_ms(0.642)
+        .service_sigma(0.58)
+        .qos_threshold_ms(3.98)
+        .max_load_qps(5637.0)
+        .cache(CacheProfile {
+            miss_floor: 0.08,
+            footprint_ways: 4.0,
+            intensity: 0.6,
+            bw_gbps_per_thread: 1.0,
+        })
+        .build()
+        .expect("img-dnn profile is valid")
+}
+
+/// Masstree — scalable in-memory key-value store; pointer-chasing makes it
+/// memory-latency bound with a large footprint and a tight QoS target.
+pub fn masstree() -> AppSpec {
+    AppSpec::lc("masstree")
+        .threads(4)
+        .mean_service_ms(0.543)
+        .service_sigma(0.25)
+        .qos_threshold_ms(1.05)
+        .max_load_qps(4884.0)
+        .cache(CacheProfile {
+            miss_floor: 0.15,
+            footprint_ways: 9.0,
+            intensity: 1.3,
+            bw_gbps_per_thread: 2.0,
+        })
+        .build()
+        .expect("masstree profile is valid")
+}
+
+/// Sphinx — speech recognition; second-scale requests, compute-bound.
+pub fn sphinx() -> AppSpec {
+    AppSpec::lc("sphinx")
+        .threads(4)
+        .mean_service_ms(667.0)
+        .service_sigma(0.50)
+        .qos_threshold_ms(2682.0)
+        .max_load_qps(6.0)
+        .cache(CacheProfile {
+            miss_floor: 0.06,
+            footprint_ways: 3.0,
+            intensity: 0.4,
+            bw_gbps_per_thread: 0.8,
+        })
+        .build()
+        .expect("sphinx profile is valid")
+}
+
+/// Silo — in-memory transactional database; sub-millisecond transactions
+/// with a small cache footprint.
+pub fn silo() -> AppSpec {
+    AppSpec::lc("silo")
+        .threads(4)
+        .mean_service_ms(0.447)
+        .service_sigma(0.30)
+        .qos_threshold_ms(1.27)
+        .max_load_qps(220.0)
+        .cache(CacheProfile {
+            miss_floor: 0.10,
+            footprint_ways: 3.0,
+            intensity: 0.6,
+            bw_gbps_per_thread: 1.0,
+        })
+        .build()
+        .expect("silo profile is valid")
+}
+
+/// Fluidanimate — PARSEC fluid-dynamics simulation; mostly compute-bound
+/// with a moderate cache appetite. Solo IPC calibrated to the ~2.6 the
+/// paper's Fig. 1 shows when unconstrained.
+pub fn fluidanimate() -> AppSpec {
+    AppSpec::be("fluidanimate")
+        .threads(4)
+        .ipc_solo(2.8)
+        .cache(CacheProfile {
+            miss_floor: 0.15,
+            footprint_ways: 4.0,
+            intensity: 0.7,
+            bw_gbps_per_thread: 1.5,
+        })
+        .build()
+        .expect("fluidanimate profile is valid")
+}
+
+/// Streamcluster — PARSEC online clustering; memory-bound, bandwidth
+/// sensitive.
+pub fn streamcluster() -> AppSpec {
+    AppSpec::be("streamcluster")
+        .threads(4)
+        .ipc_solo(1.2)
+        .cache(CacheProfile {
+            miss_floor: 0.30,
+            footprint_ways: 6.0,
+            intensity: 1.2,
+            bw_gbps_per_thread: 3.0,
+        })
+        .build()
+        .expect("streamcluster profile is valid")
+}
+
+/// STREAM — the memory-bandwidth benchmark, instantiated with 10 threads
+/// as in the paper "to generate severe interference ... on the processing
+/// units, LLC and memory bandwidth".
+pub fn stream() -> AppSpec {
+    AppSpec::be("stream")
+        .threads(10)
+        .ipc_solo(0.5)
+        .cache(CacheProfile {
+            miss_floor: 0.85,
+            footprint_ways: 1.5,
+            intensity: 2.2,
+            bw_gbps_per_thread: 9.0,
+        })
+        .build()
+        .expect("stream profile is valid")
+}
+
+/// The paper's Table IV values for one LC application:
+/// `(tail latency threshold ms, max load QPS)` as measured on the authors'
+/// hardware. Returns `None` for unknown names.
+pub fn paper_max_load_qps(name: &str) -> Option<(f64, f64)> {
+    match name {
+        "xapian" => Some((4.22, 3400.0)),
+        "moses" => Some((10.53, 1800.0)),
+        "img-dnn" => Some((3.98, 5300.0)),
+        "masstree" => Some((1.05, 4420.0)),
+        "sphinx" => Some((2682.0, 4.8)),
+        "silo" => Some((1.27, 220.0)),
+        _ => None,
+    }
+}
+
+/// All six LC profiles in the paper's order.
+pub fn all_lc() -> Vec<AppSpec> {
+    vec![xapian(), moses(), img_dnn(), masstree(), sphinx(), silo()]
+}
+
+/// All three BE profiles.
+pub fn all_be() -> Vec<AppSpec> {
+    vec![fluidanimate(), streamcluster(), stream()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahq_sim::AppKind;
+
+    #[test]
+    fn table4_thresholds_are_verbatim_and_knees_close() {
+        // QoS thresholds come verbatim from Table IV; calibrated max loads
+        // stay within 30 % of the paper's hardware numbers.
+        for spec in all_lc() {
+            let (qos, max_load) = paper_max_load_qps(spec.name()).unwrap();
+            assert_eq!(spec.qos_threshold_ms(), Some(qos), "{}", spec.name());
+            let calibrated = spec.max_load_qps().unwrap();
+            let ratio = calibrated / max_load;
+            assert!(
+                (0.7..=1.3).contains(&ratio),
+                "{}: calibrated {calibrated} vs paper {max_load}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_ideal_tails_are_matched() {
+        assert!((xapian().ideal_tail_ms().unwrap() - 2.77).abs() < 0.15);
+        assert!((moses().ideal_tail_ms().unwrap() - 2.80).abs() < 0.15);
+        assert!((img_dnn().ideal_tail_ms().unwrap() - 1.41).abs() < 0.10);
+    }
+
+    #[test]
+    fn every_lc_profile_has_positive_tolerance() {
+        for spec in all_lc() {
+            let a = 1.0 - spec.ideal_tail_ms().unwrap() / spec.qos_threshold_ms().unwrap();
+            assert!(
+                (0.1..0.9).contains(&a),
+                "{}: tolerance {a} outside plausible band",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_and_threads_match_paper() {
+        for spec in all_lc() {
+            assert_eq!(spec.kind(), AppKind::Lc);
+            assert_eq!(spec.threads(), 4, "LC apps are instantiated with 4 threads");
+        }
+        assert_eq!(stream().threads(), 10, "STREAM uses 10 threads");
+        assert_eq!(fluidanimate().threads(), 4);
+        assert_eq!(streamcluster().threads(), 4);
+        for spec in all_be() {
+            assert_eq!(spec.kind(), AppKind::Be);
+        }
+    }
+
+    #[test]
+    fn stream_is_the_bandwidth_hog() {
+        let stream_bw =
+            stream().cache_profile().bw_gbps_per_thread * stream().threads() as f64;
+        for spec in all_lc().iter().chain([fluidanimate(), streamcluster()].iter()) {
+            let bw = spec.cache_profile().bw_gbps_per_thread * spec.threads() as f64;
+            assert!(stream_bw > 3.0 * bw, "{} out-draws stream?", spec.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for spec in all_lc().iter().chain(all_be().iter()) {
+            assert!(names.insert(spec.name().to_owned()), "duplicate {}", spec.name());
+        }
+        assert_eq!(names.len(), 9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Benchmarks of the Bayesian-optimization substrate: GP fitting and
+//! prediction at CLITE's working sizes, and candidate suggestion over the
+//! standard 300-candidate pool.
+
+use ahq_bayesopt::{BayesOpt, GaussianProcess, RbfKernel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn training_set(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 31 + d * 17) % 97) as f64) / 97.0)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|v| (v - 0.5).powi(2)).sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_gp_fit(c: &mut Criterion) {
+    let kernel = RbfKernel::new(0.5, 1.0, 1e-3);
+    let mut group = c.benchmark_group("gp_fit");
+    for n in [10usize, 20, 40] {
+        let (xs, ys) = training_set(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GaussianProcess::fit(kernel, xs.clone(), ys.clone()).expect("PD kernel"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp_predict(c: &mut Criterion) {
+    let kernel = RbfKernel::new(0.5, 1.0, 1e-3);
+    let (xs, ys) = training_set(20, 8);
+    let gp = GaussianProcess::fit(kernel, xs, ys).expect("PD kernel");
+    let x = vec![0.3; 8];
+    c.bench_function("gp_predict_n20_d8", |b| {
+        b.iter(|| black_box(gp.predict(black_box(&x))))
+    });
+}
+
+fn bench_suggest(c: &mut Criterion) {
+    let candidates: Vec<Vec<f64>> = (0..300)
+        .map(|i| {
+            (0..8)
+                .map(|d| (((i * 13 + d * 7) % 89) as f64) / 89.0)
+                .collect()
+        })
+        .collect();
+    c.bench_function("bayesopt_suggest_300_candidates", |b| {
+        b.iter(|| {
+            let mut opt = BayesOpt::new(RbfKernel::new(0.5, 1.0, 1e-3), 4, 9);
+            for i in 0..12 {
+                let x = opt.suggest(&candidates).to_vec();
+                opt.observe(x, (i as f64 * 0.37).sin());
+            }
+            black_box(opt.best().map(|(_, y)| y))
+        })
+    });
+}
+
+
+/// A time-boxed Criterion configuration: the suite covers many benches,
+/// so each one gets a short warm-up and measurement window.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_gp_fit, bench_gp_predict, bench_suggest);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! One benchmark per paper artifact: the cost of regenerating each
+//! table/figure's basic unit at reduced scale. Together with the `repro`
+//! binary (which regenerates the full artifacts) these keep every
+//! experiment's machinery exercised and timed.
+
+use ahq_core::EntropyModel;
+use ahq_experiments::{fig2, fig7, StrategyKind};
+use ahq_experiments::ExpConfig;
+use ahq_sched::{run, run_with_hook};
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::load::fig13_xapian_trace;
+use ahq_workloads::{mixes, profiles};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tiny_cfg() -> ExpConfig {
+    ExpConfig {
+        quick: true,
+        seed: 9,
+    }
+}
+
+/// A reduced run: `windows` monitoring windows of `mix` at the given loads
+/// under one strategy.
+fn run_cell(strategy: StrategyKind, cores: u32, xapian_load: f64, windows: usize) -> f64 {
+    let mix = mixes::fluidanimate_mix();
+    let mut sim = NodeSim::with_reference(
+        MachineConfig::paper_xeon().with_budget(cores, 20),
+        MachineConfig::paper_xeon(),
+        mix.apps.clone(),
+        13,
+    )
+    .expect("valid mix");
+    sim.set_load("xapian", xapian_load).expect("LC app");
+    sim.set_load("moses", 0.2).expect("LC app");
+    sim.set_load("img-dnn", 0.2).expect("LC app");
+    let mut sched = strategy.build();
+    let result = run(&mut sim, sched.as_mut(), windows, &EntropyModel::default());
+    result.steady_entropy(windows / 2)
+}
+
+fn bench_artifacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_units");
+    group.sample_size(10);
+
+    // Table II: one Unmanaged row at 6 cores.
+    group.bench_function("table2_row_6cores", |b| {
+        b.iter(|| black_box(run_cell(StrategyKind::Unmanaged, 6, 0.2, 12)))
+    });
+    // Fig. 2 / Fig. 3: one budget point for ARQ.
+    group.bench_function("fig2_budget_point_arq", |b| {
+        b.iter(|| black_box(run_cell(StrategyKind::Arq, 8, 0.2, 12)))
+    });
+    // Fig. 7: one solo load-latency point.
+    group.bench_function("fig7_solo_point", |b| {
+        let cfg = tiny_cfg();
+        let spec = profiles::xapian();
+        b.iter(|| black_box(fig7::solo_p95(&cfg, &spec, 4, 0.8)))
+    });
+    // Fig. 8 / 9 / 10 / 11 / 12: one sweep cell (strategy x load).
+    group.bench_function("fig8_sweep_cell_arq", |b| {
+        b.iter(|| black_box(run_cell(StrategyKind::Arq, 10, 0.7, 12)))
+    });
+    group.bench_function("fig9_sweep_cell_parties", |b| {
+        b.iter(|| black_box(run_cell(StrategyKind::Parties, 10, 0.7, 12)))
+    });
+    // Fig. 13: a 12-window slice of the fluctuating trace under ARQ.
+    group.bench_function("fig13_trace_slice_arq", |b| {
+        let trace = fig13_xapian_trace();
+        b.iter(|| {
+            let mix = mixes::stream_mix();
+            let mut sim =
+                NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 17).expect("mix");
+            sim.set_load("moses", 0.2).expect("LC app");
+            sim.set_load("img-dnn", 0.2).expect("LC app");
+            let mut sched = StrategyKind::Arq.build();
+            let trace = trace.clone();
+            black_box(run_with_hook(
+                &mut sim,
+                sched.as_mut(),
+                12,
+                &EntropyModel::default(),
+                move |sim, w| {
+                    let _ = sim.set_load("xapian", trace.load_at(w as f64 * 0.5 * 10.0));
+                },
+            ))
+        })
+    });
+    group.finish();
+
+    // Fig. 2's helper end to end at a tiny budget (covers the experiment
+    // module itself).
+    let mut exp = c.benchmark_group("experiment_helpers");
+    exp.sample_size(10);
+    exp.bench_function("fig2_entropy_at_budget", |b| {
+        let cfg = tiny_cfg();
+        b.iter(|| black_box(fig2::entropy_at_budget(&cfg, 8, 12, StrategyKind::Unmanaged)))
+    });
+    exp.finish();
+}
+
+
+/// A time-boxed Criterion configuration: the suite covers many benches,
+/// so each one gets a short warm-up and measurement window.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of the five scheduling strategies: the cost of a full
+//! 10-window scheduled run (simulation + decisions) per strategy.
+//!
+//! The paper's overhead discussion (§IV-D) argues ARQ's decision cost is
+//! negligible against ML-based schedulers; the relative widths of these
+//! benches quantify that claim for this reproduction — CLITE's GP fits
+//! dominate its decision time.
+
+use ahq_bench::standard_sim;
+use ahq_core::EntropyModel;
+use ahq_experiments::StrategyKind;
+use ahq_sched::run;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scheduled_runs(c: &mut Criterion) {
+    let model = EntropyModel::default();
+    let mut group = c.benchmark_group("scheduled_run_10_windows");
+    group.sample_size(10);
+    for strategy in StrategyKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    let mut sim = standard_sim(11);
+                    let mut sched = strategy.build();
+                    black_box(run(&mut sim, sched.as_mut(), 10, &model))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// A time-boxed Criterion configuration: the suite covers many benches,
+/// so each one gets a short warm-up and measurement window.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_scheduled_runs);
+criterion_main!(benches);

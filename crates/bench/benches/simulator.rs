@@ -1,0 +1,52 @@
+//! Benchmarks of the datacenter-node simulator: monitoring-window
+//! throughput under light and heavy interference, and the Fig. 4
+//! space-time model.
+
+use ahq_bench::{standard_sim, stream_sim};
+use ahq_sim::spacetime::{evaluate, figure4_patterns, Discipline};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_window");
+    group.sample_size(20);
+    group.bench_function("fluidanimate_mix_50pct", |b| {
+        let mut sim = standard_sim(7);
+        b.iter(|| black_box(sim.run_window()))
+    });
+    group.bench_function("stream_mix_90pct", |b| {
+        let mut sim = stream_sim(7);
+        b.iter(|| black_box(sim.run_window()))
+    });
+    group.finish();
+}
+
+fn bench_spacetime(c: &mut Criterion) {
+    let patterns = figure4_patterns();
+    c.bench_function("spacetime_fig4_all_disciplines", |b| {
+        b.iter(|| {
+            for d in [
+                Discipline::NoManagement,
+                Discipline::IsolatedTo(0),
+                Discipline::SharedLcPriority,
+            ] {
+                black_box(evaluate(black_box(&patterns), d));
+            }
+        })
+    });
+}
+
+
+/// A time-boxed Criterion configuration: the suite covers many benches,
+/// so each one gets a short warm-up and measurement window.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_window, bench_spacetime);
+criterion_main!(benches);

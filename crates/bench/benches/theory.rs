@@ -1,0 +1,65 @@
+//! Benchmarks of the entropy theory (`ahq-core`): the per-window scoring
+//! cost a scheduler pays, series interpolation (Fig. 3 machinery), and
+//! percentile estimation.
+
+use ahq_bench::measurement_population;
+use ahq_core::{resource_equivalence, EntropyModel, EntropySeries};
+use ahq_sim::percentile;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_entropy_evaluate(c: &mut Criterion) {
+    let model = EntropyModel::default();
+    let mut group = c.benchmark_group("entropy_evaluate");
+    for n in [4usize, 16, 64, 256] {
+        let (lc, be) = measurement_population(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(model.evaluate(black_box(&lc), black_box(&be))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_series_interpolation(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> = (0..64)
+        .map(|i| (i as f64, 1.0 / (1.0 + i as f64 * 0.3)))
+        .collect();
+    let a = EntropySeries::from_points("a", points.clone());
+    let b_series = EntropySeries::from_points(
+        "b",
+        points.iter().map(|&(r, e)| (r, e * 0.7)).collect(),
+    );
+    c.bench_function("resource_equivalence", |b| {
+        b.iter(|| black_box(resource_equivalence(&a, &b_series, black_box(0.2))))
+    });
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percentile_p95");
+    for n in [128usize, 1024, 8192] {
+        let samples: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(percentile(black_box(&samples), 0.95)))
+        });
+    }
+    group.finish();
+}
+
+
+/// A time-boxed Criterion configuration: the suite covers many benches,
+/// so each one gets a short warm-up and measurement window.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    bench_entropy_evaluate,
+    bench_series_interpolation,
+    bench_percentile
+);
+criterion_main!(benches);

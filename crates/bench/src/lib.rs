@@ -1,0 +1,84 @@
+//! # ahq-bench — benchmark fixtures
+//!
+//! Shared fixtures for the Criterion benches in `benches/`: prebuilt
+//! simulations, measurement sets, and scheduler contexts. The benches
+//! themselves are organised as
+//!
+//! * `theory` — entropy algebra, series interpolation, percentiles;
+//! * `simulator` — monitoring-window throughput, the contention model,
+//!   the space-time model (Fig. 4);
+//! * `schedulers` — a scheduling round per strategy (Table II / Fig. 8
+//!   scale), covering ARQ's Algorithm 1, PARTIES' FSM and CLITE's BO;
+//! * `bayesopt` — GP fit/predict and candidate suggestion (CLITE's inner
+//!   loop);
+//! * `figures` — one reduced-scale regeneration step per paper artifact
+//!   (Table II row, Fig. 2 budget point, Fig. 8 sweep cell, Fig. 13
+//!   trace slice).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ahq_core::{BeMeasurement, LcMeasurement};
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::mixes;
+
+/// A standard measurement population of `n` LC and `n` BE applications.
+pub fn measurement_population(n: usize) -> (Vec<LcMeasurement>, Vec<BeMeasurement>) {
+    let lc = (0..n)
+        .map(|i| {
+            let ideal = 1.0 + i as f64 * 0.1;
+            let observed = ideal * (1.0 + (i % 7) as f64 * 0.35);
+            LcMeasurement::new(format!("lc{i}"), ideal, observed, ideal * 2.5)
+                .expect("valid synthetic measurement")
+        })
+        .collect();
+    let be = (0..n)
+        .map(|i| {
+            let solo = 1.0 + i as f64 * 0.2;
+            BeMeasurement::new(format!("be{i}"), solo, solo / (1.0 + (i % 5) as f64 * 0.4))
+                .expect("valid synthetic measurement")
+        })
+        .collect();
+    (lc, be)
+}
+
+/// The standard benchmark simulation: the paper's Fluidanimate mix at
+/// moderate load.
+pub fn standard_sim(seed: u64) -> NodeSim {
+    let mix = mixes::fluidanimate_mix();
+    let mut sim =
+        NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), seed).expect("valid mix");
+    sim.set_load("xapian", 0.5).expect("LC app");
+    sim.set_load("moses", 0.2).expect("LC app");
+    sim.set_load("img-dnn", 0.2).expect("LC app");
+    sim
+}
+
+/// A heavy-interference simulation: the STREAM mix at high load.
+pub fn stream_sim(seed: u64) -> NodeSim {
+    let mix = mixes::stream_mix();
+    let mut sim =
+        NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), seed).expect("valid mix");
+    sim.set_load("xapian", 0.9).expect("LC app");
+    sim.set_load("moses", 0.4).expect("LC app");
+    sim.set_load("img-dnn", 0.4).expect("LC app");
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (lc, be) = measurement_population(8);
+        assert_eq!(lc.len(), 8);
+        assert_eq!(be.len(), 8);
+        let mut sim = standard_sim(1);
+        let obs = sim.run_window();
+        assert_eq!(obs.lc.len(), 3);
+        let mut sim = stream_sim(1);
+        let obs = sim.run_window();
+        assert_eq!(obs.be.len(), 1);
+    }
+}

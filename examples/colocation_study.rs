@@ -1,0 +1,73 @@
+//! Colocation study: compare all five scheduling strategies on one of the
+//! paper's mixes at a chosen load.
+//!
+//! ```text
+//! cargo run --release --example colocation_study -- [mix] [xapian-load]
+//!   mix:   fluidanimate | stream | sphinx | large   (default: stream)
+//!   load:  primary LC app load fraction 0.0-1.0     (default: 0.7)
+//! ```
+
+use ahq_core::EntropyModel;
+use ahq_experiments::StrategyKind;
+use ahq_sched::run;
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::mixes::{self, Mix};
+
+fn pick_mix(name: &str) -> Mix {
+    match name {
+        "fluidanimate" => mixes::fluidanimate_mix(),
+        "stream" => mixes::stream_mix(),
+        "sphinx" => mixes::sphinx_mix(),
+        "large" => mixes::large_mix(),
+        other => {
+            eprintln!("unknown mix {other:?}, using stream");
+            mixes::stream_mix()
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mix = pick_mix(args.first().map(String::as_str).unwrap_or("stream"));
+    let load: f64 = args
+        .get(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.7)
+        .clamp(0.0, 1.0);
+
+    let lc_names = mix.lc_names();
+    let primary = lc_names[0].to_owned();
+    println!(
+        "mix {:?}: {} at {:.0} % load, other LC apps at 20 %\n",
+        mix.name,
+        primary,
+        load * 100.0
+    );
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>10} {:>6} {:>5}",
+        "strategy", "E_LC", "E_BE", "E_S", "yield", "p95 (ms)", "adj", "viol"
+    );
+
+    let model = EntropyModel::default();
+    for strategy in StrategyKind::extended() {
+        let mut sim = NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 42)?;
+        sim.set_load(&primary, load)?;
+        for name in lc_names.iter().skip(1) {
+            sim.set_load(name, 0.2)?;
+        }
+        let mut sched = strategy.build();
+        let result = run(&mut sim, sched.as_mut(), 200, &model);
+        println!(
+            "{:<10} {:>6.3} {:>6.3} {:>6.3} {:>6.2} {:>10.2} {:>6} {:>5}",
+            strategy.name(),
+            result.steady_lc_entropy(60),
+            result.steady_be_entropy(60),
+            result.steady_entropy(60),
+            result.steady_yield(60),
+            result.steady_p95(&primary, 60).unwrap_or(f64::NAN),
+            result.adjustments,
+            result.violations,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Entropy playground: explore the `E_S` theory itself — the three
+//! required properties, the effect of the relative importance `RI`, and
+//! the Fig. 4 space-time model.
+//!
+//! ```text
+//! cargo run --release --example entropy_playground
+//! ```
+
+use ahq_core::{BeMeasurement, EntropyModel, LcMeasurement, QosElasticity, RelativeImportance};
+use ahq_sim::spacetime::{evaluate, figure4_patterns, Discipline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A fixed scenario: one comfortable app, one borderline, one violating.
+    let lc = vec![
+        LcMeasurement::new("comfortable", 1.0, 1.5, 4.0)?,
+        LcMeasurement::new("borderline", 2.0, 3.9, 4.0)?,
+        LcMeasurement::new("violating", 1.0, 8.0, 4.0)?,
+    ];
+    let be = vec![
+        BeMeasurement::new("batch-a", 2.0, 1.5)?,
+        BeMeasurement::new("batch-b", 1.0, 0.4)?,
+    ];
+
+    println!("--- E_S as a function of the relative importance RI ---");
+    for ri in [0.0, 0.2, 0.5, 0.8, 1.0] {
+        let model = EntropyModel::new(RelativeImportance::new(ri)?);
+        let r = model.evaluate(&lc, &be);
+        println!(
+            "RI = {ri:.1}:  E_LC = {:.3}  E_BE = {:.3}  E_S = {:.3}",
+            r.lc, r.be, r.system
+        );
+    }
+
+    println!("\n--- Property ②: degrading any observation raises E_S ---");
+    let model = EntropyModel::default();
+    let base = model.evaluate(&lc, &be).system;
+    let mut worse = lc.clone();
+    worse[1] = LcMeasurement::new("borderline", 2.0, 5.5, 4.0)?;
+    let degraded = model.evaluate(&worse, &be).system;
+    println!("base E_S = {base:.3}; with borderline app degraded: {degraded:.3}");
+    assert!(degraded > base);
+
+    println!("\n--- QoS elasticity and the yield ---");
+    for pct in [0.0, 0.05, 0.10] {
+        let model = EntropyModel::default().with_elasticity(QosElasticity::new(pct)?);
+        let r = model.evaluate(&lc, &be);
+        println!(
+            "elasticity {:>3.0} %: yield = {:.0} %",
+            pct * 100.0,
+            r.yield_fraction * 100.0
+        );
+    }
+
+    println!("\n--- Fig. 4 space-time model ---");
+    let patterns = figure4_patterns();
+    for (label, discipline) in [
+        ("unmanaged       ", Discipline::NoManagement),
+        ("isolated to LC1 ", Discipline::IsolatedTo(0)),
+        ("shared, LC prio ", Discipline::SharedLcPriority),
+    ] {
+        let out = evaluate(&patterns, discipline);
+        println!(
+            "{label}: {:>2} crosses, {:>2} ticks, {} triangles, utilization {:.0} %",
+            out.crosses,
+            out.ticks,
+            out.triangles,
+            out.utilization * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Fluctuating load (the Fig. 13 scenario): Xapian's load follows a
+//! diurnal-style trace while ARQ and PARTIES adapt, printing a live
+//! timeline of load, entropy and ARQ's region sizes.
+//!
+//! ```text
+//! cargo run --release --example fluctuating_load
+//! ```
+
+use ahq_core::EntropyModel;
+use ahq_sched::{run_with_hook, Arq, Parties, Scheduler};
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::load::fig13_xapian_trace;
+use ahq_workloads::mixes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = fig13_xapian_trace();
+    let model = EntropyModel::default();
+    let machine = MachineConfig::paper_xeon();
+    let windows = 500; // 250 s at the paper's 500 ms interval
+
+    let mut outcomes = Vec::new();
+    for (label, mut sched) in [
+        ("parties", Box::new(Parties::new()) as Box<dyn Scheduler>),
+        ("arq", Box::new(Arq::new())),
+    ] {
+        let mix = mixes::stream_mix();
+        let mut sim = NodeSim::new(machine, mix.apps.clone(), 42)?;
+        sim.set_load("moses", 0.2)?;
+        sim.set_load("img-dnn", 0.2)?;
+        sim.set_load("xapian", trace.load_at(0.0))?;
+        let trace_for_hook = trace.clone();
+        let result = run_with_hook(&mut sim, sched.as_mut(), windows, &model, move |sim, w| {
+            let _ = sim.set_load("xapian", trace_for_hook.load_at(w as f64 * 0.5));
+        });
+        outcomes.push((label, result));
+    }
+
+    println!("t(s)  load | parties E_S | arq E_S | arq xapian iso (c/w) | arq shared (c/w)");
+    let arq = &outcomes[1].1;
+    let parties = &outcomes[0].1;
+    for w in (0..windows).step_by(20) {
+        let t = w as f64 * 0.5;
+        let p = &arq.partitions[w];
+        let xa = p.isolated(0.into());
+        println!(
+            "{:>5.0}  {:>4.0}% | {:>11.3} | {:>7.3} | {:>10}/{:<9} | {:>7}/{}",
+            t,
+            trace.load_at(t) * 100.0,
+            parties.entropy[w].system,
+            arq.entropy[w].system,
+            xa.cores,
+            xa.ways,
+            p.shared_cores(&machine),
+            p.shared_ways(&machine),
+        );
+    }
+    for (label, result) in &outcomes {
+        println!(
+            "\n{label}: {} violations, {} adjustments over {:.0} s (paper: ARQ 59 vs PARTIES 105)",
+            result.violations,
+            result.adjustments,
+            windows as f64 * 0.5
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: compute the system entropy of a small collocation and let
+//! ARQ schedule it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ahq_core::{BeMeasurement, EntropyModel, LcMeasurement, RelativeImportance};
+use ahq_sched::{run, Arq};
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::{mixes, profiles};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The theory: score a hand-made measurement set ---------------
+    // Table II of the paper, 7-core row.
+    let lc = vec![
+        LcMeasurement::new("xapian", 2.77, 7.13, 4.22)?,
+        LcMeasurement::new("moses", 2.80, 6.78, 10.53)?,
+        LcMeasurement::new("img-dnn", 1.41, 5.65, 3.98)?,
+    ];
+    let be = vec![BeMeasurement::new("fluidanimate", 2.8, 2.55)?];
+    let model = EntropyModel::new(RelativeImportance::PAPER);
+    let report = model.evaluate(&lc, &be);
+    println!("hand-made measurements:");
+    println!(
+        "  E_LC = {:.3}, E_BE = {:.3}, E_S = {:.3}, yield = {:.0}%",
+        report.lc,
+        report.be,
+        report.system,
+        report.yield_fraction * 100.0
+    );
+    for app in &report.lc_apps {
+        println!(
+            "  {:<8} A={:.2} R={:.2} ReT={:.2} Q={:.2} {}",
+            app.name,
+            app.tolerance,
+            app.interference,
+            app.remaining_tolerance,
+            app.intolerable,
+            if app.satisfied { "ok" } else { "VIOLATING" }
+        );
+    }
+
+    // --- 2. The simulator: run the paper's workload under ARQ -----------
+    let mix = mixes::fluidanimate_mix();
+    let mut sim = NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 42)?;
+    sim.set_load("xapian", 0.5)?;
+    sim.set_load("moses", 0.2)?;
+    sim.set_load("img-dnn", 0.2)?;
+
+    let mut arq = Arq::new();
+    let result = run(&mut sim, &mut arq, 60, &model);
+    println!("\nARQ on {} (30 s simulated):", mix.name);
+    println!(
+        "  steady E_LC = {:.3}, E_BE = {:.3}, E_S = {:.3}, yield = {:.0}%",
+        result.steady_lc_entropy(20),
+        result.steady_be_entropy(20),
+        result.steady_entropy(20),
+        result.steady_yield(20) * 100.0
+    );
+    println!(
+        "  xapian p95 = {:.2} ms (target {} ms), fluidanimate IPC = {:.2} (solo {})",
+        result.steady_p95("xapian", 20).unwrap_or(f64::NAN),
+        profiles::xapian().qos_threshold_ms().unwrap(),
+        result.steady_ipc("fluidanimate", 20).unwrap_or(f64::NAN),
+        profiles::fluidanimate().ipc_solo().unwrap(),
+    );
+    println!("  partition adjustments: {}", result.adjustments);
+    Ok(())
+}

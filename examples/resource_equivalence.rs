@@ -1,0 +1,63 @@
+//! Resource equivalence (the Fig. 3 analysis): how many cores does ARQ
+//! save relative to the Unmanaged strategy at equal system entropy?
+//!
+//! ```text
+//! cargo run --release --example resource_equivalence [-- target-entropy]
+//! ```
+
+use ahq_core::{resource_equivalence, EntropyModel, EntropySeries};
+use ahq_experiments::StrategyKind;
+use ahq_sched::run;
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::mixes;
+
+fn entropy_at(cores: u32, strategy: StrategyKind) -> f64 {
+    let mix = mixes::fluidanimate_mix();
+    let machine = MachineConfig::paper_xeon().with_budget(cores, 20);
+    let mut sim = NodeSim::with_reference(
+        machine,
+        MachineConfig::paper_xeon(),
+        mix.apps.clone(),
+        42,
+    )
+    .expect("valid mix");
+    for app in ["xapian", "moses", "img-dnn"] {
+        sim.set_load(app, 0.2).expect("LC app");
+    }
+    let mut sched = strategy.build();
+    let result = run(&mut sim, sched.as_mut(), 160, &EntropyModel::default());
+    result.steady_entropy(60)
+}
+
+fn main() {
+    let target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+
+    println!("sweeping the core budget 4..=10 for Unmanaged and ARQ...\n");
+    println!("{:>6} {:>10} {:>8}", "cores", "unmanaged", "arq");
+    let mut unmanaged_pts = Vec::new();
+    let mut arq_pts = Vec::new();
+    for cores in 4..=10u32 {
+        let eu = entropy_at(cores, StrategyKind::Unmanaged);
+        let ea = entropy_at(cores, StrategyKind::Arq);
+        println!("{cores:>6} {eu:>10.3} {ea:>8.3}");
+        unmanaged_pts.push((cores as f64, eu));
+        arq_pts.push((cores as f64, ea));
+    }
+
+    let unmanaged = EntropySeries::from_points("unmanaged", unmanaged_pts);
+    let arq = EntropySeries::from_points("arq", arq_pts);
+    match resource_equivalence(&unmanaged, &arq, target) {
+        Some(eq) => println!(
+            "\nto reach E_S = {target}: unmanaged needs {:.2} cores, ARQ needs {:.2} — \
+             resource equivalence {:.2} cores (paper: 2.0 cores at E_S = 0.25)",
+            eq.baseline_resource, eq.candidate_resource, eq.saved
+        ),
+        None => println!(
+            "\nE_S = {target} is not reachable within 4..=10 cores for at least one strategy; \
+             try a larger target"
+        ),
+    }
+}

@@ -1,0 +1,63 @@
+//! Weighted entropy: the extension the paper sketches in §II-B — "the
+//! `E_S` model can be extended to involve different RI factors among the
+//! same type of applications" — in action.
+//!
+//! A revenue-critical service and a internal dashboard share a node. The
+//! uniform model treats their violations identically; the weighted model
+//! lets the operator encode that a dashboard hiccup is a shrug while a
+//! checkout hiccup is an incident.
+//!
+//! ```text
+//! cargo run --release --example weighted_entropy
+//! ```
+
+use ahq_core::{
+    BeMeasurement, EntropyModel, LcMeasurement, Weighted, WeightedEntropyModel,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two scenarios with symmetric violations:
+    //   X: the checkout service violates, the dashboard is fine.
+    //   Y: the dashboard violates, the checkout service is fine.
+    let checkout_bad = LcMeasurement::new("checkout", 1.0, 6.0, 2.0)?;
+    let checkout_ok = LcMeasurement::new("checkout", 1.0, 1.3, 2.0)?;
+    let dashboard_bad = LcMeasurement::new("dashboard", 5.0, 30.0, 10.0)?;
+    let dashboard_ok = LcMeasurement::new("dashboard", 5.0, 6.5, 10.0)?;
+    let be = vec![BeMeasurement::new("nightly-etl", 1.5, 1.0)?];
+
+    let uniform = EntropyModel::default();
+    let x_uniform = uniform.evaluate(&[checkout_bad.clone(), dashboard_ok.clone()], &be);
+    let y_uniform = uniform.evaluate(&[checkout_ok.clone(), dashboard_bad.clone()], &be);
+    println!("uniform model (the paper's default):");
+    println!("  scenario X (checkout down):  E_S = {:.3}", x_uniform.system);
+    println!("  scenario Y (dashboard down): E_S = {:.3}", y_uniform.system);
+    println!("  -> nearly indistinguishable; both are 'one LC app violating'.\n");
+
+    // The weighted model: checkout is 9x more important than the dashboard.
+    let weighted = WeightedEntropyModel::new(uniform);
+    let be_w: Vec<Weighted<BeMeasurement>> =
+        be.iter().cloned().map(|m| Weighted::new(m, 1.0)).collect();
+    let x_weighted = weighted.evaluate(
+        &[
+            Weighted::new(checkout_bad, 9.0),
+            Weighted::new(dashboard_ok, 1.0),
+        ],
+        &be_w,
+    )?;
+    let y_weighted = weighted.evaluate(
+        &[
+            Weighted::new(checkout_ok, 9.0),
+            Weighted::new(dashboard_bad, 1.0),
+        ],
+        &be_w,
+    )?;
+    println!("weighted model (checkout weight 9, dashboard weight 1):");
+    println!("  scenario X (checkout down):  E_S = {:.3}", x_weighted.system);
+    println!("  scenario Y (dashboard down): E_S = {:.3}", y_weighted.system);
+    println!(
+        "  -> the checkout outage is now {:.1}x worse, matching its business weight.",
+        x_weighted.system / y_weighted.system
+    );
+    assert!(x_weighted.system > 3.0 * y_weighted.system);
+    Ok(())
+}

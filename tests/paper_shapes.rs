@@ -1,0 +1,136 @@
+//! Paper-shape integration tests: the qualitative results of the Ah-Q
+//! evaluation must hold in this reproduction — who wins, where, and in
+//! which direction. These are the assertions EXPERIMENTS.md summarises.
+
+use ahq_core::EntropyModel;
+use ahq_experiments::StrategyKind;
+use ahq_sched::run;
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::mixes::{self, Mix};
+
+fn steady(
+    mix: &Mix,
+    loads: &[(&str, f64)],
+    strategy: StrategyKind,
+    machine: MachineConfig,
+) -> (f64, f64, f64) {
+    let mut sim =
+        NodeSim::with_reference(machine, MachineConfig::paper_xeon(), mix.apps.clone(), 42)
+            .unwrap();
+    for (name, load) in loads {
+        sim.set_load(name, *load).unwrap();
+    }
+    let mut sched = strategy.build();
+    let result = run(&mut sim, sched.as_mut(), 120, &EntropyModel::default());
+    (
+        result.steady_lc_entropy(40),
+        result.steady_be_entropy(40),
+        result.steady_entropy(40),
+    )
+}
+
+#[test]
+fn unmanaged_wins_at_low_load_with_a_gentle_be_app() {
+    // Fig. 8, leftmost points: sharing maximises utilization when there is
+    // nothing to protect against.
+    let mix = mixes::fluidanimate_mix();
+    let loads = [("xapian", 0.1), ("moses", 0.2), ("img-dnn", 0.2)];
+    let machine = MachineConfig::paper_xeon();
+    let (_, _, unmanaged) = steady(&mix, &loads, StrategyKind::Unmanaged, machine);
+    let (_, _, parties) = steady(&mix, &loads, StrategyKind::Parties, machine);
+    assert!(
+        unmanaged < parties,
+        "unmanaged E_S {unmanaged:.3} must beat PARTIES {parties:.3} at low load"
+    );
+    assert!(unmanaged < 0.05, "low load is nearly interference-free");
+}
+
+#[test]
+fn the_stream_hog_defeats_unmanaged_but_not_arq() {
+    // Fig. 9: STREAM saturates cache/bandwidth; only isolation-capable
+    // strategies protect the LC applications.
+    let mix = mixes::stream_mix();
+    let loads = [("xapian", 0.5), ("moses", 0.2), ("img-dnn", 0.2)];
+    let machine = MachineConfig::paper_xeon();
+    let (lc_unmanaged, _, es_unmanaged) = steady(&mix, &loads, StrategyKind::Unmanaged, machine);
+    let (lc_arq, _, es_arq) = steady(&mix, &loads, StrategyKind::Arq, machine);
+    assert!(lc_unmanaged > 0.1, "unmanaged LC entropy {lc_unmanaged:.3}");
+    assert!(lc_arq < 0.05, "ARQ LC entropy {lc_arq:.3}");
+    assert!(es_arq < es_unmanaged);
+}
+
+#[test]
+fn lc_first_trades_be_for_lc() {
+    // Fig. 8: LC-first cuts E_LC vs Unmanaged at the cost of E_BE.
+    let mix = mixes::stream_mix();
+    let loads = [("xapian", 0.7), ("moses", 0.2), ("img-dnn", 0.2)];
+    let machine = MachineConfig::paper_xeon();
+    let (lc_u, be_u, _) = steady(&mix, &loads, StrategyKind::Unmanaged, machine);
+    let (lc_f, be_f, _) = steady(&mix, &loads, StrategyKind::LcFirst, machine);
+    assert!(lc_f < lc_u, "LC-first must protect latency: {lc_f:.3} vs {lc_u:.3}");
+    assert!(
+        be_f >= be_u - 0.02,
+        "the protection is paid by the BE side: {be_f:.3} vs {be_u:.3}"
+    );
+}
+
+#[test]
+fn parties_protects_qos_but_starves_be() {
+    // Fig. 13's snapshot: PARTIES leaves the BE application a sliver.
+    let mix = mixes::stream_mix();
+    let loads = [("xapian", 0.3), ("moses", 0.2), ("img-dnn", 0.2)];
+    let machine = MachineConfig::paper_xeon();
+    let (lc_p, be_p, _) = steady(&mix, &loads, StrategyKind::Parties, machine);
+    let (_, be_a, _) = steady(&mix, &loads, StrategyKind::Arq, machine);
+    assert!(lc_p < 0.1, "PARTIES keeps QoS under control: {lc_p:.3}");
+    assert!(
+        be_a < be_p,
+        "ARQ's shared region must leave BE better off: {be_a:.3} vs {be_p:.3}"
+    );
+}
+
+#[test]
+fn arq_has_lowest_entropy_at_high_load() {
+    // The headline: at high load ARQ's mixed isolation/sharing wins.
+    let mix = mixes::fluidanimate_mix();
+    let loads = [("xapian", 0.9), ("moses", 0.2), ("img-dnn", 0.2)];
+    let machine = MachineConfig::paper_xeon();
+    let (_, _, arq) = steady(&mix, &loads, StrategyKind::Arq, machine);
+    for other in [
+        StrategyKind::Unmanaged,
+        StrategyKind::LcFirst,
+        StrategyKind::Parties,
+    ] {
+        let (_, _, es) = steady(&mix, &loads, other, machine);
+        assert!(
+            arq <= es + 0.01,
+            "ARQ {arq:.3} must not lose to {} ({es:.3}) at high load",
+            other.name()
+        );
+    }
+}
+
+#[test]
+fn scarcer_machines_have_higher_entropy() {
+    // Property ② end to end (Fig. 2): fewer cores, more entropy.
+    let mix = mixes::fluidanimate_mix();
+    let loads = [("xapian", 0.2), ("moses", 0.2), ("img-dnn", 0.2)];
+    let rich = steady(
+        &mix,
+        &loads,
+        StrategyKind::Unmanaged,
+        MachineConfig::paper_xeon(),
+    )
+    .2;
+    let poor = steady(
+        &mix,
+        &loads,
+        StrategyKind::Unmanaged,
+        MachineConfig::paper_xeon().with_budget(5, 20),
+    )
+    .2;
+    assert!(
+        poor > rich + 0.03,
+        "5 cores ({poor:.3}) must be worse than 10 ({rich:.3})"
+    );
+}

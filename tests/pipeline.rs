@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the full theory → simulator → scheduler
+//! pipeline.
+
+use ahq_core::{EntropyModel, QosElasticity, RelativeImportance};
+use ahq_experiments::StrategyKind;
+use ahq_sched::{observe, run, RunResult};
+use ahq_sim::{MachineConfig, NodeSim};
+use ahq_workloads::mixes;
+
+fn run_stack(strategy: StrategyKind, seed: u64, windows: usize) -> RunResult {
+    let mix = mixes::fluidanimate_mix();
+    let mut sim = NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), seed).unwrap();
+    sim.set_load("xapian", 0.5).unwrap();
+    sim.set_load("moses", 0.2).unwrap();
+    sim.set_load("img-dnn", 0.2).unwrap();
+    let mut sched = strategy.build();
+    run(&mut sim, sched.as_mut(), windows, &EntropyModel::default())
+}
+
+#[test]
+fn every_strategy_completes_on_every_mix() {
+    for mix in [
+        mixes::fluidanimate_mix(),
+        mixes::stream_mix(),
+        mixes::sphinx_mix(),
+        mixes::large_mix(),
+    ] {
+        for strategy in StrategyKind::all() {
+            let mut sim =
+                NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 3).unwrap();
+            for name in mix.lc_names() {
+                sim.set_load(name, 0.2).unwrap();
+            }
+            let mut sched = strategy.build();
+            let result = run(&mut sim, sched.as_mut(), 20, &EntropyModel::default());
+            assert_eq!(result.observations.len(), 20, "{} on {}", strategy.name(), mix.name);
+            for e in &result.entropy {
+                assert!((0.0..=1.0).contains(&e.system));
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_determinism() {
+    for strategy in StrategyKind::all() {
+        let a = run_stack(strategy, 77, 30);
+        let b = run_stack(strategy, 77, 30);
+        assert_eq!(
+            a.observations, b.observations,
+            "{} must be reproducible",
+            strategy.name()
+        );
+        assert_eq!(a.violations, b.violations);
+        let c = run_stack(strategy, 78, 30);
+        assert_ne!(
+            a.observations, c.observations,
+            "{} must respond to the seed",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn run_results_serialize_and_deserialize() {
+    let result = run_stack(StrategyKind::Arq, 5, 10);
+    let json = serde_json::to_string(&result).expect("serializable");
+    let back: RunResult = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(back.strategy, result.strategy);
+    assert_eq!(back.observations, result.observations);
+    assert_eq!(back.partitions, result.partitions);
+}
+
+#[test]
+fn entropy_models_agree_between_runner_and_manual_computation() {
+    let result = run_stack(StrategyKind::Unmanaged, 9, 12);
+    let model = EntropyModel::default();
+    for (obs, entropy) in result.observations.iter().zip(result.entropy.iter()) {
+        let (lc, be) = observe::measurements(obs);
+        let manual = model.evaluate_auto(&lc, &be);
+        assert_eq!(&manual, entropy);
+    }
+}
+
+#[test]
+fn partitions_never_violate_machine_capacity() {
+    let machine = MachineConfig::paper_xeon();
+    for strategy in StrategyKind::all() {
+        let result = run_stack(strategy, 13, 40);
+        for p in &result.partitions {
+            assert!(p.validate(&machine).is_ok(), "{}", strategy.name());
+            // Strict-partitioners account every core; sharers never
+            // oversubscribe.
+            assert!(p.isolated_cores() <= machine.cores);
+            assert!(p.isolated_ways() <= machine.llc_ways);
+        }
+    }
+}
+
+#[test]
+fn relative_importance_extremes_isolate_the_components() {
+    let mix = mixes::stream_mix();
+    let mut sim = NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 21).unwrap();
+    sim.set_load("xapian", 0.6).unwrap();
+    let obs = sim.run_windows(8);
+    let last = obs.last().unwrap();
+    let (lc, be) = observe::measurements(last);
+    let lc_only = EntropyModel::new(RelativeImportance::LC_ONLY).evaluate(&lc, &be);
+    let be_only = EntropyModel::new(RelativeImportance::BE_ONLY).evaluate(&lc, &be);
+    assert_eq!(lc_only.system, lc_only.lc);
+    assert_eq!(be_only.system, be_only.be);
+}
+
+#[test]
+fn zero_elasticity_yield_is_stricter() {
+    let result = run_stack(StrategyKind::Unmanaged, 31, 20);
+    let strict_model = EntropyModel::default().with_elasticity(QosElasticity::NONE);
+    let lax_model = EntropyModel::default().with_elasticity(QosElasticity::new(0.2).unwrap());
+    for obs in &result.observations {
+        let (lc, be) = observe::measurements(obs);
+        let strict = strict_model.evaluate(&lc, &be);
+        let lax = lax_model.evaluate(&lc, &be);
+        assert!(lax.yield_fraction >= strict.yield_fraction);
+    }
+}

@@ -101,8 +101,8 @@ mod tests {
     fn interpolates_training_points() {
         let xs = vec![vec![0.0], vec![0.3], vec![0.7], vec![1.0]];
         let ys = vec![1.0, 2.0, 0.5, -1.0];
-        let gp = GaussianProcess::fit(RbfKernel::new(0.25, 1.0, 1e-8), xs.clone(), ys.clone())
-            .unwrap();
+        let gp =
+            GaussianProcess::fit(RbfKernel::new(0.25, 1.0, 1e-8), xs.clone(), ys.clone()).unwrap();
         for (x, y) in xs.iter().zip(ys.iter()) {
             let (m, v) = gp.predict(x);
             assert!((m - y).abs() < 1e-3, "mean {m} vs target {y}");
@@ -112,25 +112,20 @@ mod tests {
 
     #[test]
     fn reverts_to_prior_far_from_data() {
-        let gp = GaussianProcess::fit(
-            RbfKernel::new(0.1, 2.0, 1e-8),
-            vec![vec![0.0]],
-            vec![5.0],
-        )
-        .unwrap();
+        let gp = GaussianProcess::fit(RbfKernel::new(0.1, 2.0, 1e-8), vec![vec![0.0]], vec![5.0])
+            .unwrap();
         let (m, v) = gp.predict(&[100.0]);
         assert!((m - 5.0).abs() < 1e-9, "prior mean is the data mean");
-        assert!((v - 2.0).abs() < 1e-9, "prior variance is the signal variance");
+        assert!(
+            (v - 2.0).abs() < 1e-9,
+            "prior variance is the signal variance"
+        );
     }
 
     #[test]
     fn variance_grows_with_distance_from_data() {
-        let gp = GaussianProcess::fit(
-            RbfKernel::new(0.3, 1.0, 1e-6),
-            vec![vec![0.5]],
-            vec![0.0],
-        )
-        .unwrap();
+        let gp = GaussianProcess::fit(RbfKernel::new(0.3, 1.0, 1e-6), vec![vec![0.5]], vec![0.0])
+            .unwrap();
         let (_, v_near) = gp.predict(&[0.55]);
         let (_, v_far) = gp.predict(&[2.0]);
         assert!(v_far > v_near);
@@ -141,9 +136,7 @@ mod tests {
         let k = RbfKernel::new(0.3, 1.0, 1e-6);
         assert!(GaussianProcess::fit(k, vec![], vec![]).is_none());
         assert!(GaussianProcess::fit(k, vec![vec![1.0]], vec![1.0, 2.0]).is_none());
-        assert!(
-            GaussianProcess::fit(k, vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]).is_none()
-        );
+        assert!(GaussianProcess::fit(k, vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]).is_none());
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl RbfKernel {
             } else {
                 1.0
             },
-            noise: if noise.is_finite() { noise.max(1e-10) } else { 1e-6 },
+            noise: if noise.is_finite() {
+                noise.max(1e-10)
+            } else {
+                1e-6
+            },
         }
     }
 
@@ -83,7 +87,10 @@ mod tests {
     #[test]
     fn symmetric() {
         let k = RbfKernel::new(0.3, 1.5, 1e-6);
-        assert_eq!(k.eval(&[0.2, 0.9], &[0.7, 0.1]), k.eval(&[0.7, 0.1], &[0.2, 0.9]));
+        assert_eq!(
+            k.eval(&[0.2, 0.9], &[0.7, 0.1]),
+            k.eval(&[0.7, 0.1], &[0.2, 0.9])
+        );
     }
 
     #[test]

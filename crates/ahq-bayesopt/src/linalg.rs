@@ -128,8 +128,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for k in 0..i {
-            sum -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
         }
         y[i] = sum / l.get(i, i);
     }
@@ -137,8 +137,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
-        for k in (i + 1)..n {
-            sum -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+            sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -157,8 +157,8 @@ pub fn forward_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for k in 0..i {
-            sum -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
         }
         y[i] = sum / l.get(i, i);
     }

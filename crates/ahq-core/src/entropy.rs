@@ -166,10 +166,7 @@ impl EntropyModel {
         let e_lc = self.lc_entropy(lc);
         let e_be = self.be_entropy(be);
         let ri = self.relative_importance.value();
-        let satisfied = lc
-            .iter()
-            .filter(|m| m.meets_qos(self.elasticity))
-            .count();
+        let satisfied = lc.iter().filter(|m| m.meets_qos(self.elasticity)).count();
         let yield_fraction = if lc.is_empty() {
             1.0
         } else {
@@ -324,7 +321,10 @@ mod tests {
         assert!(RelativeImportance::new(1.5).is_err());
         assert!(RelativeImportance::new(-0.1).is_err());
         assert!(RelativeImportance::new(f64::INFINITY).is_err());
-        assert_eq!(RelativeImportance::new(0.8).unwrap(), RelativeImportance::PAPER);
+        assert_eq!(
+            RelativeImportance::new(0.8).unwrap(),
+            RelativeImportance::PAPER
+        );
         assert_eq!(RelativeImportance::default().value(), 0.8);
     }
 

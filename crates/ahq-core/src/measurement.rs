@@ -198,11 +198,7 @@ impl BeMeasurement {
     ///
     /// Returns [`TheoryError::NonPositive`] if either IPC is not a finite
     /// positive number.
-    pub fn new(
-        name: impl Into<String>,
-        ipc_solo: f64,
-        ipc_real: f64,
-    ) -> Result<Self, TheoryError> {
+    pub fn new(name: impl Into<String>, ipc_solo: f64, ipc_real: f64) -> Result<Self, TheoryError> {
         let ipc_solo = ensure_positive("solo IPC", ipc_solo)?;
         let ipc_real = ensure_positive("collocated IPC", ipc_real)?;
         Ok(Self {

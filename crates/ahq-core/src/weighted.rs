@@ -106,10 +106,7 @@ impl WeightedEntropyModel {
             return Ok(0.0);
         }
         let total = validate_weights(be.iter().map(|w| w.weight))?;
-        let weighted_slowdown: f64 = be
-            .iter()
-            .map(|w| w.weight * w.measurement.slowdown())
-            .sum();
+        let weighted_slowdown: f64 = be.iter().map(|w| w.weight * w.measurement.slowdown()).sum();
         Ok(1.0 - total / weighted_slowdown)
     }
 
@@ -211,8 +208,14 @@ mod tests {
     fn uniform_weights_recover_the_paper_model() {
         let base = EntropyModel::default();
         let weighted = WeightedEntropyModel::new(base);
-        let lc: Vec<_> = lc_set().into_iter().map(|m| Weighted::new(m, 1.0)).collect();
-        let be: Vec<_> = be_set().into_iter().map(|m| Weighted::new(m, 1.0)).collect();
+        let lc: Vec<_> = lc_set()
+            .into_iter()
+            .map(|m| Weighted::new(m, 1.0))
+            .collect();
+        let be: Vec<_> = be_set()
+            .into_iter()
+            .map(|m| Weighted::new(m, 1.0))
+            .collect();
         let w = weighted.evaluate(&lc, &be).unwrap();
         let u = base.evaluate(&lc_set(), &be_set());
         assert!((w.lc - u.lc).abs() < 1e-12);
@@ -224,8 +227,14 @@ mod tests {
     #[test]
     fn weights_are_scale_invariant() {
         let model = WeightedEntropyModel::default();
-        let small: Vec<_> = lc_set().into_iter().map(|m| Weighted::new(m, 0.1)).collect();
-        let big: Vec<_> = lc_set().into_iter().map(|m| Weighted::new(m, 10.0)).collect();
+        let small: Vec<_> = lc_set()
+            .into_iter()
+            .map(|m| Weighted::new(m, 0.1))
+            .collect();
+        let big: Vec<_> = lc_set()
+            .into_iter()
+            .map(|m| Weighted::new(m, 10.0))
+            .collect();
         assert!(
             (model.lc_entropy(&small).unwrap() - model.lc_entropy(&big).unwrap()).abs() < 1e-12
         );
@@ -282,9 +291,7 @@ mod tests {
     fn invalid_weights_are_rejected() {
         let model = WeightedEntropyModel::default();
         let m = lc_set().remove(0);
-        assert!(model
-            .lc_entropy(&[Weighted::new(m.clone(), -1.0)])
-            .is_err());
+        assert!(model.lc_entropy(&[Weighted::new(m.clone(), -1.0)]).is_err());
         assert!(model
             .lc_entropy(&[Weighted::new(m.clone(), f64::NAN)])
             .is_err());

@@ -3,8 +3,7 @@
 //! quantities.
 
 use ahq_core::{
-    BeMeasurement, EntropyModel, EntropySeries, LcMeasurement, QosElasticity,
-    RelativeImportance,
+    BeMeasurement, EntropyModel, EntropySeries, LcMeasurement, QosElasticity, RelativeImportance,
 };
 use proptest::prelude::*;
 

@@ -11,22 +11,25 @@
 //!    stretch every violation.
 
 use ahq_core::{EntropyModel, RelativeImportance};
-use ahq_sched::{run as run_sched, Arq, ArqConfig, Parties};
-use ahq_sim::{MachineConfig, NodeSim, SharingPolicy};
+use ahq_sched::ArqConfig;
+use ahq_sim::{MachineConfig, SharingPolicy};
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec, SchedSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{build_sim, ExpConfig};
+use crate::runs::ExpConfig;
+use crate::strategy::StrategyKind;
 
 /// The ablation workload: the STREAM mix at medium-high Xapian load — the
 /// regime where all of ARQ's machinery is exercised.
-fn ablation_sim(cfg: &ExpConfig) -> NodeSim {
+fn ablation_spec(cfg: &ExpConfig) -> RunSpec {
     let mix = mixes::stream_mix();
-    build_sim(
+    RunSpec::strategy(
+        cfg,
         MachineConfig::paper_xeon(),
         &mix,
         &[("xapian", 0.7), ("moses", 0.2), ("img-dnn", 0.2)],
-        cfg.seed,
+        StrategyKind::Arq,
     )
 }
 
@@ -68,20 +71,32 @@ pub fn arq_variants() -> Vec<(&'static str, ArqConfig)> {
 }
 
 /// Regenerates the ablation report.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("ablations", "Ablations of ARQ's design choices");
-    let model = cfg.model();
     let steady = cfg.steady();
 
     // --- 1. ARQ component ablation --------------------------------------
     let mut variants = TextTable::new(
         "ARQ variants on the STREAM mix (Xapian 70 %, others 20 %)",
-        &["variant", "E_LC", "E_BE", "E_S", "yield", "adjustments", "violations"],
+        &[
+            "variant",
+            "E_LC",
+            "E_BE",
+            "E_S",
+            "yield",
+            "adjustments",
+            "violations",
+        ],
     );
-    for (label, config) in arq_variants() {
-        let mut sim = ablation_sim(cfg);
-        let mut sched = Arq::with_config(config);
-        let result = run_sched(&mut sim, &mut sched, cfg.windows(), &model);
+    let variant_specs: Vec<RunSpec> = arq_variants()
+        .into_iter()
+        .map(|(_, config)| RunSpec {
+            sched: SchedSpec::Arq(config),
+            ..ablation_spec(cfg)
+        })
+        .collect();
+    let variant_results = cfg.engine().run_all(&variant_specs);
+    for ((label, _), result) in arq_variants().into_iter().zip(variant_results.iter()) {
         variants.push_row(vec![
             label.into(),
             f3(result.steady_lc_entropy(steady)),
@@ -99,14 +114,24 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         "E_S under different RI (same runs rescored + rescheduled)",
         &["RI", "arq E_LC", "arq E_BE", "arq E_S", "parties E_S"],
     );
-    for ri in [0.5, 0.8, 0.95] {
+    let ris = [0.5, 0.8, 0.95];
+    let mut ri_specs = Vec::new();
+    for &ri in &ris {
         let model = EntropyModel::new(RelativeImportance::new(ri).expect("valid RI"));
-        let mut sim = ablation_sim(cfg);
-        let mut arq = Arq::new();
-        let arq_run = run_sched(&mut sim, &mut arq, cfg.windows(), &model);
-        let mut sim = ablation_sim(cfg);
-        let mut parties = Parties::new();
-        let parties_run = run_sched(&mut sim, &mut parties, cfg.windows(), &model);
+        ri_specs.push(RunSpec {
+            model,
+            ..ablation_spec(cfg)
+        });
+        ri_specs.push(RunSpec {
+            model,
+            sched: SchedSpec::Kind(StrategyKind::Parties),
+            ..ablation_spec(cfg)
+        });
+    }
+    let ri_results = cfg.engine().run_all(&ri_specs);
+    for (i, &ri) in ris.iter().enumerate() {
+        let arq_run = &ri_results[2 * i];
+        let parties_run = &ri_results[2 * i + 1];
         ri_table.push_row(vec![
             f2(ri),
             f3(arq_run.steady_lc_entropy(steady)),
@@ -120,15 +145,35 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     // --- 3. Monitoring interval ------------------------------------------
     let mut interval_table = TextTable::new(
         "ARQ vs monitoring interval (same 60 s of simulated time)",
-        &["interval (ms)", "E_S", "yield", "adjustments", "violations/window"],
+        &[
+            "interval (ms)",
+            "E_S",
+            "yield",
+            "adjustments",
+            "violations/window",
+        ],
     );
-    for interval_ms in [250.0, 500.0, 1000.0, 2000.0] {
-        let sim_seconds = if cfg.quick { 45.0 } else { 120.0 };
-        let windows = (sim_seconds * 1000.0 / interval_ms) as usize;
-        let mut sim = ablation_sim(cfg);
-        sim.set_window_ms(interval_ms);
-        let mut sched = Arq::new();
-        let result = run_sched(&mut sim, &mut sched, windows, &model);
+    let intervals = [250.0, 500.0, 1000.0, 2000.0];
+    let sim_seconds = if cfg.quick { 45.0 } else { 120.0 };
+    let window_counts: Vec<usize> = intervals
+        .iter()
+        .map(|ms| (sim_seconds * 1000.0 / ms) as usize)
+        .collect();
+    let interval_specs: Vec<RunSpec> = intervals
+        .iter()
+        .zip(&window_counts)
+        .map(|(&interval_ms, &windows)| RunSpec {
+            windows,
+            window_ms: Some(interval_ms),
+            ..ablation_spec(cfg)
+        })
+        .collect();
+    let interval_results = cfg.engine().run_all(&interval_specs);
+    for ((&interval_ms, &windows), result) in intervals
+        .iter()
+        .zip(&window_counts)
+        .zip(interval_results.iter())
+    {
         interval_table.push_row(vec![
             format!("{interval_ms:.0}"),
             f3(result.steady_entropy(windows / 3)),
@@ -157,10 +202,10 @@ mod tests {
 
     #[test]
     fn full_arq_is_never_worse_than_crippled_variants() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 53,
-        };
+        });
         let report = run(&cfg);
         let table = &report.tables[0];
         let es = |label: &str| -> f64 {
@@ -197,10 +242,10 @@ mod tests {
 
     #[test]
     fn ri_extremes_move_the_score() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 59,
-        };
+        });
         let report = run(&cfg);
         let ri_table = &report.tables[1];
         assert_eq!(ri_table.rows.len(), 3);

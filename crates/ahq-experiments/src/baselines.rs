@@ -5,16 +5,14 @@
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
 use crate::strategy::StrategyKind;
 
 /// Regenerates the six-strategy comparison.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "baselines",
-        "Extra: six-strategy comparison incl. Heracles",
-    );
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
+    let mut report =
+        ExperimentReport::new("baselines", "Extra: six-strategy comparison incl. Heracles");
     let loads = if cfg.quick {
         vec![0.1, 0.9]
     } else {
@@ -25,28 +23,42 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         let be = mix.be_names()[0].to_owned();
         let mut table = TextTable::new(
             format!("{} — steady-state per strategy", mix.name),
-            &["xapian load", "strategy", "E_LC", "E_BE", "E_S", "yield", "BE IPC"],
+            &[
+                "xapian load",
+                "strategy",
+                "E_LC",
+                "E_BE",
+                "E_S",
+                "yield",
+                "BE IPC",
+            ],
         );
+        let mut specs = Vec::new();
+        let mut labels = Vec::new();
         for &load in &loads {
             for strategy in StrategyKind::extended() {
-                let result = run_strategy(
+                specs.push(RunSpec::strategy(
                     cfg,
                     MachineConfig::paper_xeon(),
                     &mix,
                     &[("xapian", load), ("moses", 0.2), ("img-dnn", 0.2)],
                     strategy,
-                );
-                let steady = cfg.steady();
-                table.push_row(vec![
-                    f2(load),
-                    strategy.name().into(),
-                    f3(result.steady_lc_entropy(steady)),
-                    f3(result.steady_be_entropy(steady)),
-                    f3(result.steady_entropy(steady)),
-                    f2(result.steady_yield(steady)),
-                    f2(result.steady_ipc(&be, steady).unwrap_or(f64::NAN)),
-                ]);
+                ));
+                labels.push((load, strategy));
             }
+        }
+        let results = cfg.engine().run_all(&specs);
+        for ((load, strategy), result) in labels.into_iter().zip(results.iter()) {
+            let steady = cfg.steady();
+            table.push_row(vec![
+                f2(load),
+                strategy.name().into(),
+                f3(result.steady_lc_entropy(steady)),
+                f3(result.steady_be_entropy(steady)),
+                f3(result.steady_entropy(steady)),
+                f2(result.steady_yield(steady)),
+                f2(result.steady_ipc(&be, steady).unwrap_or(f64::NAN)),
+            ]);
         }
         report.tables.push(table);
     }
@@ -65,19 +77,19 @@ mod tests {
 
     #[test]
     fn heracles_protects_lc_but_arq_wins_on_entropy() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 67,
-        };
+        });
         let mix = mixes::stream_mix();
         let get = |strategy: StrategyKind| {
-            let r = run_strategy(
+            let r = cfg.engine().run_one(&RunSpec::strategy(
                 &cfg,
                 MachineConfig::paper_xeon(),
                 &mix,
                 &[("xapian", 0.5), ("moses", 0.2), ("img-dnn", 0.2)],
                 strategy,
-            );
+            ));
             (
                 r.steady_lc_entropy(cfg.steady()),
                 r.steady_entropy(cfg.steady()),

@@ -1,13 +1,18 @@
 //! `repro` — regenerate the Ah-Q paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--out DIR] [--json FILE] [all | <ids>...]
+//! repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE]
+//!       [--timings FILE] [all | <ids>...]
 //! repro --list
 //! ```
 //!
 //! Each experiment prints aligned text tables; with `--out DIR` the tables
 //! are additionally written as CSV files (`<id>_<n>.csv`), and with
 //! `--json FILE` all reports are dumped as one JSON document.
+//!
+//! `--jobs N` sets the worker count of the deterministic run engine
+//! (default: one per available core; output is byte-identical for any N).
+//! `--timings FILE` writes a JSON timing/cache profile of the invocation.
 
 use std::env;
 use std::fs;
@@ -15,13 +20,36 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ahq_experiments::{all_experiments, ExpConfig};
+use ahq_experiments::{all_experiments, ExpConfig, ExpContext};
+use serde::Serialize;
+
+/// One experiment's wall-clock entry in the `--timings` report.
+#[derive(Debug, Serialize)]
+struct ExperimentTiming {
+    id: String,
+    seconds: f64,
+}
+
+/// The `--timings FILE` document.
+#[derive(Debug, Serialize)]
+struct TimingsReport {
+    jobs: usize,
+    quick: bool,
+    seed: u64,
+    total_seconds: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    experiments: Vec<ExperimentTiming>,
+}
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut seed = 42u64;
+    let mut jobs = 0usize; // 0 = one worker per available core
     let mut out: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
+    let mut timings: Option<PathBuf> = None;
     let mut picks: Vec<String> = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,6 +59,10 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => return usage("--seed needs an integer"),
             },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage("--jobs needs an integer (0 = auto)"),
+            },
             "--out" => match args.next() {
                 Some(dir) => out = Some(PathBuf::from(dir)),
                 None => return usage("--out needs a directory"),
@@ -39,6 +71,10 @@ fn main() -> ExitCode {
                 Some(file) => json = Some(PathBuf::from(file)),
                 None => return usage("--json needs a file path"),
             },
+            "--timings" => match args.next() {
+                Some(file) => timings = Some(PathBuf::from(file)),
+                None => return usage("--timings needs a file path"),
+            },
             "--list" => {
                 for (id, title, _) in all_experiments() {
                     println!("{id:<10} {title}");
@@ -46,9 +82,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown flag {other:?}"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other:?}")),
             other => picks.push(other.to_string()),
         }
     }
@@ -69,7 +103,10 @@ fn main() -> ExitCode {
             .collect()
     };
 
-    let cfg = ExpConfig { quick, seed };
+    // One context for the whole invocation: the run cache is shared across
+    // experiments, so a configuration measured by fig8 is free for
+    // headline, fig3 reuses fig2's budget points, and so on.
+    let cfg = ExpContext::with_jobs(ExpConfig { quick, seed }, jobs);
     if let Some(dir) = &out {
         if let Err(e) = fs::create_dir_all(dir) {
             eprintln!("cannot create {dir:?}: {e}");
@@ -77,13 +114,23 @@ fn main() -> ExitCode {
         }
     }
 
+    let t_start = Instant::now();
     let mut reports = Vec::new();
+    let mut experiment_timings = Vec::new();
     for (id, title, runner) in selected {
-        eprintln!(">>> running {id} ({title}){}", if quick { " [quick]" } else { "" });
+        eprintln!(
+            ">>> running {id} ({title}){}",
+            if quick { " [quick]" } else { "" }
+        );
         let t0 = Instant::now();
         let report = runner(&cfg);
+        let elapsed = t0.elapsed();
         println!("{}", report.render());
-        eprintln!("<<< {id} done in {:.1?}\n", t0.elapsed());
+        eprintln!("<<< {id} done in {elapsed:.1?}\n");
+        experiment_timings.push(ExperimentTiming {
+            id: id.to_string(),
+            seconds: elapsed.as_secs_f64(),
+        });
         if let Some(dir) = &out {
             for (i, table) in report.tables.iter().enumerate() {
                 let path = dir.join(format!("{id}_{i}.csv"));
@@ -95,6 +142,16 @@ fn main() -> ExitCode {
         }
         reports.push(report);
     }
+    let total = t_start.elapsed();
+    let stats = cfg.engine().stats();
+    eprintln!(
+        "=== total {total:.1?} with {} worker(s); run cache: {} hits / {} misses ({:.1} % hit rate)",
+        cfg.engine().jobs(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+    );
+
     if let Some(file) = &json {
         match serde_json::to_string_pretty(&reports) {
             Ok(body) => {
@@ -109,6 +166,30 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(file) = &timings {
+        let doc = TimingsReport {
+            jobs: cfg.engine().jobs(),
+            quick,
+            seed,
+            total_seconds: total.as_secs_f64(),
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+            cache_hit_rate: stats.hit_rate(),
+            experiments: experiment_timings,
+        };
+        match serde_json::to_string_pretty(&doc) {
+            Ok(body) => {
+                if let Err(e) = fs::write(file, body) {
+                    eprintln!("cannot write {file:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot serialize timings: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -116,7 +197,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: repro [--quick] [--seed N] [--out DIR] [--json FILE] [all | <ids>...]");
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE] \
+         [--timings FILE] [all | <ids>...]"
+    );
     eprintln!("       repro --list");
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,459 @@
+//! The deterministic parallel run engine: experiment modules describe
+//! their simulations as value-typed [`RunSpec`] jobs and submit whole
+//! grids at once; the [`Engine`] fans the jobs out over a scoped-thread
+//! worker pool and memoizes results so configurations shared across
+//! figures execute exactly once per `repro` invocation.
+//!
+//! # Determinism
+//!
+//! A [`RunSpec`] is a *closed* job description: machine, mix, initial
+//! loads (in application order — each `set_load` advances the simulator
+//! RNG), scheduler, window count, seed, entropy model, and the full
+//! per-window load schedule. Executing a spec twice therefore yields
+//! byte-identical [`RunResult`]s, and nothing about a run depends on
+//! worker identity or scheduling order. Results are returned in
+//! submission order, so `--jobs 1` and `--jobs N` produce identical
+//! output.
+//!
+//! # Cache keying
+//!
+//! The cache key is the full canonical `Debug` rendering of the spec
+//! ([`RunSpec::key`]), not a hash of it — two distinct specs can never
+//! collide silently. Hits and misses are counted per engine and reported
+//! by the `repro` binary.
+
+use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use ahq_core::EntropyModel;
+use ahq_sched::{run_with_hook, Arq, ArqConfig, RunResult, SchedContext, Scheduler};
+use ahq_sim::{AppSpec, MachineConfig, Partition, SharingPolicy};
+use ahq_workloads::mixes::Mix;
+use parking_lot::Mutex;
+
+use crate::runs::{build_sim, ExpConfig};
+use crate::strategy::StrategyKind;
+
+/// A value-typed scheduler description, so a [`RunSpec`] stays a closed,
+/// comparable job description rather than holding a boxed trait object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedSpec {
+    /// One of the named strategies.
+    Kind(StrategyKind),
+    /// ARQ with an explicit configuration (the ablation variants).
+    Arq(ArqConfig),
+    /// A fixed partition installed once and never adjusted (Fig. 1's
+    /// strategy "B").
+    Static(Partition),
+}
+
+impl SchedSpec {
+    /// Instantiates a fresh scheduler for one run.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedSpec::Kind(kind) => kind.build(),
+            SchedSpec::Arq(config) => Box::new(Arq::with_config(*config)),
+            SchedSpec::Static(partition) => Box::new(StaticPartition(partition.clone())),
+        }
+    }
+}
+
+/// A scheduler that installs one fixed partition and never adjusts —
+/// strategy "B" of the motivating example.
+#[derive(Debug, Clone)]
+pub struct StaticPartition(pub Partition);
+
+impl Scheduler for StaticPartition {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn policy(&self) -> SharingPolicy {
+        SharingPolicy::LcPriority
+    }
+
+    fn initial_partition(&self, _machine: &MachineConfig, _apps: &[AppSpec]) -> Partition {
+        self.0.clone()
+    }
+
+    fn decide(&mut self, _ctx: &SchedContext<'_>) -> Option<Partition> {
+        None
+    }
+}
+
+/// One simulation job: everything that determines a [`RunResult`].
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Machine budget under test.
+    pub machine: MachineConfig,
+    /// The application mix.
+    pub mix: Mix,
+    /// Initial per-LC-app load fractions, in call-site order (order
+    /// matters: each `set_load` advances the simulator RNG).
+    pub loads: Vec<(String, f64)>,
+    /// The scheduler driving the run.
+    pub sched: SchedSpec,
+    /// Number of monitoring windows.
+    pub windows: usize,
+    /// Simulator RNG seed.
+    pub seed: u64,
+    /// Monitoring-window override in milliseconds (the interval ablation).
+    pub window_ms: Option<f64>,
+    /// Entropy model the scheduler is fed with.
+    pub model: EntropyModel,
+    /// Pre-window load changes `(window, app, fraction)` applied in order
+    /// before each window — Fig. 13's trace replay, precomputed so the
+    /// job stays a closed value.
+    pub schedule: Vec<(usize, String, f64)>,
+}
+
+impl RunSpec {
+    /// The standard experiment job: `mix` on `machine` at `loads` under a
+    /// named strategy, with the configuration's windows, seed and model.
+    pub fn strategy(
+        cfg: &ExpConfig,
+        machine: MachineConfig,
+        mix: &Mix,
+        loads: &[(&str, f64)],
+        strategy: StrategyKind,
+    ) -> Self {
+        RunSpec {
+            machine,
+            mix: mix.clone(),
+            loads: loads.iter().map(|(n, l)| ((*n).to_owned(), *l)).collect(),
+            sched: SchedSpec::Kind(strategy),
+            windows: cfg.windows(),
+            seed: cfg.seed,
+            window_ms: None,
+            model: cfg.model(),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// The canonical cache key of this spec.
+    pub fn key(&self) -> RunKey {
+        RunKey(format!("{self:?}"))
+    }
+
+    /// Executes the job on the calling thread. The result is a pure
+    /// function of the spec.
+    pub fn execute(&self) -> RunResult {
+        let loads: Vec<(&str, f64)> = self.loads.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+        let mut sim = build_sim(self.machine, &self.mix, &loads, self.seed);
+        if let Some(ms) = self.window_ms {
+            sim.set_window_ms(ms);
+        }
+        let mut sched = self.sched.build();
+        let schedule = &self.schedule;
+        let mut cursor = 0usize;
+        run_with_hook(
+            &mut sim,
+            sched.as_mut(),
+            self.windows,
+            &self.model,
+            |sim, w| {
+                while cursor < schedule.len() && schedule[cursor].0 <= w {
+                    let (_, name, fraction) = &schedule[cursor];
+                    let _ = sim.set_load(name, *fraction);
+                    cursor += 1;
+                }
+            },
+        )
+    }
+}
+
+/// The canonical cache key of a [`RunSpec`] — the full rendering, not a
+/// hash of it, so distinct specs can never collide silently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey(String);
+
+/// Hit/miss counters of an [`Engine`]'s run cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Submissions answered from the cache (including duplicates within
+    /// one batch, which execute once).
+    pub hits: u64,
+    /// Submissions that executed a simulation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of submissions answered without executing, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The parallel run engine: a scoped-thread worker pool plus a memoized
+/// result cache keyed by canonical [`RunSpec`].
+pub struct Engine {
+    jobs: usize,
+    cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine with `jobs` workers; `0` means the machine's
+    /// available parallelism.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Engine {
+            jobs,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a single spec through the cache.
+    pub fn run_one(&self, spec: &RunSpec) -> Arc<RunResult> {
+        self.run_all(std::slice::from_ref(spec))
+            .pop()
+            .expect("one spec in, one result out")
+    }
+
+    /// Runs a grid of specs, returning results in submission order.
+    ///
+    /// Cached and duplicated specs execute at most once; the rest are
+    /// fanned out over the worker pool. Because every job's result is a
+    /// pure function of its spec and results are reassembled by
+    /// submission index, the output is byte-identical for any worker
+    /// count.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunResult>> {
+        let keys: Vec<RunKey> = specs.iter().map(RunSpec::key).collect();
+        let mut results: Vec<Option<Arc<RunResult>>> = vec![None; specs.len()];
+        // Unique uncached jobs (by first submission index) and, for
+        // in-batch duplicates, which pending slot each one follows.
+        let mut owner_of: HashMap<&RunKey, usize> = HashMap::new();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(cached) = cache.get(key) {
+                    results[i] = Some(Arc::clone(cached));
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else if let Some(&slot) = owner_of.get(key) {
+                    followers.push((i, slot));
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    owner_of.insert(key, pending.len());
+                    pending.push(i);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let slots: Vec<Mutex<Option<RunResult>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.jobs.min(pending.len());
+        if workers <= 1 {
+            for (slot, &spec_index) in pending.iter().enumerate() {
+                *slots[slot].lock() = Some(specs[spec_index].execute());
+            }
+        } else {
+            let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let Some(slot) = queue.lock().pop_front() else {
+                            break;
+                        };
+                        let result = specs[pending[slot]].execute();
+                        *slots[slot].lock() = Some(result);
+                    });
+                }
+            });
+        }
+
+        {
+            let mut cache = self.cache.lock();
+            for (slot, cell) in slots.into_iter().enumerate() {
+                let result = Arc::new(cell.into_inner().expect("worker filled the slot"));
+                cache.insert(keys[pending[slot]].clone(), Arc::clone(&result));
+                results[pending[slot]] = Some(result);
+            }
+        }
+        for (i, slot) in followers {
+            results[i] = results[pending[slot]].clone();
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every submission resolved"))
+            .collect()
+    }
+}
+
+/// Everything an experiment module needs: the configuration plus the
+/// shared [`Engine`]. Derefs to [`ExpConfig`], so `cfg.windows()`-style
+/// call sites work unchanged.
+pub struct ExpContext {
+    /// The experiment configuration.
+    pub cfg: ExpConfig,
+    engine: Engine,
+}
+
+impl ExpContext {
+    /// A context using the machine's available parallelism.
+    pub fn new(cfg: ExpConfig) -> Self {
+        Self::with_jobs(cfg, 0)
+    }
+
+    /// A context with an explicit worker count (`0` = auto).
+    pub fn with_jobs(cfg: ExpConfig, jobs: usize) -> Self {
+        ExpContext {
+            cfg,
+            engine: Engine::new(jobs),
+        }
+    }
+
+    /// The shared engine (and its run cache).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Runs one `(machine, mix, loads, strategy)` configuration through
+    /// the engine.
+    pub fn run_strategy(
+        &self,
+        machine: MachineConfig,
+        mix: &Mix,
+        loads: &[(&str, f64)],
+        strategy: StrategyKind,
+    ) -> Arc<RunResult> {
+        self.engine
+            .run_one(&RunSpec::strategy(&self.cfg, machine, mix, loads, strategy))
+    }
+}
+
+impl Deref for ExpContext {
+    type Target = ExpConfig;
+
+    fn deref(&self) -> &ExpConfig {
+        &self.cfg
+    }
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        Self::new(ExpConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahq_workloads::mixes;
+
+    fn tiny_spec(seed: u64, strategy: StrategyKind) -> RunSpec {
+        let cfg = ExpConfig { quick: true, seed };
+        let mix = mixes::fluidanimate_mix();
+        RunSpec {
+            windows: 8,
+            ..RunSpec::strategy(
+                &cfg,
+                MachineConfig::paper_xeon(),
+                &mix,
+                &[("xapian", 0.3), ("moses", 0.2), ("img-dnn", 0.2)],
+                strategy,
+            )
+        }
+    }
+
+    #[test]
+    fn duplicated_spec_executes_once() {
+        let engine = Engine::new(4);
+        let spec = tiny_spec(7, StrategyKind::Unmanaged);
+        let results = engine.run_all(&[spec.clone(), spec]);
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1, "one unique spec, one execution");
+        assert_eq!(stats.hits, 1, "the duplicate is a hit");
+        assert!(
+            Arc::ptr_eq(&results[0], &results[1]),
+            "duplicates share one result"
+        );
+    }
+
+    #[test]
+    fn cache_persists_across_calls() {
+        let engine = Engine::new(2);
+        let spec = tiny_spec(9, StrategyKind::Unmanaged);
+        let first = engine.run_one(&spec);
+        let second = engine.run_one(&spec);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(engine.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((engine.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_results_are_byte_identical_to_sequential() {
+        let grid: Vec<RunSpec> = [0.2, 0.5, 0.8]
+            .iter()
+            .flat_map(|&load| {
+                StrategyKind::all().map(|strategy| {
+                    let mut spec = tiny_spec(11, strategy);
+                    spec.loads[0].1 = load;
+                    spec
+                })
+            })
+            .collect();
+        let sequential = Engine::new(1).run_all(&grid);
+        let parallel = Engine::new(8).run_all(&grid);
+        let render = |results: &[Arc<ahq_sched::RunResult>]| -> String {
+            results
+                .iter()
+                .map(|r| serde_json::to_string(&**r).expect("serializable"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&sequential), render(&parallel));
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_jobs() {
+        let engine = Engine::new(2);
+        let a = engine.run_one(&tiny_spec(1, StrategyKind::Unmanaged));
+        let b = engine.run_one(&tiny_spec(2, StrategyKind::Unmanaged));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(engine.stats().misses, 2);
+    }
+
+    #[test]
+    fn static_scheduler_never_adjusts() {
+        let spec = RunSpec {
+            sched: SchedSpec::Static(Partition::all_shared(4)),
+            ..tiny_spec(5, StrategyKind::Unmanaged)
+        };
+        let result = spec.execute();
+        assert_eq!(result.strategy, "static");
+        assert_eq!(result.adjustments, 0);
+    }
+}

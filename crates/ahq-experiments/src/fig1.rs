@@ -13,16 +13,15 @@
 //! machine and B is a static strict partition biased toward Img-dnn.
 
 use ahq_core::{BeMeasurement, LcMeasurement};
-use ahq_sched::{run as run_sched, SchedContext, Scheduler};
-use ahq_sim::{AppSpec, MachineConfig, Partition, RegionAlloc, SharingPolicy};
+use ahq_sim::{MachineConfig, Partition, RegionAlloc};
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec, SchedSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{build_sim, ExpConfig};
 use crate::strategy::StrategyKind;
 
 /// Regenerates Fig. 1.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig1", "Fig 1: motivating example (strategy A vs B)");
     let model = cfg.model();
 
@@ -47,7 +46,15 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
 
     let mut paper_table = TextTable::new(
         "The paper's Fig. 1 numbers, scored by this implementation",
-        &["strategy", "img-dnn p95", "fluid IPC", "E_LC", "E_BE", "E_S", "yield (5% elastic)"],
+        &[
+            "strategy",
+            "img-dnn p95",
+            "fluid IPC",
+            "E_LC",
+            "E_BE",
+            "E_S",
+            "yield (5% elastic)",
+        ],
     );
     for (label, lc, be, r) in [
         ("A", &lc_a, &be_a, &report_a),
@@ -77,27 +84,36 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let machine = MachineConfig::paper_xeon();
 
     // Strategy A: everything shared — latency a whisker over target,
-    // BE thriving.
-    let mut sim = build_sim(machine, &mix, &loads, cfg.seed);
-    let mut shared = StrategyKind::Unmanaged.build();
-    let a = run_sched(&mut sim, shared.as_mut(), cfg.windows(), &model);
-
-    // Strategy B: a static strict partition biased toward Img-dnn.
-    let mut sim = build_sim(machine, &mix, &loads, cfg.seed);
-    let mut static_b = StaticPartition(Partition::strict(vec![
-        RegionAlloc::new(2, 4),
-        RegionAlloc::new(2, 4),
-        RegionAlloc::new(5, 10), // img-dnn hoards
-        RegionAlloc::new(1, 2),  // fluidanimate gets the sliver
-    ]));
-    let b = run_sched(&mut sim, &mut static_b, cfg.windows(), &model);
+    // BE thriving. Strategy B: a static strict partition biased toward
+    // Img-dnn. Both submitted as one batch.
+    let specs = [
+        RunSpec::strategy(cfg, machine, &mix, &loads, StrategyKind::Unmanaged),
+        RunSpec {
+            sched: SchedSpec::Static(Partition::strict(vec![
+                RegionAlloc::new(2, 4),
+                RegionAlloc::new(2, 4),
+                RegionAlloc::new(5, 10), // img-dnn hoards
+                RegionAlloc::new(1, 2),  // fluidanimate gets the sliver
+            ])),
+            ..RunSpec::strategy(cfg, machine, &mix, &loads, StrategyKind::Unmanaged)
+        },
+    ];
+    let results = cfg.engine().run_all(&specs);
+    let (a, b) = (&results[0], &results[1]);
 
     let steady = cfg.steady();
     let mut sim_table = TextTable::new(
         "Simulated analogue (A = full sharing, B = static Img-dnn-biased partition)",
-        &["strategy", "img-dnn p95", "fluid IPC", "E_LC", "E_BE", "E_S"],
+        &[
+            "strategy",
+            "img-dnn p95",
+            "fluid IPC",
+            "E_LC",
+            "E_BE",
+            "E_S",
+        ],
     );
-    for (label, r) in [("A (shared)", &a), ("B (strict)", &b)] {
+    for (label, r) in [("A (shared)", a), ("B (strict)", b)] {
         sim_table.push_row(vec![
             label.into(),
             f2(r.steady_p95("img-dnn", steady).unwrap_or(f64::NAN)),
@@ -116,38 +132,16 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     report
 }
 
-/// A scheduler that installs one fixed partition and never adjusts —
-/// strategy "B" of the motivating example.
-struct StaticPartition(Partition);
-
-impl Scheduler for StaticPartition {
-    fn name(&self) -> &'static str {
-        "static"
-    }
-
-    fn policy(&self) -> SharingPolicy {
-        SharingPolicy::LcPriority
-    }
-
-    fn initial_partition(&self, _machine: &MachineConfig, _apps: &[AppSpec]) -> Partition {
-        self.0.clone()
-    }
-
-    fn decide(&mut self, _ctx: &SchedContext<'_>) -> Option<Partition> {
-        None
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn entropy_prefers_strategy_a_like_the_paper() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 61,
-        };
+        });
         let report = run(&cfg);
         let t = &report.tables[0];
         let es = |label: &str| -> f64 {
@@ -157,7 +151,12 @@ mod tests {
                 .and_then(|r| r[5].parse().ok())
                 .expect("strategy row")
         };
-        assert!(es("A") < es("B"), "A {:.3} must beat B {:.3}", es("A"), es("B"));
+        assert!(
+            es("A") < es("B"),
+            "A {:.3} must beat B {:.3}",
+            es("A"),
+            es("B")
+        );
         // The elastic yield forgives A's 4.4 % violation.
         let yield_a: f64 = t.rows[0][6].parse().unwrap();
         assert_eq!(yield_a, 1.0);

@@ -4,8 +4,9 @@
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
+use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
 /// The grid of loads swept on both axes.
@@ -17,39 +18,46 @@ pub fn grid_loads(cfg: &ExpConfig) -> Vec<f64> {
     }
 }
 
+/// Heatmap cells: `((xapian_load, imgdnn_load), (e_lc, e_be, e_s))`.
+pub type HeatmapCells = Vec<((f64, f64), (f64, f64, f64))>;
+
 /// One strategy's heatmap: `result[(xapian, imgdnn)] = (e_lc, e_be, e_s)`.
-pub fn heatmap(
-    cfg: &ExpConfig,
-    strategy: StrategyKind,
-) -> Vec<((f64, f64), (f64, f64, f64))> {
+pub fn heatmap(cfg: &ExpContext, strategy: StrategyKind) -> HeatmapCells {
     let mix = mixes::stream_mix();
     let loads = grid_loads(cfg);
-    let mut cells = Vec::new();
+    let mut keys = Vec::new();
+    let mut specs = Vec::new();
     for &x in &loads {
         for &i in &loads {
-            let result = run_strategy(
+            keys.push((x, i));
+            specs.push(RunSpec::strategy(
                 cfg,
                 MachineConfig::paper_xeon(),
                 &mix,
                 &[("xapian", x), ("img-dnn", i), ("moses", 0.2)],
                 strategy,
-            );
-            let steady = cfg.steady();
-            cells.push((
-                (x, i),
+            ));
+        }
+    }
+    let results = cfg.engine().run_all(&specs);
+    let steady = cfg.steady();
+    keys.into_iter()
+        .zip(results.iter())
+        .map(|(key, result)| {
+            (
+                key,
                 (
                     result.steady_lc_entropy(steady),
                     result.steady_be_entropy(steady),
                     result.steady_entropy(steady),
                 ),
-            ));
-        }
-    }
-    cells
+            )
+        })
+        .collect()
 }
 
 /// Regenerates Fig. 10.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig10", "Fig 10: load-grid heatmaps");
     let loads = grid_loads(cfg);
 
@@ -96,14 +104,18 @@ mod tests {
 
     #[test]
     fn arq_dominates_the_corners() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 31,
-        };
+        });
         let parties = heatmap(&cfg, StrategyKind::Parties);
         let arq = heatmap(&cfg, StrategyKind::Arq);
         let get = |cells: &[((f64, f64), (f64, f64, f64))], k: (f64, f64)| {
-            cells.iter().find(|(c, _)| *c == k).map(|(_, v)| *v).unwrap()
+            cells
+                .iter()
+                .find(|(c, _)| *c == k)
+                .map(|(_, v)| *v)
+                .unwrap()
         };
         // Low-load corner: ARQ must have lower E_BE.
         let (_, be_p, _) = get(&parties, (0.1, 0.1));

@@ -1,15 +1,14 @@
 //! Fig. 11: another collocation — Img-dnn (swept) + Moses + Sphinx with
 //! STREAM.
 
+use crate::exec::ExpContext;
 use crate::fig8::{entropy_tables, sweep, sweep_loads};
 use crate::report::ExperimentReport;
-use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
 /// Regenerates Fig. 11.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig11", "Fig 11: Img-dnn + Moses + Sphinx with STREAM");
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new("fig11", "Fig 11: Img-dnn + Moses + Sphinx with STREAM");
     let mix = ahq_workloads::mixes::sphinx_mix();
     let loads = sweep_loads(cfg);
 
@@ -50,10 +49,10 @@ mod tests {
 
     #[test]
     fn arq_beats_parties_at_high_imgdnn_load() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 37,
-        };
+        });
         let mix = ahq_workloads::mixes::sphinx_mix();
         let cells = sweep(&cfg, &mix, "img-dnn", 0.2, &[0.9]);
         let get = |s: StrategyKind| cells.iter().find(|c| c.strategy == s).unwrap();

@@ -5,12 +5,12 @@
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
 use crate::strategy::StrategyKind;
 
 /// Regenerates Fig. 12.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig12", "Fig 12: 6 LC + 2 BE collocation");
     let mix = mixes::large_mix();
     let loads: Vec<(&str, f64)> = mix.lc_names().into_iter().map(|n| (n, 0.2)).collect();
@@ -20,14 +20,17 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         &["app", "M_i", "parties", "arq"],
     );
     let mut ipc_table = TextTable::new("BE IPC", &["app", "ipc_solo", "parties", "arq"]);
-    let mut entropy_table = TextTable::new(
-        "Entropy",
-        &["strategy", "E_LC", "E_BE", "E_S", "yield"],
-    );
+    let mut entropy_table =
+        TextTable::new("Entropy", &["strategy", "E_LC", "E_BE", "E_S", "yield"]);
 
+    let strategies = [StrategyKind::Parties, StrategyKind::Arq];
+    let specs: Vec<RunSpec> = strategies
+        .iter()
+        .map(|&s| RunSpec::strategy(cfg, MachineConfig::paper_xeon(), &mix, &loads, s))
+        .collect();
+    let run_results = cfg.engine().run_all(&specs);
     let mut results = Vec::new();
-    for strategy in [StrategyKind::Parties, StrategyKind::Arq] {
-        let result = run_strategy(cfg, MachineConfig::paper_xeon(), &mix, &loads, strategy);
+    for (strategy, result) in strategies.into_iter().zip(run_results) {
         let steady = cfg.steady();
         entropy_table.push_row(vec![
             strategy.name().into(),
@@ -45,17 +48,18 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
             Some(qos) => {
                 let mut row = vec![spec.name().to_owned(), f2(qos)];
                 for (_, result) in &results {
-                    row.push(f2(result.steady_p95(spec.name(), steady).unwrap_or(f64::NAN)));
+                    row.push(f2(result
+                        .steady_p95(spec.name(), steady)
+                        .unwrap_or(f64::NAN)));
                 }
                 lat_table.push_row(row);
             }
             None => {
-                let mut row = vec![
-                    spec.name().to_owned(),
-                    f2(spec.ipc_solo().expect("BE app")),
-                ];
+                let mut row = vec![spec.name().to_owned(), f2(spec.ipc_solo().expect("BE app"))];
                 for (_, result) in &results {
-                    row.push(f2(result.steady_ipc(spec.name(), steady).unwrap_or(f64::NAN)));
+                    row.push(f2(result
+                        .steady_ipc(spec.name(), steady)
+                        .unwrap_or(f64::NAN)));
                 }
                 ipc_table.push_row(row);
             }
@@ -80,10 +84,10 @@ mod tests {
 
     #[test]
     fn arq_scales_better_than_parties() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 41,
-        };
+        });
         let report = run(&cfg);
         let entropy = report
             .tables

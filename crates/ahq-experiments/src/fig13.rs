@@ -4,45 +4,61 @@
 //! entropy time series, violation counts, and the resource-allocation
 //! timeline.
 
+use std::sync::Arc;
+
 use ahq_sched::RunResult;
 use ahq_sim::MachineConfig;
 use ahq_workloads::load::fig13_xapian_trace;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{build_sim, ExpConfig};
+use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
-/// Runs one strategy under the fluctuating trace and returns its result.
-pub fn run_trace(cfg: &ExpConfig, strategy: StrategyKind) -> RunResult {
+/// The fluctuating-trace job for one strategy: Xapian's load is re-set at
+/// every window from the Fig. 13(a) trace (compressed in quick mode).
+fn trace_spec(cfg: &ExpConfig, strategy: StrategyKind) -> RunSpec {
     let mix = mixes::stream_mix();
     let trace = fig13_xapian_trace();
     let windows = if cfg.quick { 200 } else { 500 }; // 100 s / 250 s
-    let mut sim = build_sim(
-        MachineConfig::paper_xeon(),
-        &mix,
-        &[("xapian", trace.load_at(0.0)), ("moses", 0.2), ("img-dnn", 0.2)],
-        cfg.seed,
-    );
-    let mut sched = strategy.build();
     let time_scale = if cfg.quick { 0.4 } else { 1.0 }; // compress the trace in quick mode
-    ahq_sched::run_with_hook(
-        &mut sim,
-        sched.as_mut(),
-        windows,
-        &cfg.model(),
-        move |sim, w| {
+    let schedule = (0..windows)
+        .map(|w| {
             let t_s = (w as f64 * 0.5) / time_scale;
-            let load = trace.load_at(t_s);
-            let _ = sim.set_load("xapian", load);
-        },
-    )
+            (w, "xapian".to_owned(), trace.load_at(t_s))
+        })
+        .collect();
+    RunSpec {
+        windows,
+        schedule,
+        ..RunSpec::strategy(
+            cfg,
+            MachineConfig::paper_xeon(),
+            &mix,
+            &[
+                ("xapian", trace.load_at(0.0)),
+                ("moses", 0.2),
+                ("img-dnn", 0.2),
+            ],
+            strategy,
+        )
+    }
+}
+
+/// Runs one strategy under the fluctuating trace and returns its result.
+pub fn run_trace(cfg: &ExpContext, strategy: StrategyKind) -> Arc<RunResult> {
+    cfg.engine().run_one(&trace_spec(cfg, strategy))
 }
 
 /// Regenerates Fig. 13.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig13", "Fig 13: fluctuating load");
-    let strategies = [StrategyKind::LcFirst, StrategyKind::Parties, StrategyKind::Arq];
+    let strategies = [
+        StrategyKind::LcFirst,
+        StrategyKind::Parties,
+        StrategyKind::Arq,
+    ];
 
     let mut summary = TextTable::new(
         "Violations and adjustments over the trace",
@@ -60,9 +76,9 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         &["t (s)", "xapian load", "lc-first", "parties", "arq"],
     );
 
+    let specs: Vec<RunSpec> = strategies.iter().map(|&s| trace_spec(cfg, s)).collect();
     let mut results = Vec::new();
-    for strategy in strategies {
-        let result = run_trace(cfg, strategy);
+    for (strategy, result) in strategies.into_iter().zip(cfg.engine().run_all(&specs)) {
         let n = result.entropy.len() as f64;
         summary.push_row(vec![
             strategy.name().into(),
@@ -87,7 +103,10 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
             .unwrap_or(0.0);
         let mut row = vec![f2(t_s), f2(load)];
         for result in &results {
-            let es: f64 = result.entropy[start..end].iter().map(|e| e.system).sum::<f64>()
+            let es: f64 = result.entropy[start..end]
+                .iter()
+                .map(|e| e.system)
+                .sum::<f64>()
                 / (end - start) as f64;
             row.push(f3(es));
         }
@@ -98,7 +117,13 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     let arq = &results[2];
     let mut alloc = TextTable::new(
         "ARQ allocation timeline (10 s buckets)",
-        &["t (s)", "xapian iso cores", "xapian iso ways", "shared cores", "shared ways"],
+        &[
+            "t (s)",
+            "xapian iso cores",
+            "xapian iso ways",
+            "shared cores",
+            "shared ways",
+        ],
     );
     let machine = MachineConfig::paper_xeon();
     for start in (0..windows).step_by(bucket) {
@@ -131,10 +156,10 @@ mod tests {
 
     #[test]
     fn arq_has_fewer_violations_than_parties() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 43,
-        };
+        });
         let parties = run_trace(&cfg, StrategyKind::Parties);
         let arq = run_trace(&cfg, StrategyKind::Arq);
         assert!(

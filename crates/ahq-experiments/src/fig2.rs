@@ -8,24 +8,38 @@
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f3, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
+use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
 /// The strategies Fig. 2 compares.
 const STRATEGIES: [StrategyKind; 2] = [StrategyKind::Unmanaged, StrategyKind::Arq];
 
-/// Measures `E_S` for one machine budget under one strategy.
-pub fn entropy_at_budget(cfg: &ExpConfig, cores: u32, ways: u32, strategy: StrategyKind) -> f64 {
+/// The job measuring one machine budget under one strategy — shared with
+/// Fig. 3 so identical budget points hit the run cache across figures.
+pub(crate) fn budget_spec(
+    cfg: &ExpConfig,
+    cores: u32,
+    ways: u32,
+    strategy: StrategyKind,
+) -> RunSpec {
     let mix = mixes::fluidanimate_mix();
     let loads = [("xapian", 0.2), ("moses", 0.2), ("img-dnn", 0.2)];
     let machine = MachineConfig::paper_xeon().with_budget(cores, ways);
-    let result = run_strategy(cfg, machine, &mix, &loads, strategy);
+    RunSpec::strategy(cfg, machine, &mix, &loads, strategy)
+}
+
+/// Measures `E_S` for one machine budget under one strategy.
+pub fn entropy_at_budget(cfg: &ExpContext, cores: u32, ways: u32, strategy: StrategyKind) -> f64 {
+    let result = cfg
+        .engine()
+        .run_one(&budget_spec(cfg, cores, ways, strategy));
     result.steady_entropy(cfg.steady())
 }
 
 /// Regenerates Fig. 2.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig2", "Fig 2: E_S vs available resources");
 
     let core_points: Vec<u32> = if cfg.quick {
@@ -39,26 +53,40 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         (2..=10).map(|w| w * 2).collect()
     };
 
+    // Both sweeps as one batch; the engine dedups the shared rich point
+    // (10 cores, 20 ways) and fans the rest out in parallel.
+    let mut specs = Vec::new();
+    for &c in &core_points {
+        for strategy in STRATEGIES {
+            specs.push(budget_spec(cfg, c, 20, strategy));
+        }
+    }
+    for &w in &way_points {
+        for strategy in STRATEGIES {
+            specs.push(budget_spec(cfg, 10, w, strategy));
+        }
+    }
+    let results = cfg.engine().run_all(&specs);
+    let mut entropies = results.iter().map(|r| r.steady_entropy(cfg.steady()));
+
     let mut cores_table = TextTable::new(
         "E_S vs processing units (20 LLC ways)",
         &["cores", "unmanaged", "arq"],
     );
     for &c in &core_points {
         let mut row = vec![c.to_string()];
-        for strategy in STRATEGIES {
-            row.push(f3(entropy_at_budget(cfg, c, 20, strategy)));
+        for _ in STRATEGIES {
+            row.push(f3(entropies.next().expect("job per cell")));
         }
         cores_table.push_row(row);
     }
 
-    let mut ways_table = TextTable::new(
-        "E_S vs LLC ways (10 cores)",
-        &["ways", "unmanaged", "arq"],
-    );
+    let mut ways_table =
+        TextTable::new("E_S vs LLC ways (10 cores)", &["ways", "unmanaged", "arq"]);
     for &w in &way_points {
         let mut row = vec![w.to_string()];
-        for strategy in STRATEGIES {
-            row.push(f3(entropy_at_budget(cfg, 10, w, strategy)));
+        for _ in STRATEGIES {
+            row.push(f3(entropies.next().expect("job per cell")));
         }
         ways_table.push_row(row);
     }
@@ -97,10 +125,10 @@ mod tests {
 
     #[test]
     fn entropy_rises_when_cores_shrink() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 3,
-        };
+        });
         let poor = entropy_at_budget(&cfg, 5, 20, StrategyKind::Unmanaged);
         let rich = entropy_at_budget(&cfg, 10, 20, StrategyKind::Unmanaged);
         assert!(
@@ -111,10 +139,10 @@ mod tests {
 
     #[test]
     fn arq_beats_unmanaged_under_scarcity() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 3,
-        };
+        });
         let unmanaged = entropy_at_budget(&cfg, 6, 20, StrategyKind::Unmanaged);
         let arq = entropy_at_budget(&cfg, 6, 20, StrategyKind::Arq);
         assert!(

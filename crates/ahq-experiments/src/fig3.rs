@@ -8,27 +8,39 @@
 
 use ahq_core::{resource_equivalence, EntropySeries};
 
-use crate::fig2::entropy_at_budget;
+use crate::exec::{ExpContext, RunSpec};
+use crate::fig2::budget_spec;
 use crate::report::{f2, f3, ExperimentReport, TextTable};
 use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
-/// Builds the `E_S(cores)` series for one strategy at 20 ways.
-pub fn entropy_series(cfg: &ExpConfig, strategy: StrategyKind) -> EntropySeries {
-    let core_points: Vec<u32> = if cfg.quick {
+/// The core budgets sampled for the `E_S(cores)` series.
+fn series_core_points(cfg: &ExpConfig) -> Vec<u32> {
+    if cfg.quick {
         vec![4, 5, 6, 8, 10]
     } else {
         (4..=10).collect()
-    };
+    }
+}
+
+/// Builds the `E_S(cores)` series for one strategy at 20 ways.
+pub fn entropy_series(cfg: &ExpContext, strategy: StrategyKind) -> EntropySeries {
+    let core_points = series_core_points(cfg);
+    let specs: Vec<RunSpec> = core_points
+        .iter()
+        .map(|&c| budget_spec(cfg, c, 20, strategy))
+        .collect();
+    let results = cfg.engine().run_all(&specs);
     let points = core_points
         .iter()
-        .map(|&c| (c as f64, entropy_at_budget(cfg, c, 20, strategy)))
+        .zip(results.iter())
+        .map(|(&c, r)| (c as f64, r.steady_entropy(cfg.steady())))
         .collect();
     EntropySeries::from_points(strategy.name(), points)
 }
 
 /// Regenerates Fig. 3.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig3", "Fig 3: resource equivalence");
 
     // --- (a) E_S vs cores + equivalence --------------------------------
@@ -63,12 +75,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
                 ));
             }
             None => {
-                table_eq.push_row(vec![
-                    f2(target),
-                    "n/a".into(),
-                    "n/a".into(),
-                    "n/a".into(),
-                ]);
+                table_eq.push_row(vec![f2(target), "n/a".into(), "n/a".into(), "n/a".into()]);
                 report.note(format!(
                     "E_S = {target}: not reachable within the sampled 4-10 core range"
                 ));
@@ -89,11 +96,20 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
     } else {
         vec![4, 6, 8, 10, 12, 16, 20]
     };
-    let core_points: Vec<u32> = if cfg.quick {
-        vec![4, 5, 6, 8, 10]
-    } else {
-        (4..=10).collect()
-    };
+    let core_points = series_core_points(cfg);
+
+    // The whole (ways x strategies x cores) grid as one batch; the cache
+    // dedups the 20-way column already measured for part (a).
+    let mut specs = Vec::new();
+    for &w in &way_points {
+        for strategy in strategies {
+            for &c in &core_points {
+                specs.push(budget_spec(cfg, c, w, strategy));
+            }
+        }
+    }
+    let results = cfg.engine().run_all(&specs);
+    let mut entropies = results.iter().map(|r| r.steady_entropy(cfg.steady()));
 
     let mut table_b = TextTable::new(
         "Fig 3(b): min cores for E_S <= 0.3, per LLC-way budget",
@@ -104,7 +120,7 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         for strategy in strategies {
             let pts: Vec<(f64, f64)> = core_points
                 .iter()
-                .map(|&c| (c as f64, entropy_at_budget(cfg, c, w, strategy)))
+                .map(|&c| (c as f64, entropies.next().expect("job per cell")))
                 .collect();
             let series = EntropySeries::from_points(strategy.name(), pts);
             match series.resource_for_entropy(0.3) {
@@ -129,10 +145,10 @@ mod tests {
 
     #[test]
     fn arq_series_sits_below_unmanaged_when_scarce() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 5,
-        };
+        });
         let unmanaged = entropy_series(&cfg, StrategyKind::Unmanaged);
         let arq = entropy_series(&cfg, StrategyKind::Arq);
         // At the scarce end of the sweep ARQ must need no more cores for

@@ -3,8 +3,8 @@
 
 use ahq_sim::spacetime::{evaluate, figure4_patterns, Discipline, SliceOutcome};
 
+use crate::exec::ExpContext;
 use crate::report::{f2, ExperimentReport, TextTable};
-use crate::runs::ExpConfig;
 
 fn glyph(outcome: SliceOutcome) -> &'static str {
     match outcome {
@@ -16,7 +16,7 @@ fn glyph(outcome: SliceOutcome) -> &'static str {
 }
 
 /// Regenerates Fig. 4.
-pub fn run(_cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(_cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig4", "Fig 4: space-time model");
     let patterns = figure4_patterns();
 
@@ -28,7 +28,9 @@ pub fn run(_cfg: &ExpConfig) -> ExperimentReport {
 
     let mut grid = TextTable::new(
         "Per-slice outcomes (v = served, ^ = served w/ transfer overhead, x = denied)",
-        &["scenario", "app", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"],
+        &[
+            "scenario", "app", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8",
+        ],
     );
     let mut summary = TextTable::new(
         "Cross/tick/triangle accounting",
@@ -67,7 +69,7 @@ mod tests {
 
     #[test]
     fn summary_matches_paper_counts() {
-        let report = run(&ExpConfig::default());
+        let report = run(&ExpContext::default());
         let summary = &report.tables[1];
         let row = |label: &str| {
             summary

@@ -9,19 +9,18 @@
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
 use crate::strategy::StrategyKind;
 
+/// The strategies the snapshots contrast.
+const STRATEGIES: [StrategyKind; 2] = [StrategyKind::Parties, StrategyKind::Arq];
+
 /// Runs the snapshot experiment at the given Xapian load.
-fn snapshot(cfg: &ExpConfig, id: &str, title: &str, xapian_load: f64) -> ExperimentReport {
+fn snapshot(cfg: &ExpContext, id: &str, title: &str, xapian_load: f64) -> ExperimentReport {
     let mut report = ExperimentReport::new(id, title);
     let mix = mixes::stream_mix();
-    let loads = [
-        ("xapian", xapian_load),
-        ("moses", 0.2),
-        ("img-dnn", 0.2),
-    ];
+    let loads = [("xapian", xapian_load), ("moses", 0.2), ("img-dnn", 0.2)];
     let machine = MachineConfig::paper_xeon();
 
     let mut table = TextTable::new(
@@ -32,8 +31,13 @@ fn snapshot(cfg: &ExpConfig, id: &str, title: &str, xapian_load: f64) -> Experim
         &["strategy", "region", "cores %", "ways %"],
     );
 
-    for strategy in [StrategyKind::Parties, StrategyKind::Arq] {
-        let result = run_strategy(cfg, machine, &mix, &loads, strategy);
+    let specs: Vec<RunSpec> = STRATEGIES
+        .iter()
+        .map(|&s| RunSpec::strategy(cfg, machine, &mix, &loads, s))
+        .collect();
+    let results = cfg.engine().run_all(&specs);
+
+    for (strategy, result) in STRATEGIES.into_iter().zip(results.iter()) {
         let partition = result.partitions.last().expect("windows ran").clone();
         for (id, alloc) in partition.iter() {
             let name = mix.apps[id.index()].name();
@@ -67,7 +71,7 @@ fn snapshot(cfg: &ExpConfig, id: &str, title: &str, xapian_load: f64) -> Experim
 }
 
 /// Regenerates Fig. 5 (Xapian at 30 %).
-pub fn run_fig5(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run_fig5(cfg: &ExpContext) -> ExperimentReport {
     let mut r = snapshot(
         cfg,
         "fig5",
@@ -83,7 +87,7 @@ pub fn run_fig5(cfg: &ExpConfig) -> ExperimentReport {
 }
 
 /// Regenerates Fig. 6 (Xapian at 90 %).
-pub fn run_fig6(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run_fig6(cfg: &ExpContext) -> ExperimentReport {
     let mut r = snapshot(
         cfg,
         "fig6",
@@ -105,10 +109,10 @@ mod tests {
 
     #[test]
     fn arq_keeps_a_larger_shared_region_at_low_load() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 11,
-        };
+        });
         let report = run_fig5(&cfg);
         let table = &report.tables[0];
         let shared_cores = |strategy: &str| -> f64 {

@@ -7,24 +7,39 @@
 //! with as many worker threads as cores under test so the service capacity
 //! scales with the budget.
 
-use ahq_sim::{AppSpec, MachineConfig, NodeSim};
+use ahq_sim::{AppSpec, MachineConfig, WindowObservation};
+use ahq_workloads::mixes::Mix;
 use ahq_workloads::profiles;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, ExperimentReport, TextTable};
 use crate::runs::ExpConfig;
+use crate::strategy::StrategyKind;
 
-/// The p95 latency of `spec` running alone at `load` (fraction of its
-/// nominal max load) on `cores` cores.
-pub fn solo_p95(cfg: &ExpConfig, spec: &AppSpec, cores: u32, load: f64) -> f64 {
-    let spec = spec.clone().with_threads(cores.max(1));
-    let name = spec.name().to_owned();
+/// The solo-run job for `spec` at `load` on `cores` cores. An Unmanaged
+/// run of a one-app mix is observation-identical to a raw windowed run.
+fn solo_spec(cfg: &ExpConfig, spec: &AppSpec, cores: u32, load: f64) -> RunSpec {
+    let app = spec.clone().with_threads(cores.max(1));
+    let name = app.name().to_owned();
+    let mix = Mix {
+        name: "solo",
+        apps: vec![app],
+    };
     let machine = MachineConfig::paper_xeon().with_budget(cores, 20);
-    let mut sim = NodeSim::with_reference(machine, MachineConfig::paper_xeon(), vec![spec], cfg.seed)
-        .expect("solo spec is valid");
-    sim.set_load(&name, load).expect("LC app");
-    let windows = if cfg.quick { 24 } else { 60 };
-    let steady = windows / 2;
-    let obs = sim.run_windows(windows);
+    RunSpec {
+        windows: if cfg.quick { 24 } else { 60 },
+        ..RunSpec::strategy(
+            cfg,
+            machine,
+            &mix,
+            &[(name.as_str(), load)],
+            StrategyKind::Unmanaged,
+        )
+    }
+}
+
+/// Mean steady-state p95 of the (sole) LC app over the trailing windows.
+fn solo_mean_p95(obs: &[WindowObservation], steady: usize) -> f64 {
     let vals: Vec<f64> = obs[obs.len() - steady..]
         .iter()
         .filter_map(|o| o.lc[0].p95_ms)
@@ -32,8 +47,17 @@ pub fn solo_p95(cfg: &ExpConfig, spec: &AppSpec, cores: u32, load: f64) -> f64 {
     vals.iter().sum::<f64>() / vals.len().max(1) as f64
 }
 
+/// The p95 latency of `spec` running alone at `load` (fraction of its
+/// nominal max load) on `cores` cores.
+pub fn solo_p95(cfg: &ExpContext, spec: &AppSpec, cores: u32, load: f64) -> f64 {
+    let job = solo_spec(cfg, spec, cores, load);
+    let steady = job.windows / 2;
+    let result = cfg.engine().run_one(&job);
+    solo_mean_p95(&result.observations, steady)
+}
+
 /// Regenerates Fig. 7.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig7", "Fig 7: load-latency curves");
     let apps = [
         profiles::xapian(),
@@ -48,6 +72,21 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         (1..=13).map(|i| i as f64 * 0.1).collect()
     };
 
+    // The full (app x load x cores) grid as one parallel batch.
+    let mut jobs = Vec::new();
+    for spec in &apps {
+        for &load in &loads {
+            for &cores in &core_counts {
+                jobs.push(solo_spec(cfg, spec, cores, load));
+            }
+        }
+    }
+    let results = cfg.engine().run_all(&jobs);
+    let mut cells = jobs
+        .iter()
+        .zip(results.iter())
+        .map(|(job, r)| solo_mean_p95(&r.observations, job.windows / 2));
+
     for spec in &apps {
         let mut table = TextTable::new(
             format!(
@@ -59,8 +98,8 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         );
         for &load in &loads {
             let mut row = vec![f2(load)];
-            for &cores in &core_counts {
-                row.push(f2(solo_p95(cfg, spec, cores, load)));
+            for _ in &core_counts {
+                row.push(f2(cells.next().expect("job per cell")));
             }
             table.push_row(row);
         }
@@ -87,10 +126,10 @@ mod tests {
 
     #[test]
     fn latency_hockey_stick_and_core_scaling() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 17,
-        };
+        });
         let xapian = profiles::xapian();
         // Hockey stick on 2 cores: overload blows past the threshold.
         let low = solo_p95(&cfg, &xapian, 2, 0.3);

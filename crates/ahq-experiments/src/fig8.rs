@@ -9,8 +9,9 @@ use ahq_sched::RunResult;
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes::Mix;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
+use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
 /// One cell of a load-sweep result.
@@ -39,7 +40,7 @@ pub struct SweepCell {
 /// Runs the standard Fig. 8/9/11-style sweep: `primary` swept over
 /// `loads`, the other LC apps pinned at `background`, all five strategies.
 pub fn sweep(
-    cfg: &ExpConfig,
+    cfg: &ExpContext,
     mix: &Mix,
     primary: &str,
     background: f64,
@@ -51,20 +52,33 @@ pub fn sweep(
         .into_iter()
         .filter(|n| *n != primary)
         .collect();
-    let mut cells = Vec::new();
+    // One job per (load, strategy) cell, fanned out through the engine.
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
     for &load in loads {
         let mut load_spec: Vec<(&str, f64)> = vec![(primary, load)];
         for app in &background_apps {
             load_spec.push((app, background));
         }
         for strategy in StrategyKind::all() {
-            let result = run_strategy(cfg, MachineConfig::paper_xeon(), mix, &load_spec, strategy);
-            cells.push(cell_from(
-                cfg, &result, strategy, primary, &be_name, load, background,
+            specs.push(RunSpec::strategy(
+                cfg,
+                MachineConfig::paper_xeon(),
+                mix,
+                &load_spec,
+                strategy,
             ));
+            labels.push((load, strategy));
         }
     }
-    cells
+    let results = cfg.engine().run_all(&specs);
+    labels
+        .into_iter()
+        .zip(results.iter())
+        .map(|((load, strategy), result)| {
+            cell_from(cfg, result, strategy, primary, &be_name, load, background)
+        })
+        .collect()
 }
 
 fn cell_from(
@@ -91,22 +105,14 @@ fn cell_from(
 }
 
 /// Renders one background-load setting's sweep as entropy tables.
-pub fn entropy_tables(
-    cells: &[SweepCell],
-    primary: &str,
-    background: f64,
-) -> Vec<TextTable> {
+pub fn entropy_tables(cells: &[SweepCell], primary: &str, background: f64) -> Vec<TextTable> {
     let loads: Vec<f64> = {
         let mut ls: Vec<f64> = cells.iter().map(|c| c.primary_load).collect();
         ls.dedup();
         ls
     };
     let mut tables = Vec::new();
-    for (metric, pick) in [
-        ("E_LC", 0usize),
-        ("E_BE", 1),
-        ("E_S", 2),
-    ] {
+    for (metric, pick) in [("E_LC", 0usize), ("E_BE", 1), ("E_S", 2)] {
         let mut t = TextTable::new(
             format!(
                 "{metric} vs {primary} load (others at {:.0} %)",
@@ -162,7 +168,7 @@ pub fn sweep_loads(cfg: &ExpConfig) -> Vec<f64> {
 }
 
 /// Regenerates Fig. 8.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig8", "Fig 8: collocation with Fluidanimate");
     let mix = ahq_workloads::mixes::fluidanimate_mix();
     let loads = sweep_loads(cfg);
@@ -223,10 +229,10 @@ mod tests {
 
     #[test]
     fn arq_has_lowest_mean_entropy_and_unmanaged_wins_low_load() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 23,
-        };
+        });
         let mix = ahq_workloads::mixes::fluidanimate_mix();
         let cells = sweep(&cfg, &mix, "xapian", 0.2, &[0.1, 0.9]);
         let mean_es = |strategy: StrategyKind| -> f64 {

@@ -1,13 +1,13 @@
 //! Fig. 9: Xapian + Moses + Img-dnn collocated with the 10-thread STREAM
 //! hog — severe interference on cores, LLC *and* memory bandwidth.
 
+use crate::exec::ExpContext;
 use crate::fig8::{detail_table, entropy_tables, sweep, sweep_loads};
 use crate::report::ExperimentReport;
-use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
 /// Regenerates Fig. 9.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("fig9", "Fig 9: collocation with STREAM");
     let mix = ahq_workloads::mixes::stream_mix();
     let loads = sweep_loads(cfg);
@@ -59,10 +59,10 @@ mod tests {
 
     #[test]
     fn unmanaged_cannot_protect_lc_from_the_hog() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 29,
-        };
+        });
         let mix = ahq_workloads::mixes::stream_mix();
         let cells = sweep(&cfg, &mix, "xapian", 0.2, &[0.5]);
         let get = |s: StrategyKind| cells.iter().find(|c| c.strategy == s).unwrap();

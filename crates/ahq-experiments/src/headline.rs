@@ -5,13 +5,13 @@
 //! * `E_S` reduction of 36.4 % and 33.3 % respectively,
 //! * low-load BE IPC gains of +63.8 % and +37.1 %.
 
+use crate::exec::ExpContext;
 use crate::fig8::{sweep, sweep_loads, SweepCell};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
 
 /// Aggregates over both mixes and both background settings.
-pub fn collect_cells(cfg: &ExpConfig) -> Vec<SweepCell> {
+pub fn collect_cells(cfg: &ExpContext) -> Vec<SweepCell> {
     let loads = sweep_loads(cfg);
     let mut cells = Vec::new();
     for mix in [
@@ -26,7 +26,7 @@ pub fn collect_cells(cfg: &ExpConfig) -> Vec<SweepCell> {
 }
 
 /// Regenerates the headline table.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("headline", "Headline numbers (abstract / §VI)");
     let cells = collect_cells(cfg);
 
@@ -100,10 +100,10 @@ mod tests {
 
     #[test]
     fn headline_directions_hold() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 47,
-        };
+        });
         let cells = collect_cells(&cfg);
         let mean = |strategy: StrategyKind, f: &dyn Fn(&SweepCell) -> f64| -> f64 {
             let vs: Vec<f64> = cells

@@ -25,12 +25,18 @@
 //! The `repro` binary runs any subset and renders aligned text tables plus
 //! CSV files. Every experiment is deterministic (seeded) and offers a
 //! `quick` mode with shorter runs for CI.
+//!
+//! Every simulation is submitted as a [`RunSpec`] through the [`exec`]
+//! module's deterministic parallel [`Engine`]: `repro --jobs N` fans the
+//! grids out across workers and memoizes configurations shared across
+//! figures, without changing a byte of output relative to `--jobs 1`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod baselines;
+pub mod exec;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -50,34 +56,66 @@ pub mod strategy;
 pub mod table2;
 pub mod table4;
 
+pub use exec::{CacheStats, Engine, ExpContext, RunKey, RunSpec, SchedSpec};
 pub use report::{ExperimentReport, TextTable};
 pub use runs::ExpConfig;
 pub use strategy::StrategyKind;
 
+/// One registry entry: `(id, title, runner)`.
+pub type ExperimentEntry = (
+    &'static str,
+    &'static str,
+    fn(&ExpContext) -> ExperimentReport,
+);
+
 /// Every experiment in paper order: `(id, title, runner)`.
-pub fn all_experiments() -> Vec<(
-    &'static str,
-    &'static str,
-    fn(&ExpConfig) -> ExperimentReport,
-)> {
+pub fn all_experiments() -> Vec<ExperimentEntry> {
     vec![
-        ("fig1", "Fig 1: motivating example", fig1::run as fn(&ExpConfig) -> ExperimentReport),
+        (
+            "fig1",
+            "Fig 1: motivating example",
+            fig1::run as fn(&ExpContext) -> ExperimentReport,
+        ),
         ("table2", "Table II: entropy vs core count", table2::run),
         ("fig2", "Fig 2: E_S vs resource amount", fig2::run),
         ("fig3", "Fig 3: resource equivalence", fig3::run),
         ("fig4", "Fig 4: space-time model", fig4::run),
-        ("fig5", "Fig 5: allocation snapshot (Xapian 30%)", fig56::run_fig5),
-        ("fig6", "Fig 6: allocation snapshot (Xapian 90%)", fig56::run_fig6),
+        (
+            "fig5",
+            "Fig 5: allocation snapshot (Xapian 30%)",
+            fig56::run_fig5,
+        ),
+        (
+            "fig6",
+            "Fig 6: allocation snapshot (Xapian 90%)",
+            fig56::run_fig6,
+        ),
         ("fig7", "Fig 7: load-latency curves", fig7::run),
         ("table4", "Table IV: LC application parameters", table4::run),
         ("fig8", "Fig 8: collocation with Fluidanimate", fig8::run),
         ("fig9", "Fig 9: collocation with STREAM", fig9::run),
         ("fig10", "Fig 10: load-grid heatmaps", fig10::run),
-        ("fig11", "Fig 11: Img-dnn/Moses/Sphinx with STREAM", fig11::run),
+        (
+            "fig11",
+            "Fig 11: Img-dnn/Moses/Sphinx with STREAM",
+            fig11::run,
+        ),
         ("fig12", "Fig 12: 6 LC + 2 BE collocation", fig12::run),
         ("fig13", "Fig 13: fluctuating load", fig13::run),
-        ("headline", "Headline numbers (yield, E_S, IPC)", headline::run),
-        ("ablations", "Ablations of ARQ's design choices", ablations::run),
-        ("baselines", "Six-strategy comparison incl. Heracles", baselines::run),
+        (
+            "headline",
+            "Headline numbers (yield, E_S, IPC)",
+            headline::run,
+        ),
+        (
+            "ablations",
+            "Ablations of ARQ's design choices",
+            ablations::run,
+        ),
+        (
+            "baselines",
+            "Six-strategy comparison incl. Heracles",
+            baselines::run,
+        ),
     ]
 }

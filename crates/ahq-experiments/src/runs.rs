@@ -7,7 +7,22 @@ use ahq_sim::{MachineConfig, NodeSim};
 use ahq_workloads::mixes::Mix;
 use serde::{Deserialize, Serialize};
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::strategy::StrategyKind;
+
+/// Derives the seed of logical stream `stream` from `base` — the one
+/// audited per-replica/per-job derivation shared by the executor and the
+/// replication helpers (a SplitMix64 finalizer over the stream-salted
+/// base). The result depends only on `(base, stream)`, never on worker
+/// identity or scheduling order, which is what keeps parallel runs
+/// byte-identical to sequential ones.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Experiment-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,13 +76,9 @@ impl ExpConfig {
 /// Panics on invalid mixes/loads — experiment inputs are static and a
 /// mistake is a bug, not a runtime condition.
 pub fn build_sim(machine: MachineConfig, mix: &Mix, loads: &[(&str, f64)], seed: u64) -> NodeSim {
-    let mut sim = NodeSim::with_reference(
-        machine,
-        MachineConfig::paper_xeon(),
-        mix.apps.clone(),
-        seed,
-    )
-    .expect("experiment mixes are valid");
+    let mut sim =
+        NodeSim::with_reference(machine, MachineConfig::paper_xeon(), mix.apps.clone(), seed)
+            .expect("experiment mixes are valid");
     for (name, load) in loads {
         sim.set_load(name, *load).expect("load targets an LC app");
     }
@@ -121,23 +132,28 @@ impl ReplicatedStats {
     }
 }
 
-/// Replicates one configuration's steady-state `E_S` across `n` seeds.
+/// Replicates one configuration's steady-state `E_S` across `n` seeds,
+/// fanning the replicas out over the context's engine. Replica `i` runs
+/// with [`derive_seed`]`(cfg.seed, i)`.
 pub fn replicate_entropy(
-    cfg: &ExpConfig,
+    cfg: &ExpContext,
     machine: MachineConfig,
     mix: &Mix,
     loads: &[(&str, f64)],
     strategy: StrategyKind,
     n: usize,
 ) -> ReplicatedStats {
-    let samples: Vec<f64> = (0..n.max(1))
-        .map(|i| {
-            let seeded = ExpConfig {
-                seed: cfg.seed.wrapping_add(i as u64 * 0x9E37),
-                ..*cfg
-            };
-            run_strategy(&seeded, machine, mix, loads, strategy).steady_entropy(cfg.steady())
+    let specs: Vec<RunSpec> = (0..n.max(1))
+        .map(|i| RunSpec {
+            seed: derive_seed(cfg.seed, i as u64),
+            ..RunSpec::strategy(cfg, machine, mix, loads, strategy)
         })
+        .collect();
+    let samples: Vec<f64> = cfg
+        .engine()
+        .run_all(&specs)
+        .iter()
+        .map(|r| r.steady_entropy(cfg.steady()))
         .collect();
     ReplicatedStats::from_samples(&samples).expect("n >= 1")
 }
@@ -170,11 +186,29 @@ mod tests {
     }
 
     #[test]
+    fn derive_seed_is_pinned_and_stream_sensitive() {
+        // SplitMix64 reference outputs: derive_seed(0, 0) is the first
+        // splitmix64 output of state 0.
+        assert_eq!(derive_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(derive_seed(0, 1), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(derive_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(derive_seed(42, 1), 0x28EF_E333_B266_F103);
+        assert_eq!(derive_seed(42, 2), 0x5FD3_0D2F_CBEF_75E3);
+        assert_eq!(derive_seed(u64::MAX, u64::MAX), 0xE99F_F867_DBF6_82C9);
+        // Distinct streams from one base never collide in practice.
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
     fn replication_bounds_run_to_run_noise() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(ExpConfig {
             quick: true,
             seed: 71,
-        };
+        });
         let mix = mixes::fluidanimate_mix();
         let stats = replicate_entropy(
             &cfg,

@@ -8,15 +8,15 @@ use ahq_core::{BeMeasurement, LcMeasurement};
 use ahq_sim::MachineConfig;
 use ahq_workloads::mixes;
 
+use crate::exec::{ExpContext, RunSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
-use crate::runs::{run_strategy, ExpConfig};
 use crate::strategy::StrategyKind;
 
 /// Paper values of `E_LC` per core count, for the notes section.
 const PAPER_E_LC: [(u32, f64); 3] = [(6, 0.64), (7, 0.23), (8, 0.0)];
 
 /// Regenerates Table II.
-pub fn run(cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("table2", "Table II: entropy vs core count (Unmanaged)");
     let mix = mixes::fluidanimate_mix();
     let loads = [("xapian", 0.2), ("moses", 0.2), ("img-dnn", 0.2)];
@@ -29,9 +29,17 @@ pub fn run(cfg: &ExpConfig) -> ExperimentReport {
         ],
     );
 
-    for cores in [6u32, 7, 8] {
-        let machine = MachineConfig::paper_xeon().with_budget(cores, 20);
-        let result = run_strategy(cfg, machine, &mix, &loads, StrategyKind::Unmanaged);
+    let core_budgets = [6u32, 7, 8];
+    let specs: Vec<RunSpec> = core_budgets
+        .iter()
+        .map(|&cores| {
+            let machine = MachineConfig::paper_xeon().with_budget(cores, 20);
+            RunSpec::strategy(cfg, machine, &mix, &loads, StrategyKind::Unmanaged)
+        })
+        .collect();
+    let results = cfg.engine().run_all(&specs);
+
+    for (cores, result) in core_budgets.into_iter().zip(results.iter()) {
         let steady = cfg.steady().min(result.observations.len());
         // Average the steady-state window latencies per app, then derive
         // the Table II quantities from the averaged measurement.
@@ -119,10 +127,10 @@ mod tests {
 
     #[test]
     fn entropy_decreases_with_cores() {
-        let cfg = ExpConfig {
+        let cfg = ExpContext::new(crate::runs::ExpConfig {
             quick: true,
             seed: 7,
-        };
+        });
         let report = run(&cfg);
         let table = &report.tables[0];
         // Collect E_LC from the "system" rows (cores 6, 7, 8 in order).

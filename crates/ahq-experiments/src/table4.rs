@@ -7,11 +7,11 @@
 
 use ahq_workloads::profiles::{self, paper_max_load_qps};
 
+use crate::exec::ExpContext;
 use crate::report::{f2, ExperimentReport, TextTable};
-use crate::runs::ExpConfig;
 
 /// Regenerates Table IV.
-pub fn run(_cfg: &ExpConfig) -> ExperimentReport {
+pub fn run(_cfg: &ExpContext) -> ExperimentReport {
     let mut report = ExperimentReport::new("table4", "Table IV: LC application parameters");
     let mut table = TextTable::new(
         "QoS thresholds and max loads",
@@ -58,7 +58,7 @@ mod tests {
 
     #[test]
     fn all_six_apps_and_sane_ratios() {
-        let report = run(&ExpConfig::default());
+        let report = run(&ExpContext::default());
         let table = &report.tables[0];
         assert_eq!(table.rows.len(), 6);
         for row in &table.rows {

@@ -117,7 +117,9 @@ impl Arq {
     }
 
     fn blacklisted(&self, region: Region, now_s: f64) -> bool {
-        self.blacklist.get(&region).is_some_and(|&until| now_s < until)
+        self.blacklist
+            .get(&region)
+            .is_some_and(|&until| now_s < until)
     }
 
     /// The remaining-tolerance array: `(global app index, ReT)` per LC
@@ -356,8 +358,8 @@ impl Scheduler for Arq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ahq_sim::RegionAlloc;
     use ahq_core::{EntropyModel, EntropyReport, LcMeasurement};
+    use ahq_sim::RegionAlloc;
     use ahq_sim::WindowObservation;
 
     fn specs() -> Vec<AppSpec> {

@@ -252,8 +252,12 @@ impl Clite {
                 .map(|s| s.slack())
                 .unwrap_or(1.0)
         };
-        let lc: Vec<usize> = (0..n).filter(|&i| ctx.apps[i].kind() == AppKind::Lc).collect();
-        let be: Vec<usize> = (0..n).filter(|&i| ctx.apps[i].kind() == AppKind::Be).collect();
+        let lc: Vec<usize> = (0..n)
+            .filter(|&i| ctx.apps[i].kind() == AppKind::Lc)
+            .collect();
+        let be: Vec<usize> = (0..n)
+            .filter(|&i| ctx.apps[i].kind() == AppKind::Be)
+            .collect();
         let worst = lc
             .iter()
             .copied()
@@ -276,7 +280,13 @@ impl Clite {
                         .iter()
                         .copied()
                         .filter(|&i| has_units(&allocs, i))
-                        .max_by_key(|&i| if move_cores { allocs[i].cores } else { allocs[i].ways })
+                        .max_by_key(|&i| {
+                            if move_cores {
+                                allocs[i].cores
+                            } else {
+                                allocs[i].ways
+                            }
+                        })
                         .or_else(|| {
                             lc.iter()
                                 .copied()
@@ -296,10 +306,13 @@ impl Clite {
                         .copied()
                         .filter(|&i| has_units(&allocs, i) && slack_of(i) > 0.1)
                         .max_by(|&a, &b| slack_of(a).total_cmp(&slack_of(b)));
-                    let target = be
-                        .iter()
-                        .copied()
-                        .min_by_key(|&i| if move_cores { allocs[i].cores } else { allocs[i].ways });
+                    let target = be.iter().copied().min_by_key(|&i| {
+                        if move_cores {
+                            allocs[i].cores
+                        } else {
+                            allocs[i].ways
+                        }
+                    });
                     match (donor, target) {
                         (Some(d), Some(t)) if d != t => (d, t),
                         _ => {
@@ -443,10 +456,9 @@ impl Scheduler for Clite {
 
         // Exploitation: move the state out so `self` stays free for the
         // helper calls, and put it back unless a restart replaced it.
-        let Phase::Exploiting(mut st) = std::mem::replace(
-            &mut self.phase,
-            Phase::Exploring { left: 0 },
-        ) else {
+        let Phase::Exploiting(mut st) =
+            std::mem::replace(&mut self.phase, Phase::Exploring { left: 0 })
+        else {
             unreachable!("exploring handled above");
         };
         let action = self.exploit_step(ctx, score, &mut st);
@@ -525,7 +537,7 @@ impl Clite {
                     return ExploitAction::Restarted;
                 }
             }
-            if st.windows % self.config.probe_every == 0 {
+            if st.windows.is_multiple_of(self.config.probe_every) {
                 if let Some(candidate) = self.neighbour(ctx) {
                     let p = Partition::strict(candidate.allocs.clone());
                     // Probing starts a fresh sample accumulation; the

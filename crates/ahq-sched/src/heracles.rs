@@ -139,10 +139,8 @@ impl Scheduler for Heracles {
             let machine = ctx.machine;
             let be_cores: u32 = be.iter().map(|&i| p.isolated(i.into()).cores).sum();
             let be_ways: u32 = be.iter().map(|&i| p.isolated(i.into()).ways).sum();
-            let can_grow_cores = be_cores < self.config.max_be_cores
-                && p.shared_cores(machine) > 1;
-            let can_grow_ways =
-                be_ways < self.config.max_be_ways && p.shared_ways(machine) > 1;
+            let can_grow_cores = be_cores < self.config.max_be_cores && p.shared_cores(machine) > 1;
+            let can_grow_ways = be_ways < self.config.max_be_ways && p.shared_ways(machine) > 1;
             if self.grow_cores_next && can_grow_cores {
                 alloc.cores += 1;
             } else if can_grow_ways {

@@ -438,7 +438,11 @@ mod tests {
         assert_eq!(p.isolated_cores(), 10);
         assert_eq!(p.isolated_ways(), 20);
         assert_eq!(p.shared_cores(&machine), 0);
-        assert_eq!(p.isolated_membw_pct(), 100, "bandwidth is strictly reserved too");
+        assert_eq!(
+            p.isolated_membw_pct(),
+            100,
+            "bandwidth is strictly reserved too"
+        );
         // BE got the remainder core.
         assert!(p.isolated(2.into()).cores >= p.isolated(0.into()).cores);
     }

@@ -3,9 +3,7 @@
 
 use ahq_core::{BeMeasurement, EntropyModel, LcMeasurement};
 use ahq_sched::{Arq, Parties, SchedContext, Scheduler};
-use ahq_sim::{
-    AppSpec, BeWindowStats, LcWindowStats, MachineConfig, Partition, WindowObservation,
-};
+use ahq_sim::{AppSpec, BeWindowStats, LcWindowStats, MachineConfig, Partition, WindowObservation};
 use proptest::prelude::*;
 
 fn apps() -> Vec<AppSpec> {
@@ -80,8 +78,7 @@ fn drive(
             .iter()
             .map(|s| LcMeasurement::new(&s.name, s.ideal_ms, s.p95_ms.unwrap(), s.qos_ms).unwrap())
             .collect();
-        let be_m =
-            vec![BeMeasurement::new("be0", 2.0, be_ipc.max(1e-3)).unwrap()];
+        let be_m = vec![BeMeasurement::new("be0", 2.0, be_ipc.max(1e-3)).unwrap()];
         let entropy = model.evaluate(&lc_m, &be_m);
         let ctx = SchedContext {
             machine: &machine,

@@ -7,9 +7,7 @@ use crate::error::SimError;
 
 /// Index of an application within one simulation. Assigned in registration
 /// order by [`crate::NodeSim::new`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AppId(usize);
 
 impl AppId {
@@ -110,7 +108,12 @@ impl CacheProfile {
 
     /// Builds the miss-ratio curve normalised against `full_ways`.
     pub fn curve(&self, full_ways: u32) -> MissRatioCurve {
-        MissRatioCurve::new(self.miss_floor, self.footprint_ways, self.intensity, full_ways)
+        MissRatioCurve::new(
+            self.miss_floor,
+            self.footprint_ways,
+            self.intensity,
+            full_ways,
+        )
     }
 }
 

@@ -364,7 +364,13 @@ mod tests {
             rates[0].membw_factor
         );
         // Without the hog there is no pressure.
-        let solo = compute_rates(&machine(), &Partition::all_shared(1), &[victim], SharingPolicy::Fair, &bw());
+        let solo = compute_rates(
+            &machine(),
+            &Partition::all_shared(1),
+            &[victim],
+            SharingPolicy::Fair,
+            &bw(),
+        );
         assert!((solo[0].membw_factor - 1.0).abs() < 1e-9);
     }
 

@@ -48,7 +48,10 @@ impl fmt::Display for SimError {
                 write!(f, "application {name:?} registered twice")
             }
             SimError::WrongKind { name, operation } => {
-                write!(f, "operation {operation:?} does not apply to application {name:?}")
+                write!(
+                    f,
+                    "operation {operation:?} does not apply to application {name:?}"
+                )
             }
         }
     }

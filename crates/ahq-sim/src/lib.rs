@@ -90,7 +90,7 @@ pub use error::SimError;
 pub use node::{NodeSim, OverheadModel};
 pub use observation::{BeWindowStats, LcWindowStats, WindowObservation};
 pub use partition::{Partition, RegionAlloc};
-pub use quantile::{percentile, TailEstimator};
+pub use quantile::{percentile, percentile_in_place, TailEstimator};
 pub use resources::MachineConfig;
 pub use time::SimTime;
 pub use trace::{HistogramSummary, LatencyHistogram};

@@ -12,7 +12,7 @@ use crate::contention::{compute_rates, AppDemand, AppRates, SharingPolicy};
 use crate::error::SimError;
 use crate::observation::{BeWindowStats, LcWindowStats, WindowObservation};
 use crate::partition::Partition;
-use crate::quantile::{percentile, TailEstimator};
+use crate::quantile::{percentile_in_place, TailEstimator};
 use crate::resources::MachineConfig;
 use crate::time::SimTime;
 use crate::trace::LatencyHistogram;
@@ -186,9 +186,7 @@ impl NodeSim {
                                 window_arrivals: 0,
                                 window_completions: 0,
                                 window_drops: 0,
-                                max_outstanding: spec
-                                    .max_outstanding()
-                                    .expect("LC spec has a cap")
+                                max_outstanding: spec.max_outstanding().expect("LC spec has a cap")
                                     as usize,
                             }),
                             None,
@@ -321,7 +319,11 @@ impl NodeSim {
     /// p95; e.g. 0.99 for studies of deeper tails). Clamped to
     /// `[0.5, 0.999]`.
     pub fn set_tail_quantile(&mut self, q: f64) {
-        self.tail_quantile = if q.is_finite() { q.clamp(0.5, 0.999) } else { 0.95 };
+        self.tail_quantile = if q.is_finite() {
+            q.clamp(0.5, 0.999)
+        } else {
+            0.95
+        };
     }
 
     /// Enables whole-run latency tracing: every completed request's
@@ -470,7 +472,11 @@ impl NodeSim {
 
     /// Runs `n` consecutive windows.
     pub fn run_windows(&mut self, n: usize) -> Vec<WindowObservation> {
-        (0..n).map(|_| self.run_window()).collect()
+        let mut observations = Vec::with_capacity(n);
+        for _ in 0..n {
+            observations.push(self.run_window());
+        }
+        observations
     }
 
     // --- internals ------------------------------------------------------
@@ -501,7 +507,13 @@ impl NodeSim {
                 bw_per_thread: a.spec.cache_profile().bw_gbps_per_thread,
             })
             .collect();
-        self.rates = compute_rates(&self.machine, &self.partition, &demands, self.policy, &self.bw);
+        self.rates = compute_rates(
+            &self.machine,
+            &self.partition,
+            &demands,
+            self.policy,
+            &self.bw,
+        );
         self.rates_dirty = false;
     }
 
@@ -643,15 +655,19 @@ impl NodeSim {
     fn collect_observation(&mut self, start: SimTime, end: SimTime) -> WindowObservation {
         let window_ms = end.since(start).as_ms().max(1e-9);
         let now = self.time;
-        let mut lc_stats = Vec::new();
-        let mut be_stats = Vec::new();
-        for app in &self.apps {
+        let tail_quantile = self.tail_quantile;
+        let mut lc_stats = Vec::with_capacity(self.apps.len());
+        let mut be_stats = Vec::with_capacity(self.apps.len());
+        for app in &mut self.apps {
             let mean_capacity = app.window_capacity_integral / window_ms;
-            if let Some(lc) = &app.lc {
+            if let Some(lc) = &mut app.lc {
+                // Selection reorders `window_samples` in place; the buffer
+                // is a window-local multiset cleared at the next window
+                // start, so the order is free to give away.
                 let mut p95 = if lc.window_samples.len() >= WINDOW_P95_MIN_SAMPLES {
-                    percentile(&lc.window_samples, self.tail_quantile)
+                    percentile_in_place(&mut lc.window_samples, tail_quantile)
                 } else {
-                    lc.tail.quantile(self.tail_quantile)
+                    lc.tail.quantile(tail_quantile)
                 };
                 // Starvation floor: with zero completions this window and
                 // work outstanding, a latency monitor would report at least
@@ -682,8 +698,7 @@ impl NodeSim {
                 });
             }
             if let Some(be) = &app.be {
-                let mean_speed =
-                    be.window_speed_integral / (window_ms * app.spec.threads() as f64);
+                let mean_speed = be.window_speed_integral / (window_ms * app.spec.threads() as f64);
                 let ipc_solo = app.spec.ipc_solo().expect("BE app");
                 be_stats.push(BeWindowStats {
                     name: app.spec.name().to_owned(),

@@ -7,22 +7,41 @@ use serde::{Deserialize, Serialize};
 /// "exclusive" definition used by load-testing tools.
 ///
 /// Returns `None` for an empty slice. The input order is irrelevant; the
-/// function sorts an internal copy.
+/// function selects over an internal copy. Callers that can spare their
+/// buffer should prefer [`percentile_in_place`], which avoids the copy.
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    let mut scratch = samples.to_vec();
+    percentile_in_place(&mut scratch, p)
+}
+
+/// [`percentile`] over a caller-owned buffer, reordering it instead of
+/// sorting a copy.
+///
+/// Only the two order statistics bracketing the rank are needed, so this
+/// uses an `O(n)` selection (`select_nth_unstable_by`) rather than an
+/// `O(n log n)` full sort: the `lo`-th statistic lands at its sorted
+/// position and the `hi`-th (= `lo + 1`) is the minimum of the upper
+/// partition the selection leaves behind. The result is bit-identical to
+/// the sort-based formulation.
+pub fn percentile_in_place(samples: &mut [f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 1.0);
-    let rank = p * (sorted.len() - 1) as f64;
+    let rank = p * (samples.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    let (_, &mut lo_val, upper) = samples.select_nth_unstable_by(lo, f64::total_cmp);
     if lo == hi {
-        return Some(sorted[lo]);
+        return Some(lo_val);
     }
+    let hi_val = upper
+        .iter()
+        .copied()
+        .min_by(f64::total_cmp)
+        .expect("hi < len, so the upper partition is non-empty");
     let t = rank - lo as f64;
-    Some(sorted[lo] + t * (sorted[hi] - sorted[lo]))
+    Some(lo_val + t * (hi_val - lo_val))
 }
 
 /// A streaming tail-latency estimator over the most recent completions.
@@ -38,15 +57,21 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
 pub struct TailEstimator {
     ring: VecDeque<f64>,
     capacity: usize,
+    /// Query buffer the ring is copied into for selection; kept allocated
+    /// across queries so the per-window hot path never reallocates.
+    #[serde(skip)]
+    scratch: Vec<f64>,
 }
 
 impl TailEstimator {
     /// Creates an estimator remembering the last `capacity` latencies
     /// (minimum 1).
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         TailEstimator {
-            ring: VecDeque::with_capacity(capacity.max(1)),
-            capacity: capacity.max(1),
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            scratch: Vec::with_capacity(capacity),
         }
     }
 
@@ -60,9 +85,10 @@ impl TailEstimator {
 
     /// The `p`-th percentile over the remembered latencies, or `None` if
     /// nothing has completed yet.
-    pub fn quantile(&self, p: f64) -> Option<f64> {
-        let samples: Vec<f64> = self.ring.iter().copied().collect();
-        percentile(&samples, p)
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        self.scratch.clear();
+        self.scratch.extend(self.ring.iter().copied());
+        percentile_in_place(&mut self.scratch, p)
     }
 
     /// Number of remembered samples.
@@ -86,6 +112,40 @@ impl TailEstimator {
 mod tests {
     use super::*;
 
+    /// The previous, sort-based formulation — the reference the selection
+    /// implementation must match bit for bit.
+    fn percentile_by_sort(samples: &[f64], p: f64) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let p = p.clamp(0.0, 1.0);
+        let rank = p * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            return Some(sorted[lo]);
+        }
+        let t = rank - lo as f64;
+        Some(sorted[lo] + t * (sorted[hi] - sorted[lo]))
+    }
+
+    /// A tiny deterministic generator for test inputs (SplitMix64).
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+            })
+            .collect()
+    }
+
     #[test]
     fn percentile_of_known_sequence() {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
@@ -102,6 +162,7 @@ mod tests {
     #[test]
     fn percentile_empty_is_none() {
         assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile_in_place(&mut [], 0.5), None);
     }
 
     #[test]
@@ -113,6 +174,30 @@ mod tests {
     }
 
     #[test]
+    fn selection_is_bit_identical_to_sort() {
+        for n in [1usize, 2, 3, 7, 64, 512, 513] {
+            let xs = pseudo_random(n, n as u64);
+            for p in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                let fast = percentile(&xs, p);
+                let slow = percentile_by_sort(&xs, p);
+                assert_eq!(
+                    fast.map(f64::to_bits),
+                    slow.map(f64::to_bits),
+                    "n = {n}, p = {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_handles_ties() {
+        let xs = [2.0, 2.0, 1.0, 2.0, 1.0, 1.0, 2.0];
+        for p in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            assert_eq!(percentile(&xs, p), percentile_by_sort(&xs, p));
+        }
+    }
+
+    #[test]
     fn estimator_evicts_oldest() {
         let mut e = TailEstimator::new(3);
         for v in [10.0, 20.0, 30.0, 40.0] {
@@ -121,6 +206,17 @@ mod tests {
         assert_eq!(e.len(), 3);
         // 10.0 evicted: p0 is now 20.
         assert_eq!(e.quantile(0.0), Some(20.0));
+    }
+
+    #[test]
+    fn estimator_query_does_not_disturb_the_ring() {
+        let mut e = TailEstimator::new(64);
+        for v in pseudo_random(64, 9) {
+            e.record(v);
+        }
+        let first = e.quantile(0.95);
+        let second = e.quantile(0.95);
+        assert_eq!(first.map(f64::to_bits), second.map(f64::to_bits));
     }
 
     #[test]

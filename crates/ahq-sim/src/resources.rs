@@ -94,8 +94,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_machines() {
-        assert!(MachineConfig::paper_xeon().with_budget(0, 20).validate().is_err());
-        assert!(MachineConfig::paper_xeon().with_budget(10, 0).validate().is_err());
+        assert!(MachineConfig::paper_xeon()
+            .with_budget(0, 20)
+            .validate()
+            .is_err());
+        assert!(MachineConfig::paper_xeon()
+            .with_budget(10, 0)
+            .validate()
+            .is_err());
         let mut m = MachineConfig::paper_xeon();
         m.membw_gbps = 0.0;
         assert!(m.validate().is_err());

@@ -110,6 +110,8 @@ pub fn evaluate(patterns: &[DemandPattern], discipline: Discipline) -> SpaceTime
     let mut previous_owner: Option<usize> = None;
     let mut useful_slices = 0usize;
 
+    // `t` indexes every pattern's demand row and the outcome grid at once.
+    #[allow(clippy::needless_range_loop)]
     for t in 0..horizon {
         let claimants: Vec<usize> = (0..patterns.len())
             .filter(|&i| patterns[i].wants[t])

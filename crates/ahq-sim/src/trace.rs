@@ -51,7 +51,11 @@ impl LatencyHistogram {
             } else {
                 1e-3
             },
-            growth: if growth.is_finite() { growth.max(1.001) } else { 1.07 },
+            growth: if growth.is_finite() {
+                growth.max(1.001)
+            } else {
+                1.07
+            },
             buckets: vec![0; buckets.clamp(8, 4096)],
             underflow: 0,
             count: 0,

@@ -279,9 +279,11 @@ mod tests {
 
     #[test]
     fn stream_is_the_bandwidth_hog() {
-        let stream_bw =
-            stream().cache_profile().bw_gbps_per_thread * stream().threads() as f64;
-        for spec in all_lc().iter().chain([fluidanimate(), streamcluster()].iter()) {
+        let stream_bw = stream().cache_profile().bw_gbps_per_thread * stream().threads() as f64;
+        for spec in all_lc()
+            .iter()
+            .chain([fluidanimate(), streamcluster()].iter())
+        {
             let bw = spec.cache_profile().bw_gbps_per_thread * spec.threads() as f64;
             assert!(stream_bw > 3.0 * bw, "{} out-draws stream?", spec.name());
         }
@@ -291,7 +293,11 @@ mod tests {
     fn names_are_unique() {
         let mut names = std::collections::HashSet::new();
         for spec in all_lc().iter().chain(all_be().iter()) {
-            assert!(names.insert(spec.name().to_owned()), "duplicate {}", spec.name());
+            assert!(
+                names.insert(spec.name().to_owned()),
+                "duplicate {}",
+                spec.name()
+            );
         }
         assert_eq!(names.len(), 9);
     }

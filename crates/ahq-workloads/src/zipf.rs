@@ -112,10 +112,14 @@ mod tests {
         let flat = QueryPopularity::new(1000, 0.9, 1.0, 0.0).unwrap();
         let steep = QueryPopularity::new(1000, 0.9, 1.0, 0.8).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let mean_flat: f64 =
-            (0..5000).map(|_| flat.sample_cost_ms(&mut rng)).sum::<f64>() / 5000.0;
-        let mean_steep: f64 =
-            (0..5000).map(|_| steep.sample_cost_ms(&mut rng)).sum::<f64>() / 5000.0;
+        let mean_flat: f64 = (0..5000)
+            .map(|_| flat.sample_cost_ms(&mut rng))
+            .sum::<f64>()
+            / 5000.0;
+        let mean_steep: f64 = (0..5000)
+            .map(|_| steep.sample_cost_ms(&mut rng))
+            .sum::<f64>()
+            / 5000.0;
         assert!((mean_flat - 1.0).abs() < 1e-9);
         assert!(mean_steep > 1.5 * mean_flat);
     }

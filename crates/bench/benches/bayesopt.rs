@@ -27,9 +27,7 @@ fn bench_gp_fit(c: &mut Criterion) {
         let (xs, ys) = training_set(n, 8);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    GaussianProcess::fit(kernel, xs.clone(), ys.clone()).expect("PD kernel"),
-                )
+                black_box(GaussianProcess::fit(kernel, xs.clone(), ys.clone()).expect("PD kernel"))
             })
         });
     }
@@ -65,7 +63,6 @@ fn bench_suggest(c: &mut Criterion) {
         })
     });
 }
-
 
 /// A time-boxed Criterion configuration: the suite covers many benches,
 /// so each one gets a short warm-up and measurement window.

@@ -1,0 +1,72 @@
+//! Benchmarks of the parallel run engine at Fig. 8 scale: the same grid
+//! of (load x strategy) jobs executed sequentially and with all available
+//! workers. A fresh engine is built inside every iteration so the run
+//! cache cannot short-circuit the measurement.
+
+use ahq_experiments::{Engine, ExpConfig, ExpContext, RunSpec, StrategyKind};
+use ahq_sim::MachineConfig;
+use ahq_workloads::mixes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The Fig. 8 quick grid: Xapian swept over five loads, the other LC apps
+/// pinned at 20 %, all five strategies — 25 jobs.
+fn fig8_scale_grid() -> Vec<RunSpec> {
+    let cfg = ExpContext::new(ExpConfig {
+        quick: true,
+        seed: 11,
+    });
+    let mix = mixes::fluidanimate_mix();
+    let mut specs = Vec::new();
+    for load in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        for strategy in StrategyKind::all() {
+            specs.push(RunSpec::strategy(
+                &cfg,
+                MachineConfig::paper_xeon(),
+                &mix,
+                &[("xapian", load), ("moses", 0.2), ("img-dnn", 0.2)],
+                strategy,
+            ));
+        }
+    }
+    specs
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let specs = fig8_scale_grid();
+    let mut group = c.benchmark_group("executor_fig8_grid");
+    group.sample_size(10);
+
+    group.bench_function("sequential_1_worker", |b| {
+        b.iter(|| {
+            let engine = Engine::new(1);
+            black_box(engine.run_all(black_box(&specs)))
+        })
+    });
+    group.bench_function("parallel_auto_workers", |b| {
+        b.iter(|| {
+            let engine = Engine::new(0);
+            black_box(engine.run_all(black_box(&specs)))
+        })
+    });
+    // The memoized path: every job a cache hit.
+    group.bench_function("fully_cached", |b| {
+        let engine = Engine::new(0);
+        engine.run_all(&specs);
+        b.iter(|| black_box(engine.run_all(black_box(&specs))))
+    });
+    group.finish();
+}
+
+/// A time-boxed Criterion configuration matching the other suites.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_executor);
+criterion_main!(benches);

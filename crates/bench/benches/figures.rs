@@ -5,18 +5,18 @@
 
 use ahq_core::EntropyModel;
 use ahq_experiments::{fig2, fig7, StrategyKind};
-use ahq_experiments::ExpConfig;
+use ahq_experiments::{ExpConfig, ExpContext};
 use ahq_sched::{run, run_with_hook};
 use ahq_sim::{MachineConfig, NodeSim};
 use ahq_workloads::load::fig13_xapian_trace;
 use ahq_workloads::{mixes, profiles};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn tiny_cfg() -> ExpConfig {
-    ExpConfig {
+fn tiny_cfg() -> ExpContext {
+    ExpContext::new(ExpConfig {
         quick: true,
         seed: 9,
-    }
+    })
 }
 
 /// A reduced run: `windows` monitoring windows of `mix` at the given loads
@@ -50,11 +50,14 @@ fn bench_artifacts(c: &mut Criterion) {
     group.bench_function("fig2_budget_point_arq", |b| {
         b.iter(|| black_box(run_cell(StrategyKind::Arq, 8, 0.2, 12)))
     });
-    // Fig. 7: one solo load-latency point.
+    // Fig. 7: one solo load-latency point. A fresh context per iteration
+    // so the run cache cannot short-circuit the measurement.
     group.bench_function("fig7_solo_point", |b| {
-        let cfg = tiny_cfg();
         let spec = profiles::xapian();
-        b.iter(|| black_box(fig7::solo_p95(&cfg, &spec, 4, 0.8)))
+        b.iter(|| {
+            let cfg = tiny_cfg();
+            black_box(fig7::solo_p95(&cfg, &spec, 4, 0.8))
+        })
     });
     // Fig. 8 / 9 / 10 / 11 / 12: one sweep cell (strategy x load).
     group.bench_function("fig8_sweep_cell_arq", |b| {
@@ -92,12 +95,18 @@ fn bench_artifacts(c: &mut Criterion) {
     let mut exp = c.benchmark_group("experiment_helpers");
     exp.sample_size(10);
     exp.bench_function("fig2_entropy_at_budget", |b| {
-        let cfg = tiny_cfg();
-        b.iter(|| black_box(fig2::entropy_at_budget(&cfg, 8, 12, StrategyKind::Unmanaged)))
+        b.iter(|| {
+            let cfg = tiny_cfg();
+            black_box(fig2::entropy_at_budget(
+                &cfg,
+                8,
+                12,
+                StrategyKind::Unmanaged,
+            ))
+        })
     });
     exp.finish();
 }
-
 
 /// A time-boxed Criterion configuration: the suite covers many benches,
 /// so each one gets a short warm-up and measurement window.

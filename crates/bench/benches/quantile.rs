@@ -1,0 +1,71 @@
+//! Microbenchmark of the tail-estimator quantile: the selection-based
+//! `percentile_in_place` against the former copy-and-full-sort
+//! implementation, at the ring sizes the simulator actually uses.
+
+use ahq_sim::percentile_in_place;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The pre-optimization implementation, kept here as the baseline.
+fn percentile_by_sort(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let t = rank - lo as f64;
+    Some(sorted[lo] + t * (sorted[hi] - sorted[lo]))
+}
+
+/// Deterministic pseudo-random latencies (SplitMix64 bits mapped to
+/// positive millisecond-scale floats).
+fn samples(n: usize, mut state: u64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 50.0
+        })
+        .collect()
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tail_quantile_p95");
+    for n in [64usize, 512, 4096] {
+        let data = samples(n, 7 + n as u64);
+        group.bench_function(format!("sort_n{n}"), |b| {
+            b.iter(|| black_box(percentile_by_sort(black_box(&data), 0.95)))
+        });
+        group.bench_function(format!("select_n{n}"), |b| {
+            let mut scratch = Vec::with_capacity(n);
+            b.iter(|| {
+                scratch.clear();
+                scratch.extend_from_slice(black_box(&data));
+                black_box(percentile_in_place(&mut scratch, 0.95))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A time-boxed Criterion configuration matching the other suites.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_quantile);
+criterion_main!(benches);

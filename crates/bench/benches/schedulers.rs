@@ -32,7 +32,6 @@ fn bench_scheduled_runs(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// A time-boxed Criterion configuration: the suite covers many benches,
 /// so each one gets a short warm-up and measurement window.
 fn quick() -> Criterion {

@@ -35,7 +35,6 @@ fn bench_spacetime(c: &mut Criterion) {
     });
 }
 
-
 /// A time-boxed Criterion configuration: the suite covers many benches,
 /// so each one gets a short warm-up and measurement window.
 fn quick() -> Criterion {

@@ -24,10 +24,8 @@ fn bench_series_interpolation(c: &mut Criterion) {
         .map(|i| (i as f64, 1.0 / (1.0 + i as f64 * 0.3)))
         .collect();
     let a = EntropySeries::from_points("a", points.clone());
-    let b_series = EntropySeries::from_points(
-        "b",
-        points.iter().map(|&(r, e)| (r, e * 0.7)).collect(),
-    );
+    let b_series =
+        EntropySeries::from_points("b", points.iter().map(|&(r, e)| (r, e * 0.7)).collect());
     c.bench_function("resource_equivalence", |b| {
         b.iter(|| black_box(resource_equivalence(&a, &b_series, black_box(0.2))))
     });
@@ -43,7 +41,6 @@ fn bench_percentile(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// A time-boxed Criterion configuration: the suite covers many benches,
 /// so each one gets a short warm-up and measurement window.

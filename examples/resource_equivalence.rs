@@ -14,13 +14,9 @@ use ahq_workloads::mixes;
 fn entropy_at(cores: u32, strategy: StrategyKind) -> f64 {
     let mix = mixes::fluidanimate_mix();
     let machine = MachineConfig::paper_xeon().with_budget(cores, 20);
-    let mut sim = NodeSim::with_reference(
-        machine,
-        MachineConfig::paper_xeon(),
-        mix.apps.clone(),
-        42,
-    )
-    .expect("valid mix");
+    let mut sim =
+        NodeSim::with_reference(machine, MachineConfig::paper_xeon(), mix.apps.clone(), 42)
+            .expect("valid mix");
     for app in ["xapian", "moses", "img-dnn"] {
         sim.set_load(app, 0.2).expect("LC app");
     }

@@ -11,9 +11,7 @@
 //! cargo run --release --example weighted_entropy
 //! ```
 
-use ahq_core::{
-    BeMeasurement, EntropyModel, LcMeasurement, Weighted, WeightedEntropyModel,
-};
+use ahq_core::{BeMeasurement, EntropyModel, LcMeasurement, Weighted, WeightedEntropyModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two scenarios with symmetric violations:
@@ -29,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x_uniform = uniform.evaluate(&[checkout_bad.clone(), dashboard_ok.clone()], &be);
     let y_uniform = uniform.evaluate(&[checkout_ok.clone(), dashboard_bad.clone()], &be);
     println!("uniform model (the paper's default):");
-    println!("  scenario X (checkout down):  E_S = {:.3}", x_uniform.system);
-    println!("  scenario Y (dashboard down): E_S = {:.3}", y_uniform.system);
+    println!(
+        "  scenario X (checkout down):  E_S = {:.3}",
+        x_uniform.system
+    );
+    println!(
+        "  scenario Y (dashboard down): E_S = {:.3}",
+        y_uniform.system
+    );
     println!("  -> nearly indistinguishable; both are 'one LC app violating'.\n");
 
     // The weighted model: checkout is 9x more important than the dashboard.
@@ -52,8 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &be_w,
     )?;
     println!("weighted model (checkout weight 9, dashboard weight 1):");
-    println!("  scenario X (checkout down):  E_S = {:.3}", x_weighted.system);
-    println!("  scenario Y (dashboard down): E_S = {:.3}", y_weighted.system);
+    println!(
+        "  scenario X (checkout down):  E_S = {:.3}",
+        x_weighted.system
+    );
+    println!(
+        "  scenario Y (dashboard down): E_S = {:.3}",
+        y_weighted.system
+    );
     println!(
         "  -> the checkout outage is now {:.1}x worse, matching its business weight.",
         x_weighted.system / y_weighted.system

@@ -67,7 +67,10 @@ fn lc_first_trades_be_for_lc() {
     let machine = MachineConfig::paper_xeon();
     let (lc_u, be_u, _) = steady(&mix, &loads, StrategyKind::Unmanaged, machine);
     let (lc_f, be_f, _) = steady(&mix, &loads, StrategyKind::LcFirst, machine);
-    assert!(lc_f < lc_u, "LC-first must protect latency: {lc_f:.3} vs {lc_u:.3}");
+    assert!(
+        lc_f < lc_u,
+        "LC-first must protect latency: {lc_f:.3} vs {lc_u:.3}"
+    );
     assert!(
         be_f >= be_u - 0.02,
         "the protection is paid by the BE side: {be_f:.3} vs {be_u:.3}"

@@ -26,14 +26,19 @@ fn every_strategy_completes_on_every_mix() {
         mixes::large_mix(),
     ] {
         for strategy in StrategyKind::all() {
-            let mut sim =
-                NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 3).unwrap();
+            let mut sim = NodeSim::new(MachineConfig::paper_xeon(), mix.apps.clone(), 3).unwrap();
             for name in mix.lc_names() {
                 sim.set_load(name, 0.2).unwrap();
             }
             let mut sched = strategy.build();
             let result = run(&mut sim, sched.as_mut(), 20, &EntropyModel::default());
-            assert_eq!(result.observations.len(), 20, "{} on {}", strategy.name(), mix.name);
+            assert_eq!(
+                result.observations.len(),
+                20,
+                "{} on {}",
+                strategy.name(),
+                mix.name
+            );
             for e in &result.entropy {
                 assert!((0.0..=1.0).contains(&e.system));
             }
@@ -47,14 +52,16 @@ fn end_to_end_determinism() {
         let a = run_stack(strategy, 77, 30);
         let b = run_stack(strategy, 77, 30);
         assert_eq!(
-            a.observations, b.observations,
+            a.observations,
+            b.observations,
             "{} must be reproducible",
             strategy.name()
         );
         assert_eq!(a.violations, b.violations);
         let c = run_stack(strategy, 78, 30);
         assert_ne!(
-            a.observations, c.observations,
+            a.observations,
+            c.observations,
             "{} must respond to the seed",
             strategy.name()
         );

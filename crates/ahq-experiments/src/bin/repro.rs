@@ -40,6 +40,17 @@ struct TimingsReport {
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    /// Discrete simulator events processed across every executed run.
+    simulated_events: u64,
+    /// `simulated_events / total_seconds` — the throughput headline.
+    events_per_second: f64,
+    /// Fluid-rate-cache lookups answered from memory inside the
+    /// simulators.
+    rate_cache_hits: u64,
+    /// Fluid-rate-cache lookups that ran the contention solver.
+    rate_cache_misses: u64,
+    /// `rate_cache_hits / (hits + misses)`, in `[0, 1]`.
+    rate_cache_hit_rate: f64,
     experiments: Vec<ExperimentTiming>,
 }
 
@@ -144,12 +155,27 @@ fn main() -> ExitCode {
     }
     let total = t_start.elapsed();
     let stats = cfg.engine().stats();
+    let sim = cfg.engine().sim_stats();
+    let rate_lookups = sim.rate_hits + sim.rate_misses;
+    let rate_hit_rate = if rate_lookups == 0 {
+        0.0
+    } else {
+        sim.rate_hits as f64 / rate_lookups as f64
+    };
     eprintln!(
         "=== total {total:.1?} with {} worker(s); run cache: {} hits / {} misses ({:.1} % hit rate)",
         cfg.engine().jobs(),
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,
+    );
+    eprintln!(
+        "=== simulated {} events ({:.0} events/s); rate cache: {} hits / {} misses ({:.1} % hit rate)",
+        sim.events,
+        sim.events as f64 / total.as_secs_f64().max(1e-9),
+        sim.rate_hits,
+        sim.rate_misses,
+        rate_hit_rate * 100.0,
     );
 
     if let Some(file) = &json {
@@ -175,6 +201,11 @@ fn main() -> ExitCode {
             cache_hits: stats.hits,
             cache_misses: stats.misses,
             cache_hit_rate: stats.hit_rate(),
+            simulated_events: sim.events,
+            events_per_second: sim.events as f64 / total.as_secs_f64().max(1e-9),
+            rate_cache_hits: sim.rate_hits,
+            rate_cache_misses: sim.rate_misses,
+            rate_cache_hit_rate: rate_hit_rate,
             experiments: experiment_timings,
         };
         match serde_json::to_string_pretty(&doc) {

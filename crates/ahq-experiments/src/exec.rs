@@ -30,7 +30,7 @@ use std::thread;
 
 use ahq_core::EntropyModel;
 use ahq_sched::{run_with_hook, Arq, ArqConfig, RunResult, SchedContext, Scheduler};
-use ahq_sim::{AppSpec, MachineConfig, Partition, SharingPolicy};
+use ahq_sim::{AppSpec, MachineConfig, Partition, SharingPolicy, SimPerfStats};
 use ahq_workloads::mixes::Mix;
 use parking_lot::Mutex;
 
@@ -141,6 +141,13 @@ impl RunSpec {
     /// Executes the job on the calling thread. The result is a pure
     /// function of the spec.
     pub fn execute(&self) -> RunResult {
+        self.execute_with_stats().0
+    }
+
+    /// [`RunSpec::execute`], additionally returning the simulator's work
+    /// counters (events processed, rate-cache hits/misses) so the engine
+    /// can aggregate simulated-events/sec across a whole invocation.
+    pub fn execute_with_stats(&self) -> (RunResult, SimPerfStats) {
         let loads: Vec<(&str, f64)> = self.loads.iter().map(|(n, l)| (n.as_str(), *l)).collect();
         let mut sim = build_sim(self.machine, &self.mix, &loads, self.seed);
         if let Some(ms) = self.window_ms {
@@ -149,7 +156,7 @@ impl RunSpec {
         let mut sched = self.sched.build();
         let schedule = &self.schedule;
         let mut cursor = 0usize;
-        run_with_hook(
+        let result = run_with_hook(
             &mut sim,
             sched.as_mut(),
             self.windows,
@@ -161,7 +168,9 @@ impl RunSpec {
                     cursor += 1;
                 }
             },
-        )
+        );
+        let stats = sim.perf_stats();
+        (result, stats)
     }
 }
 
@@ -199,6 +208,11 @@ pub struct Engine {
     cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Aggregated simulator work counters over every *executed* run
+    // (cached runs re-use a prior execution and add nothing).
+    sim_events: AtomicU64,
+    sim_rate_hits: AtomicU64,
+    sim_rate_misses: AtomicU64,
 }
 
 impl Engine {
@@ -217,6 +231,9 @@ impl Engine {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            sim_events: AtomicU64::new(0),
+            sim_rate_hits: AtomicU64::new(0),
+            sim_rate_misses: AtomicU64::new(0),
         }
     }
 
@@ -231,6 +248,25 @@ impl Engine {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Aggregated simulator work counters across every run this engine
+    /// actually executed: discrete events processed and fluid-rate-cache
+    /// hits/misses inside the simulators.
+    pub fn sim_stats(&self) -> SimPerfStats {
+        SimPerfStats {
+            events: self.sim_events.load(Ordering::Relaxed),
+            rate_hits: self.sim_rate_hits.load(Ordering::Relaxed),
+            rate_misses: self.sim_rate_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_sim_stats(&self, stats: SimPerfStats) {
+        self.sim_events.fetch_add(stats.events, Ordering::Relaxed);
+        self.sim_rate_hits
+            .fetch_add(stats.rate_hits, Ordering::Relaxed);
+        self.sim_rate_misses
+            .fetch_add(stats.rate_misses, Ordering::Relaxed);
     }
 
     /// Runs a single spec through the cache.
@@ -277,7 +313,9 @@ impl Engine {
         let workers = self.jobs.min(pending.len());
         if workers <= 1 {
             for (slot, &spec_index) in pending.iter().enumerate() {
-                *slots[slot].lock() = Some(specs[spec_index].execute());
+                let (result, sim_stats) = specs[spec_index].execute_with_stats();
+                self.record_sim_stats(sim_stats);
+                *slots[slot].lock() = Some(result);
             }
         } else {
             let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
@@ -287,7 +325,8 @@ impl Engine {
                         let Some(slot) = queue.lock().pop_front() else {
                             break;
                         };
-                        let result = specs[pending[slot]].execute();
+                        let (result, sim_stats) = specs[pending[slot]].execute_with_stats();
+                        self.record_sim_stats(sim_stats);
                         *slots[slot].lock() = Some(result);
                     });
                 }

@@ -57,10 +57,46 @@ pub struct AppRates {
 /// and coherence traffic.
 const SHARED_WAY_CONFLICT: f64 = 0.08;
 
+/// Reusable scratch buffers for [`compute_rates_into`]: every intermediate
+/// vector of the three solver phases lives here, so a caller that keeps a
+/// `RateScratch` alive pays zero heap allocations per solve after the
+/// first call at a given application count.
+///
+/// The buffers are an implementation detail — callers only construct the
+/// scratch and hand it back in; contents between calls are unspecified.
+#[derive(Debug, Default)]
+pub struct RateScratch {
+    iso_use: Vec<f64>,
+    overflow: Vec<f64>,
+    grants: Vec<f64>,
+    lc_overflow: Vec<f64>,
+    be_overflow: Vec<f64>,
+    pressures: Vec<f64>,
+    effective_ways: Vec<f64>,
+    cache_factors: Vec<f64>,
+    capacities: Vec<f64>,
+    bw_demand: Vec<f64>,
+    reserved: Vec<f64>,
+    unmet: Vec<f64>,
+    saturations: Vec<f64>,
+}
+
+impl RateScratch {
+    /// Creates an empty scratch; buffers grow to the application count on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes every application's instantaneous resource rates under the
 /// fluid contention model. Pure function of the current demands,
 /// partition, policy and machine; the node calls it whenever the set of
 /// busy threads or the partition changes.
+///
+/// Thin allocating wrapper around [`compute_rates_into`]; hot callers
+/// (the node's event loop via [`crate::RateCache`]) keep a [`RateScratch`]
+/// and an output buffer alive instead.
 pub fn compute_rates(
     machine: &MachineConfig,
     partition: &Partition,
@@ -68,6 +104,34 @@ pub fn compute_rates(
     policy: SharingPolicy,
     bw: &BandwidthModel,
 ) -> Vec<AppRates> {
+    let mut scratch = RateScratch::new();
+    let mut out = Vec::with_capacity(demands.len());
+    compute_rates_into(
+        machine,
+        partition,
+        demands,
+        policy,
+        bw,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// [`compute_rates`] with caller-provided buffers: all intermediate
+/// vectors live in `scratch` and the result is written into `out`
+/// (cleared first). The arithmetic is element-for-element identical to
+/// the historical allocating implementation — reductions run in the same
+/// order — so results are bit-identical.
+pub fn compute_rates_into(
+    machine: &MachineConfig,
+    partition: &Partition,
+    demands: &[AppDemand],
+    policy: SharingPolicy,
+    bw: &BandwidthModel,
+    scratch: &mut RateScratch,
+    out: &mut Vec<AppRates>,
+) {
     assert_eq!(
         partition.num_apps(),
         demands.len(),
@@ -81,42 +145,53 @@ pub fn compute_rates(
     // Isolated cores are used up to the owner's busy thread count; the
     // spill (busy threads beyond isolated cores) competes in the shared
     // region according to the sharing policy.
-    let iso_use: Vec<f64> = demands
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (d.busy as f64).min(partition.isolated(i.into()).cores as f64))
-        .collect();
-    let overflow: Vec<f64> = demands
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (d.busy as f64 - iso_use[i]).max(0.0))
-        .collect();
+    scratch.iso_use.clear();
+    scratch.iso_use.extend(
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.busy as f64).min(partition.isolated(i.into()).cores as f64)),
+    );
+    let iso_use = &scratch.iso_use;
+    scratch.overflow.clear();
+    scratch.overflow.extend(
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.busy as f64 - iso_use[i]).max(0.0)),
+    );
 
-    let grants = match policy {
-        SharingPolicy::Fair => grant_fairly(&overflow, shared_cores),
-        SharingPolicy::LcPriority => grant_with_priority(demands, &overflow, shared_cores),
+    match policy {
+        SharingPolicy::Fair => grant_fairly(&scratch.overflow, shared_cores, &mut scratch.grants),
+        SharingPolicy::LcPriority => grant_with_priority(
+            demands,
+            &scratch.overflow,
+            shared_cores,
+            &mut scratch.lc_overflow,
+            &mut scratch.be_overflow,
+            &mut scratch.grants,
+        ),
     };
 
     // --- Phase 2: LLC way division -------------------------------------
     // Every application's CLOS covers its isolated ways plus the shared
     // ways; the shared ways are divided by footprint-weighted pressure,
     // with a mild conflict penalty per extra sharer.
-    let pressures: Vec<f64> = demands
-        .iter()
-        .map(|d| {
-            // Idle applications keep warm data in the cache, so they retain
-            // some pressure even with zero busy threads.
-            d.curve.footprint_ways() * (d.busy as f64).max(0.5)
-        })
-        .collect();
-    let total_pressure: f64 = pressures.iter().sum();
+    scratch.pressures.clear();
+    scratch.pressures.extend(demands.iter().map(|d| {
+        // Idle applications keep warm data in the cache, so they retain
+        // some pressure even with zero busy threads.
+        d.curve.footprint_ways() * (d.busy as f64).max(0.5)
+    }));
+    let total_pressure: f64 = scratch.pressures.iter().sum();
     let sharers = demands.iter().filter(|d| d.busy > 0).count().max(1);
     let conflict = 1.0 / (1.0 + SHARED_WAY_CONFLICT * (sharers as f64 - 1.0));
 
-    let effective_ways: Vec<f64> = demands
-        .iter()
-        .enumerate()
-        .map(|(i, _)| {
+    let pressures = &scratch.pressures;
+    scratch.effective_ways.clear();
+    scratch
+        .effective_ways
+        .extend(demands.iter().enumerate().map(|(i, _)| {
             let iso = partition.isolated(i.into()).ways as f64;
             let share = if total_pressure > 0.0 {
                 shared_ways * pressures[i] / total_pressure * conflict
@@ -124,118 +199,158 @@ pub fn compute_rates(
                 0.0
             };
             iso + share
-        })
-        .collect();
+        }));
+    let effective_ways = &scratch.effective_ways;
 
     // --- Phase 3: bandwidth saturation ---------------------------------
     // Each application's bandwidth is its MBA-style reservation plus a
     // demand-proportional share of the unreserved pool; its individual
     // saturation is what it was granted over what it asked for. With no
     // reservations this reduces to the global-pool model.
-    let cache_factors: Vec<f64> = demands
-        .iter()
-        .enumerate()
-        .map(|(i, d)| d.curve.speed_factor(effective_ways[i]))
-        .collect();
-    let capacities: Vec<f64> = iso_use
-        .iter()
-        .zip(grants.iter())
-        .map(|(iso, grant)| iso + grant)
-        .collect();
-    let bw_demand: Vec<f64> = demands
-        .iter()
-        .enumerate()
-        .map(|(i, d)| d.bw_per_thread * capacities[i] * d.curve.traffic_factor(effective_ways[i]))
-        .collect();
-    let reserved: Vec<f64> = (0..demands.len())
-        .map(|i| partition.isolated(i.into()).membw_pct as f64 / 100.0 * bw.capacity_gbps())
-        .collect();
+    scratch.cache_factors.clear();
+    scratch.cache_factors.extend(
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.curve.speed_factor(effective_ways[i])),
+    );
+    scratch.capacities.clear();
+    scratch.capacities.extend(
+        iso_use
+            .iter()
+            .zip(scratch.grants.iter())
+            .map(|(iso, grant)| iso + grant),
+    );
+    let capacities = &scratch.capacities;
+    scratch.bw_demand.clear();
+    scratch.bw_demand.extend(
+        demands.iter().enumerate().map(|(i, d)| {
+            d.bw_per_thread * capacities[i] * d.curve.traffic_factor(effective_ways[i])
+        }),
+    );
+    scratch.reserved.clear();
+    scratch.reserved.extend(
+        (0..demands.len())
+            .map(|i| partition.isolated(i.into()).membw_pct as f64 / 100.0 * bw.capacity_gbps()),
+    );
     let pool = partition.shared_membw_pct() as f64 / 100.0 * bw.capacity_gbps();
-    let unmet: Vec<f64> = bw_demand
-        .iter()
-        .zip(reserved.iter())
-        .map(|(d, r)| (d - r).max(0.0))
-        .collect();
-    let total_unmet: f64 = unmet.iter().sum();
+    scratch.unmet.clear();
+    scratch.unmet.extend(
+        scratch
+            .bw_demand
+            .iter()
+            .zip(scratch.reserved.iter())
+            .map(|(d, r)| (d - r).max(0.0)),
+    );
+    let total_unmet: f64 = scratch.unmet.iter().sum();
     let pool_fraction = if total_unmet <= pool {
         1.0
     } else {
         pool / total_unmet
     };
-    let saturations: Vec<f64> = (0..demands.len())
-        .map(|i| {
-            if bw_demand[i] <= 1e-12 {
-                return 1.0;
-            }
-            let granted = bw_demand[i].min(reserved[i]) + unmet[i] * pool_fraction;
-            (granted / bw_demand[i]).clamp(1e-6, 1.0)
-        })
-        .collect();
+    let bw_demand = &scratch.bw_demand;
+    let reserved = &scratch.reserved;
+    let unmet = &scratch.unmet;
+    scratch.saturations.clear();
+    scratch.saturations.extend((0..demands.len()).map(|i| {
+        if bw_demand[i] <= 1e-12 {
+            return 1.0;
+        }
+        let granted = bw_demand[i].min(reserved[i]) + unmet[i] * pool_fraction;
+        (granted / bw_demand[i]).clamp(1e-6, 1.0)
+    }));
 
-    demands
-        .iter()
-        .enumerate()
-        .map(|(i, d)| {
-            let membw_factor = BandwidthModel::memory_slowdown(
-                saturations[i],
-                d.curve.memory_fraction(effective_ways[i]),
-            );
-            let core_share = if d.busy > 0 {
-                (capacities[i] / d.busy as f64).min(1.0)
-            } else {
-                1.0
-            };
-            AppRates {
-                core_capacity: capacities[i],
-                effective_ways: effective_ways[i],
-                cache_factor: cache_factors[i],
-                membw_factor,
-                speed_per_thread: core_share * cache_factors[i] * membw_factor,
-            }
-        })
-        .collect()
+    let cache_factors = &scratch.cache_factors;
+    let saturations = &scratch.saturations;
+    out.clear();
+    out.extend(demands.iter().enumerate().map(|(i, d)| {
+        let membw_factor = BandwidthModel::memory_slowdown(
+            saturations[i],
+            d.curve.memory_fraction(effective_ways[i]),
+        );
+        let core_share = if d.busy > 0 {
+            (capacities[i] / d.busy as f64).min(1.0)
+        } else {
+            1.0
+        };
+        AppRates {
+            core_capacity: capacities[i],
+            effective_ways: effective_ways[i],
+            cache_factor: cache_factors[i],
+            membw_factor,
+            speed_per_thread: core_share * cache_factors[i] * membw_factor,
+        }
+    }));
 }
 
 /// Fair division: every overflowing thread gets the same share of the
 /// shared cores, capped at one core per thread.
-fn grant_fairly(overflow: &[f64], shared_cores: f64) -> Vec<f64> {
-    proportional(overflow, shared_cores)
+fn grant_fairly(overflow: &[f64], shared_cores: f64, grants: &mut Vec<f64>) {
+    grants.clear();
+    grants.extend_from_slice(overflow);
+    proportional_in_place(grants, shared_cores);
 }
 
 /// Priority division: LC overflow is served first, BE shares the rest.
-fn grant_with_priority(demands: &[AppDemand], overflow: &[f64], shared_cores: f64) -> Vec<f64> {
-    let lc_overflow: Vec<f64> = demands
-        .iter()
-        .zip(overflow.iter())
-        .map(|(d, &o)| if d.kind == AppKind::Lc { o } else { 0.0 })
-        .collect();
-    let be_overflow: Vec<f64> = demands
-        .iter()
-        .zip(overflow.iter())
-        .map(|(d, &o)| if d.kind == AppKind::Be { o } else { 0.0 })
-        .collect();
-    let lc_grants = proportional(&lc_overflow, shared_cores);
-    let lc_used: f64 = lc_grants.iter().sum();
-    let be_grants = proportional(&be_overflow, (shared_cores - lc_used).max(0.0));
-    lc_grants
-        .iter()
-        .zip(be_grants.iter())
-        .map(|(a, b)| a + b)
-        .collect()
+fn grant_with_priority(
+    demands: &[AppDemand],
+    overflow: &[f64],
+    shared_cores: f64,
+    lc_overflow: &mut Vec<f64>,
+    be_overflow: &mut Vec<f64>,
+    grants: &mut Vec<f64>,
+) {
+    lc_overflow.clear();
+    lc_overflow.extend(demands.iter().zip(overflow.iter()).map(|(d, &o)| {
+        if d.kind == AppKind::Lc {
+            o
+        } else {
+            0.0
+        }
+    }));
+    be_overflow.clear();
+    be_overflow.extend(demands.iter().zip(overflow.iter()).map(|(d, &o)| {
+        if d.kind == AppKind::Be {
+            o
+        } else {
+            0.0
+        }
+    }));
+    proportional_in_place(lc_overflow, shared_cores);
+    let lc_used: f64 = lc_overflow.iter().sum();
+    proportional_in_place(be_overflow, (shared_cores - lc_used).max(0.0));
+    grants.clear();
+    grants.extend(
+        lc_overflow
+            .iter()
+            .zip(be_overflow.iter())
+            .map(|(a, b)| a + b),
+    );
 }
 
-/// Divides `budget` cores across per-application thread demands. Every
-/// thread asks for exactly one core, so CFS-style equal-per-thread sharing
-/// is the same as granting each application `demand * min(1, budget /
-/// total)` — no application ever receives more cores than it has runnable
-/// threads.
-fn proportional(demands: &[f64], budget: f64) -> Vec<f64> {
+/// Divides `budget` cores across per-application thread demands, scaling
+/// the demand vector in place. Every thread asks for exactly one core, so
+/// CFS-style equal-per-thread sharing is the same as granting each
+/// application `demand * min(1, budget / total)` — no application ever
+/// receives more cores than it has runnable threads.
+fn proportional_in_place(demands: &mut [f64], budget: f64) {
     let total: f64 = demands.iter().sum();
     if total <= budget || total <= 0.0 {
-        return demands.to_vec();
+        return;
     }
     let scale = budget / total;
-    demands.iter().map(|d| d * scale).collect()
+    for d in demands {
+        *d *= scale;
+    }
+}
+
+/// Allocating form of [`proportional_in_place`], kept for the unit tests
+/// that document the sharing semantics.
+#[cfg(test)]
+fn proportional(demands: &[f64], budget: f64) -> Vec<f64> {
+    let mut v = demands.to_vec();
+    proportional_in_place(&mut v, budget);
+    v
 }
 
 #[cfg(test)]

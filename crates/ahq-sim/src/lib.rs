@@ -85,9 +85,11 @@ mod trace;
 pub use app::{AppId, AppKind, AppSpec, BeSpecBuilder, CacheProfile, LcSpecBuilder};
 pub use bandwidth::BandwidthModel;
 pub use cache::MissRatioCurve;
-pub use contention::SharingPolicy;
+pub use contention::{
+    compute_rates, compute_rates_into, AppDemand, AppRates, RateScratch, SharingPolicy,
+};
 pub use error::SimError;
-pub use node::{NodeSim, OverheadModel};
+pub use node::{NodeSim, OverheadModel, RateCache, SimPerfStats};
 pub use observation::{BeWindowStats, LcWindowStats, WindowObservation};
 pub use partition::{Partition, RegionAlloc};
 pub use quantile::{percentile, percentile_in_place, TailEstimator};

@@ -1,4 +1,4 @@
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 use crate::app::{AppId, AppKind, AppSpec, KindParams};
 use crate::bandwidth::BandwidthModel;
 use crate::cache::MissRatioCurve;
-use crate::contention::{compute_rates, AppDemand, AppRates, SharingPolicy};
+use crate::contention::{
+    compute_rates, compute_rates_into, AppDemand, AppRates, RateScratch, SharingPolicy,
+};
 use crate::error::SimError;
 use crate::observation::{BeWindowStats, LcWindowStats, WindowObservation};
 use crate::partition::Partition;
@@ -48,6 +50,10 @@ struct Request {
     remaining_ms: f64,
 }
 
+/// A request counts as complete when this much work (core-ms) remains —
+/// absorbs the float dust left by the subtract-and-clamp in `advance`.
+const COMPLETION_EPS_MS: f64 = 1e-9;
+
 #[derive(Debug)]
 struct LcState {
     in_service: Vec<Request>,
@@ -57,13 +63,35 @@ struct LcState {
     lambda_per_ms: f64,
     /// Offered load as a fraction of the nominal max load.
     load_fraction: f64,
+    /// The inter-arrival distribution for the current `lambda_per_ms`,
+    /// built once per `set_load` instead of once per arrival. `None`
+    /// while the application is silenced.
+    inter_arrival: Option<Exp<f64>>,
     service: LogNormal<f64>,
+    /// Exact minimum of `in_service[..].remaining_ms`, `f64::INFINITY`
+    /// when nothing is in service. Maintained incrementally so
+    /// `next_event` never rescans the in-service set; updated with the
+    /// same subtract-and-clamp arithmetic as the requests themselves, so
+    /// it stays bit-identical to a fresh scan.
+    min_remaining_ms: f64,
     tail: TailEstimator,
     window_samples: Vec<f64>,
     window_arrivals: u64,
     window_completions: u64,
     window_drops: u64,
     max_outstanding: usize,
+}
+
+impl LcState {
+    /// Recomputes the cached in-service minimum from scratch — called
+    /// after completions remove requests (the only shrink path).
+    fn refresh_min_remaining(&mut self) {
+        self.min_remaining_ms = self
+            .in_service
+            .iter()
+            .map(|r| r.remaining_ms)
+            .fold(f64::INFINITY, f64::min);
+    }
 }
 
 #[derive(Debug)]
@@ -99,6 +127,146 @@ impl AppRuntime {
 /// is preferred over the streaming ring estimate.
 const WINDOW_P95_MIN_SAMPLES: usize = 50;
 
+/// Entry cap of the [`RateCache`] map — a defensive bound far above any
+/// reachable key population (busy counts are bounded by per-application
+/// thread counts); the map is dropped wholesale if it is ever hit.
+const RATE_CACHE_MAX_ENTRIES: usize = 1 << 16;
+
+/// A memoizing front-end to the fluid contention solver
+/// ([`compute_rates`]): between repartitions the busy-thread vector
+/// cycles through a handful of values, so almost every solver call can be
+/// answered by copying a previously computed rate vector.
+///
+/// The lookup key is the busy-thread count of every application combined
+/// with its warm-up-active flag, plus the sharing policy; the machine,
+/// partition, miss-ratio curves and bandwidth model are *not* part of the
+/// key — the owner must call [`RateCache::invalidate`] whenever any of
+/// those change (the node does so in `set_partition`/`set_policy`, which
+/// also advances the partition epoch). Keys are packed into a reusable
+/// `Vec<u32>` so a cache hit performs zero heap allocations.
+///
+/// The warm-up flag is included defensively: the solver's output does not
+/// currently depend on it (warm-up scales thread speed *after* the
+/// solve), so including it only splits entries, never falsifies them —
+/// and it keeps the cache correct if warm-up ever moves into the solver.
+#[derive(Debug, Default)]
+pub struct RateCache {
+    map: HashMap<Vec<u32>, Vec<AppRates>>,
+    key: Vec<u32>,
+    scratch: RateScratch,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RateCache {
+    /// Creates an empty cache at epoch zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The partition epoch: how many times the cache has been invalidated
+    /// (the node bumps it on every accepted repartition or policy
+    /// change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lookups answered from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the solver.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups answered from memory, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct rate vectors currently memoized.
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops every memoized entry and advances the epoch. Must be called
+    /// whenever the machine, partition, curves or bandwidth model change;
+    /// hit/miss counters survive.
+    pub fn invalidate(&mut self) {
+        self.map.clear();
+        self.epoch += 1;
+    }
+
+    /// Computes (or recalls) the rate vector for `demands` under the
+    /// current partition epoch, writing it into `out` (cleared first).
+    /// Bit `i` of `warm_mask` marks application `i` as inside its warm-up
+    /// window (applications past index 63 share the last bit — harmless,
+    /// see the type docs). Returns `true` on a cache hit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rates_for(
+        &mut self,
+        machine: &MachineConfig,
+        partition: &Partition,
+        demands: &[AppDemand],
+        warm_mask: u64,
+        policy: SharingPolicy,
+        bw: &BandwidthModel,
+        out: &mut Vec<AppRates>,
+    ) -> bool {
+        self.key.clear();
+        self.key.push(match policy {
+            SharingPolicy::Fair => 0,
+            SharingPolicy::LcPriority => 1,
+        });
+        self.key.push(warm_mask as u32);
+        self.key.push((warm_mask >> 32) as u32);
+        self.key.extend(demands.iter().map(|d| d.busy));
+        if let Some(cached) = self.map.get(self.key.as_slice()) {
+            self.hits += 1;
+            out.clear();
+            out.extend_from_slice(cached);
+            return true;
+        }
+        self.misses += 1;
+        compute_rates_into(
+            machine,
+            partition,
+            demands,
+            policy,
+            bw,
+            &mut self.scratch,
+            out,
+        );
+        if self.map.len() >= RATE_CACHE_MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(self.key.clone(), out.clone());
+        false
+    }
+}
+
+/// Counters describing how much work one [`NodeSim`] has done — used by
+/// the experiment engine to report simulated-events/sec and rate-cache
+/// effectiveness in `repro --timings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimPerfStats {
+    /// Discrete events processed (arrivals, completions, warm-up
+    /// expiries); window boundaries are not counted.
+    pub events: u64,
+    /// Rate-cache lookups answered from memory.
+    pub rate_hits: u64,
+    /// Rate-cache lookups that ran the fluid solver.
+    pub rate_misses: u64,
+}
+
 /// The simulated datacenter node.
 ///
 /// Owns the clock, the applications, the current [`Partition`] and the
@@ -119,6 +287,13 @@ pub struct NodeSim {
     rng: StdRng,
     rates: Vec<AppRates>,
     rates_dirty: bool,
+    /// Persistent demand vector handed to the solver; only the `busy`
+    /// fields change between calls (kind, curve and bandwidth appetite
+    /// are fixed per application).
+    demands: Vec<AppDemand>,
+    rate_cache: RateCache,
+    /// Discrete events processed since construction.
+    events: u64,
     adjustments: u64,
     tail_quantile: f64,
     /// Per-app whole-run latency histograms, populated when tracing is on.
@@ -180,7 +355,9 @@ impl NodeSim {
                                 next_arrival: SimTime::NEVER,
                                 lambda_per_ms: 0.0,
                                 load_fraction: 0.0,
+                                inter_arrival: None,
                                 service,
+                                min_remaining_ms: f64::INFINITY,
                                 tail: TailEstimator::new(512),
                                 window_samples: Vec::new(),
                                 window_arrivals: 0,
@@ -228,6 +405,15 @@ impl NodeSim {
             })
             .collect();
         let partition = Partition::all_shared(apps.len());
+        let demands: Vec<AppDemand> = apps
+            .iter()
+            .map(|a| AppDemand {
+                kind: a.spec.kind(),
+                busy: a.busy_threads(),
+                curve: a.curve,
+                bw_per_thread: a.spec.cache_profile().bw_gbps_per_thread,
+            })
+            .collect();
         let mut sim = NodeSim {
             machine,
             reference,
@@ -242,6 +428,9 @@ impl NodeSim {
             rng: StdRng::seed_from_u64(seed),
             rates: Vec::new(),
             rates_dirty: true,
+            demands,
+            rate_cache: RateCache::new(),
+            events: 0,
             adjustments: 0,
             tail_quantile: 0.95,
             histograms: None,
@@ -276,6 +465,23 @@ impl NodeSim {
         self.adjustments
     }
 
+    /// The current partition epoch: bumped on every accepted repartition
+    /// or sharing-policy change, i.e. whenever the rate cache is
+    /// invalidated.
+    pub fn partition_epoch(&self) -> u64 {
+        self.rate_cache.epoch()
+    }
+
+    /// Work counters of this simulation: events processed and rate-cache
+    /// hit/miss totals.
+    pub fn perf_stats(&self) -> SimPerfStats {
+        SimPerfStats {
+            events: self.events,
+            rate_hits: self.rate_cache.hits(),
+            rate_misses: self.rate_cache.misses(),
+        }
+    }
+
     /// The application specs, in registration order.
     pub fn specs(&self) -> impl Iterator<Item = &AppSpec> {
         self.apps.iter().map(|a| &a.spec)
@@ -301,6 +507,11 @@ impl NodeSim {
         if self.policy != policy {
             self.policy = policy;
             self.rates_dirty = true;
+            // The policy is part of the rate-cache key, so entries under
+            // the old policy stay valid — but a policy flip is a
+            // partition-epoch event for observers, and dropping the map
+            // keeps the entry population tied to the current regime.
+            self.rate_cache.invalidate();
         }
     }
 
@@ -365,9 +576,16 @@ impl NodeSim {
         let fraction = fraction.clamp(0.0, 10.0);
         lc.load_fraction = fraction;
         lc.lambda_per_ms = fraction * max_load / 1000.0;
-        lc.next_arrival = if lc.lambda_per_ms > 0.0 {
-            let exp = Exp::new(lc.lambda_per_ms).expect("positive rate");
-            self.time + SimTime::from_ms(exp.sample(&mut self.rng))
+        // Build the inter-arrival distribution once here; `process_arrival`
+        // reuses it for every subsequent draw (construction is
+        // deterministic, so the draw sequence is unchanged).
+        lc.inter_arrival = if lc.lambda_per_ms > 0.0 {
+            Some(Exp::new(lc.lambda_per_ms).expect("positive rate"))
+        } else {
+            None
+        };
+        lc.next_arrival = if let Some(inter) = lc.inter_arrival {
+            self.time + SimTime::from_ms(inter.sample(&mut self.rng))
         } else {
             SimTime::NEVER
         };
@@ -435,6 +653,8 @@ impl NodeSim {
         self.partition = partition;
         self.adjustments += 1;
         self.rates_dirty = true;
+        // Memoized rate vectors were computed under the old partition.
+        self.rate_cache.invalidate();
         Ok(())
     }
 
@@ -458,12 +678,13 @@ impl NodeSim {
             match kind {
                 EventKind::WindowEnd => break,
                 EventKind::Arrival(app) => self.process_arrival(app),
-                EventKind::Completion => self.process_completions(),
+                EventKind::Completion(app) => self.process_completions(app),
                 EventKind::WarmupExpiry => {
                     // Speeds change when warm-up ends.
                     self.rates_dirty = true;
                 }
             }
+            self.events += 1;
         }
 
         self.window_index += 1;
@@ -497,22 +718,21 @@ impl NodeSim {
     }
 
     fn recompute_rates(&mut self) {
-        let demands: Vec<AppDemand> = self
-            .apps
-            .iter()
-            .map(|a| AppDemand {
-                kind: a.spec.kind(),
-                busy: a.busy_threads(),
-                curve: a.curve,
-                bw_per_thread: a.spec.cache_profile().bw_gbps_per_thread,
-            })
-            .collect();
-        self.rates = compute_rates(
+        let mut warm_mask = 0u64;
+        for (i, (d, a)) in self.demands.iter_mut().zip(self.apps.iter()).enumerate() {
+            d.busy = a.busy_threads();
+            if self.time < a.warmup_until {
+                warm_mask |= 1 << i.min(63);
+            }
+        }
+        self.rate_cache.rates_for(
             &self.machine,
             &self.partition,
-            &demands,
+            &self.demands,
+            warm_mask,
             self.policy,
             &self.bw,
+            &mut self.rates,
         );
         self.rates_dirty = false;
     }
@@ -535,21 +755,27 @@ impl NodeSim {
                     best = (lc.next_arrival, EventKind::Arrival(i));
                 }
                 let speed = self.thread_speed(i);
-                if speed > 1e-12 {
-                    if let Some(min_remaining) = lc
-                        .in_service
-                        .iter()
-                        .map(|r| r.remaining_ms)
-                        .min_by(f64::total_cmp)
-                    {
-                        // Round *up* to the clock's microsecond resolution:
-                        // rounding down would schedule a zero-length step
-                        // that never completes the request (a livelock).
-                        let dt_us = ((min_remaining / speed).max(0.0) * 1_000.0).ceil() as u64;
-                        let t = self.time + SimTime::from_us(dt_us.max(1));
-                        if t < best.0 {
-                            best = (t, EventKind::Completion);
-                        }
+                if speed > 1e-12 && !lc.in_service.is_empty() {
+                    // The cached minimum replaces a scan over `in_service`;
+                    // it is maintained with the exact arithmetic of the
+                    // per-request updates, so the event time is unchanged.
+                    let min_remaining = lc.min_remaining_ms;
+                    debug_assert_eq!(
+                        min_remaining.to_bits(),
+                        lc.in_service
+                            .iter()
+                            .map(|r| r.remaining_ms)
+                            .fold(f64::INFINITY, f64::min)
+                            .to_bits(),
+                        "cached min-remaining drifted from the in-service set"
+                    );
+                    // Round *up* to the clock's microsecond resolution:
+                    // rounding down would schedule a zero-length step
+                    // that never completes the request (a livelock).
+                    let dt_us = ((min_remaining / speed).max(0.0) * 1_000.0).ceil() as u64;
+                    let t = self.time + SimTime::from_us(dt_us.max(1));
+                    if t < best.0 {
+                        best = (t, EventKind::Completion(i));
                     }
                 }
             }
@@ -572,6 +798,12 @@ impl NodeSim {
                 for req in &mut lc.in_service {
                     req.remaining_ms = (req.remaining_ms - speed * dt_ms).max(0.0);
                 }
+                // Same subtract-and-clamp as the requests: the cached
+                // minimum is one of the request values, and the update is
+                // monotone, so it tracks the true minimum bit-for-bit.
+                if !lc.in_service.is_empty() {
+                    lc.min_remaining_ms = (lc.min_remaining_ms - speed * dt_ms).max(0.0);
+                }
             }
             if let Some(be) = &mut app.be {
                 be.window_speed_integral += speed * app.spec.threads() as f64 * dt_ms;
@@ -591,7 +823,12 @@ impl NodeSim {
                 return;
             }
             work = lc.service.sample(&mut self.rng).max(1e-6);
-            let exp = Exp::new(lambda).expect("positive rate");
+            // The distribution is cached by `set_load`; constructing it is
+            // draw-free, so reusing it leaves the RNG stream untouched.
+            let exp = lc
+                .inter_arrival
+                .as_ref()
+                .expect("cached inter-arrival distribution for positive rate");
             // Floor at the clock resolution (1 µs) so time always advances.
             let gap: f64 = exp.sample(&mut self.rng).max(1e-3);
             next = self.time + SimTime::from_ms(gap);
@@ -606,6 +843,9 @@ impl NodeSim {
         };
         if lc.in_service.len() < threads {
             lc.in_service.push(request);
+            // `min(work)` equals a fresh fold over `in_service`: the other
+            // entries already fold to the cached value.
+            lc.min_remaining_ms = lc.min_remaining_ms.min(work);
             self.rates_dirty = true; // busy count changed
         } else if lc.in_service.len() + lc.queue.len() < lc.max_outstanding {
             lc.queue.push_back(request);
@@ -616,39 +856,69 @@ impl NodeSim {
         }
     }
 
-    fn process_completions(&mut self) {
+    /// Processes the `Completion` event dispatched for `primary`.
+    ///
+    /// The event carries the owning app, but requests of *other* apps can
+    /// reach zero remaining work at the same microsecond (their event is
+    /// still queued for this instant). The old code handled that by
+    /// scanning every in-service request of every app; here the cached
+    /// per-app minimum reduces the sweep to one float compare per app, and
+    /// only due apps pay the completion loop. Apps are visited in index
+    /// order, exactly as before.
+    fn process_completions(&mut self, primary: usize) {
+        debug_assert!(
+            self.apps[primary]
+                .lc
+                .as_ref()
+                .is_some_and(|lc| lc.min_remaining_ms <= COMPLETION_EPS_MS),
+            "completion dispatched for an app with no finished request"
+        );
         for i in 0..self.apps.len() {
-            let threads = self.apps[i].spec.threads() as usize;
-            let now = self.time;
-            let Some(lc) = self.apps[i].lc.as_mut() else {
-                continue;
-            };
-            let mut completed_any = false;
-            let mut j = 0;
-            while j < lc.in_service.len() {
-                if lc.in_service[j].remaining_ms <= 1e-9 {
-                    let req = lc.in_service.swap_remove(j);
-                    let latency = now.since(req.arrival).as_ms();
-                    lc.tail.record(latency);
-                    lc.window_samples.push(latency);
-                    lc.window_completions += 1;
-                    if let Some(hists) = &mut self.histograms {
-                        hists[i].record(latency);
-                    }
-                    completed_any = true;
-                } else {
-                    j += 1;
+            let due = i == primary
+                || self.apps[i].lc.as_ref().is_some_and(|lc| {
+                    !lc.in_service.is_empty() && lc.min_remaining_ms <= COMPLETION_EPS_MS
+                });
+            if due {
+                self.complete_app(i);
+            }
+        }
+    }
+
+    /// Retires every finished request of app `i` and promotes queued work
+    /// onto the freed threads — byte-for-byte the per-app body of the old
+    /// all-apps completion scan.
+    fn complete_app(&mut self, i: usize) {
+        let threads = self.apps[i].spec.threads() as usize;
+        let now = self.time;
+        let Some(lc) = self.apps[i].lc.as_mut() else {
+            return;
+        };
+        let mut completed_any = false;
+        let mut j = 0;
+        while j < lc.in_service.len() {
+            if lc.in_service[j].remaining_ms <= COMPLETION_EPS_MS {
+                let req = lc.in_service.swap_remove(j);
+                let latency = now.since(req.arrival).as_ms();
+                lc.tail.record(latency);
+                lc.window_samples.push(latency);
+                lc.window_completions += 1;
+                if let Some(hists) = &mut self.histograms {
+                    hists[i].record(latency);
+                }
+                completed_any = true;
+            } else {
+                j += 1;
+            }
+        }
+        if completed_any {
+            while lc.in_service.len() < threads {
+                match lc.queue.pop_front() {
+                    Some(req) => lc.in_service.push(req),
+                    None => break,
                 }
             }
-            if completed_any {
-                while lc.in_service.len() < threads {
-                    match lc.queue.pop_front() {
-                        Some(req) => lc.in_service.push(req),
-                        None => break,
-                    }
-                }
-                self.rates_dirty = true;
-            }
+            lc.refresh_min_remaining();
+            self.rates_dirty = true;
         }
     }
 
@@ -728,7 +998,9 @@ impl NodeSim {
 enum EventKind {
     WindowEnd,
     Arrival(usize),
-    Completion,
+    /// A request of the carried app reached zero remaining work; the
+    /// index lets completion processing skip straight to the owner.
+    Completion(usize),
     WarmupExpiry,
 }
 

@@ -1,0 +1,137 @@
+//! Property tests of the memoized fluid-rate cache: across randomized
+//! demand/partition/policy sequences, a [`RateCache`] lookup must return
+//! exactly (bit-for-bit) what a direct [`compute_rates`] call returns,
+//! and a repeated lookup must be answered from memory with the same
+//! bits. This is the contract that lets the node's event loop swap the
+//! solver for a cache without perturbing a single observation.
+
+use ahq_sim::{
+    compute_rates, AppDemand, AppKind, BandwidthModel, CacheProfile, MachineConfig, Partition,
+    RateCache, RegionAlloc, SharingPolicy,
+};
+use proptest::prelude::*;
+
+fn cache_profile() -> impl Strategy<Value = CacheProfile> {
+    (0.01f64..0.9, 1.0f64..12.0, 0.0f64..3.0, 0.1f64..10.0).prop_map(
+        |(miss_floor, footprint_ways, intensity, bw)| CacheProfile {
+            miss_floor,
+            footprint_ways,
+            intensity,
+            bw_gbps_per_thread: bw,
+        },
+    )
+}
+
+proptest! {
+    /// Interleave busy-vector changes, repartitions and policy flips
+    /// (invalidating exactly as the node does) and check every cached
+    /// answer against the solver.
+    #[test]
+    fn cached_rates_equal_direct_solver(
+        profiles in prop::collection::vec(cache_profile(), 2..5),
+        steps in prop::collection::vec((0u32..4, 0u32..16, 0u32..16, 0u32..16), 1..25),
+    ) {
+        let machine = MachineConfig::paper_xeon();
+        let bw = BandwidthModel::new(machine.membw_gbps);
+        let n = profiles.len();
+        let mut demands: Vec<AppDemand> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| AppDemand {
+                kind: if i % 2 == 0 { AppKind::Lc } else { AppKind::Be },
+                busy: 0,
+                curve: p.curve(machine.llc_ways),
+                bw_per_thread: p.bw_gbps_per_thread,
+            })
+            .collect();
+        let mut partition = Partition::all_shared(n);
+        let mut policy = SharingPolicy::Fair;
+        let mut cache = RateCache::new();
+        let mut out = Vec::new();
+        let mut epoch = cache.epoch();
+
+        for &(op, a, b, c) in &steps {
+            match op {
+                // Mutate the busy-thread vector (the common event-loop case).
+                0 | 1 => {
+                    for (j, d) in demands.iter_mut().enumerate() {
+                        d.busy = a.wrapping_add(j as u32 * b).wrapping_add(c) % 9;
+                    }
+                }
+                // Repartition: entries were computed under the old layout.
+                2 => {
+                    let mut p = Partition::all_shared(n);
+                    p.set_isolated(
+                        (a as usize % n).into(),
+                        RegionAlloc::new(b % 4, c % 8),
+                    );
+                    if p.validate(&machine).is_ok() {
+                        partition = p;
+                        cache.invalidate();
+                    }
+                }
+                // Policy flip: also an invalidation event in the node.
+                _ => {
+                    policy = if a % 2 == 0 {
+                        SharingPolicy::Fair
+                    } else {
+                        SharingPolicy::LcPriority
+                    };
+                    cache.invalidate();
+                }
+            }
+            // The solver ignores warm-up (it scales speeds after the
+            // solve), so any mask must leave the answer unchanged.
+            let warm_mask = (a as u64) & ((1u64 << n) - 1);
+            let direct = compute_rates(&machine, &partition, &demands, policy, &bw);
+            cache.rates_for(&machine, &partition, &demands, warm_mask, policy, &bw, &mut out);
+            prop_assert_eq!(out.as_slice(), direct.as_slice());
+            // A same-key repeat must be served from memory, bit-identical.
+            let hit = cache.rates_for(&machine, &partition, &demands, warm_mask, policy, &bw, &mut out);
+            prop_assert!(hit, "repeated lookup missed the cache");
+            prop_assert_eq!(out.as_slice(), direct.as_slice());
+        }
+
+        // Epoch only ever advances, one bump per invalidation.
+        prop_assert!(cache.epoch() >= epoch);
+        epoch = cache.epoch();
+        let _ = epoch;
+    }
+
+    /// Hit/miss accounting: lookups = hits + misses, and distinct busy
+    /// vectors under a fixed partition populate distinct entries.
+    #[test]
+    fn cache_accounting_is_consistent(
+        profiles in prop::collection::vec(cache_profile(), 2..4),
+        busy_seq in prop::collection::vec(0u32..6, 1..40),
+    ) {
+        let machine = MachineConfig::paper_xeon();
+        let bw = BandwidthModel::new(machine.membw_gbps);
+        let n = profiles.len();
+        let mut demands: Vec<AppDemand> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| AppDemand {
+                kind: if i % 2 == 0 { AppKind::Lc } else { AppKind::Be },
+                busy: 0,
+                curve: p.curve(machine.llc_ways),
+                bw_per_thread: p.bw_gbps_per_thread,
+            })
+            .collect();
+        let partition = Partition::all_shared(n);
+        let mut cache = RateCache::new();
+        let mut out = Vec::new();
+        let mut distinct = std::collections::HashSet::new();
+        for &busy in &busy_seq {
+            for d in demands.iter_mut() {
+                d.busy = busy;
+            }
+            distinct.insert(busy);
+            cache.rates_for(&machine, &partition, &demands, 0, SharingPolicy::Fair, &bw, &mut out);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), busy_seq.len() as u64);
+        prop_assert_eq!(cache.misses(), distinct.len() as u64);
+        prop_assert_eq!(cache.entries(), distinct.len());
+        prop_assert!((0.0..=1.0).contains(&cache.hit_rate()));
+    }
+}

@@ -1,0 +1,120 @@
+//! Benchmarks of the node event path introduced with the memoized
+//! fluid-rate cache: end-to-end `run_window` throughput on the pinned
+//! 2LC+2BE paper-machine scenario (the `BENCH_node.json` baseline), and
+//! the rate-lookup microbench comparing a cache hit against the direct
+//! solver with and without scratch buffers.
+
+use ahq_bench::paper_pair_sim;
+use ahq_sim::{
+    compute_rates, compute_rates_into, AppDemand, AppKind, BandwidthModel, CacheProfile,
+    MachineConfig, Partition, RateCache, RateScratch, SharingPolicy,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_run_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_event_path");
+    group.sample_size(20);
+    group.bench_function("run_window_paper_pair", |b| {
+        let mut sim = paper_pair_sim(7);
+        b.iter(|| black_box(sim.run_window()))
+    });
+    group.finish();
+}
+
+/// The demand vector of the paper-pair scenario at one representative
+/// busy state (both LC apps at 2 in-service requests, BE fully busy).
+fn paper_pair_demands(machine: &MachineConfig) -> Vec<AppDemand> {
+    let balanced = CacheProfile::balanced();
+    let compute = CacheProfile::compute();
+    let streaming = CacheProfile::streaming();
+    let mk = |kind: AppKind, busy: u32, profile: &CacheProfile| AppDemand {
+        kind,
+        busy,
+        curve: profile.curve(machine.llc_ways),
+        bw_per_thread: profile.bw_gbps_per_thread,
+    };
+    vec![
+        mk(AppKind::Lc, 2, &balanced),
+        mk(AppKind::Lc, 2, &balanced),
+        mk(AppKind::Be, 4, &compute),
+        mk(AppKind::Be, 4, &streaming),
+    ]
+}
+
+fn bench_rate_lookup(c: &mut Criterion) {
+    let machine = MachineConfig::paper_xeon();
+    let bw = BandwidthModel::new(machine.membw_gbps);
+    let partition = Partition::all_shared(4);
+    let demands = paper_pair_demands(&machine);
+
+    let mut group = c.benchmark_group("rate_lookup");
+    group.bench_function("cache_hit", |b| {
+        let mut cache = RateCache::new();
+        let mut out = Vec::new();
+        // Prime the single entry the loop will keep hitting.
+        cache.rates_for(
+            &machine,
+            &partition,
+            &demands,
+            0,
+            SharingPolicy::Fair,
+            &bw,
+            &mut out,
+        );
+        b.iter(|| {
+            cache.rates_for(
+                black_box(&machine),
+                black_box(&partition),
+                black_box(&demands),
+                0,
+                SharingPolicy::Fair,
+                &bw,
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    group.bench_function("solver_scratch", |b| {
+        let mut scratch = RateScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            compute_rates_into(
+                black_box(&machine),
+                black_box(&partition),
+                black_box(&demands),
+                SharingPolicy::Fair,
+                &bw,
+                &mut scratch,
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    group.bench_function("solver_alloc", |b| {
+        b.iter(|| {
+            black_box(compute_rates(
+                black_box(&machine),
+                black_box(&partition),
+                black_box(&demands),
+                SharingPolicy::Fair,
+                &bw,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// A time-boxed Criterion configuration, matching the other benches in
+/// the suite.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_run_window, bench_rate_lookup);
+criterion_main!(benches);

@@ -54,6 +54,44 @@ pub fn standard_sim(seed: u64) -> NodeSim {
     sim
 }
 
+/// The paper-pair scenario of the node benches: 2 LC + 2 BE on the paper
+/// machine, the configuration the `BENCH_node.json` ns/window baseline is
+/// pinned against. Exercises the memoized rate cache exactly as the event
+/// loop does (a handful of busy-thread vectors cycling between
+/// repartitions).
+pub fn paper_pair_sim(seed: u64) -> NodeSim {
+    use ahq_sim::{AppSpec, CacheProfile};
+    let lc = |name: &str, mean_ms: f64, qps: f64| {
+        AppSpec::lc(name)
+            .threads(4)
+            .mean_service_ms(mean_ms)
+            .service_sigma(0.6)
+            .qos_threshold_ms(mean_ms * 5.0)
+            .max_load_qps(qps)
+            .cache(CacheProfile::balanced())
+            .build()
+            .expect("valid LC spec")
+    };
+    let be = |name: &str, profile: CacheProfile| {
+        AppSpec::be(name)
+            .threads(4)
+            .ipc_solo(1.5)
+            .cache(profile)
+            .build()
+            .expect("valid BE spec")
+    };
+    let specs = vec![
+        lc("lc-a", 1.0, 2000.0),
+        lc("lc-b", 2.0, 800.0),
+        be("be-a", CacheProfile::compute()),
+        be("be-b", CacheProfile::streaming()),
+    ];
+    let mut sim = NodeSim::new(MachineConfig::paper_xeon(), specs, seed).expect("valid sim");
+    sim.set_load("lc-a", 0.6).expect("LC app");
+    sim.set_load("lc-b", 0.3).expect("LC app");
+    sim
+}
+
 /// A heavy-interference simulation: the STREAM mix at high load.
 pub fn stream_sim(seed: u64) -> NodeSim {
     let mix = mixes::stream_mix();

@@ -199,9 +199,9 @@ mod tests {
         let x_true = [1.0, -2.0, 3.0];
         // b = A x.
         let mut b = [0.0; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                b[i] += a.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * xj;
             }
         }
         let x = cholesky_solve(&l, &b);

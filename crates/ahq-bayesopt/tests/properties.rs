@@ -86,12 +86,12 @@ proptest! {
         let l = cholesky(&k).expect("PD");
         let x = cholesky_solve(&l, &ys);
         // K x ≈ ys.
-        for i in 0..n {
+        for (i, yi) in ys.iter().enumerate() {
             let mut v = 0.0;
-            for j in 0..n {
-                v += k.get(i, j) * x[j];
+            for (j, xj) in x.iter().enumerate() {
+                v += k.get(i, j) * xj;
             }
-            prop_assert!((v - ys[i]).abs() < 1e-6, "row {i}: {v} vs {}", ys[i]);
+            prop_assert!((v - yi).abs() < 1e-6, "row {i}: {v} vs {yi}");
         }
     }
 

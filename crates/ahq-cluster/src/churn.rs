@@ -1,0 +1,317 @@
+//! The churn subsystem: a deterministic, seeded event stream of app
+//! arrivals, departures and load-level changes that exercises placement
+//! under flux.
+//!
+//! The stream is generated *up front* from `(config, seed)` and never
+//! consults placement state — the generator tracks its own notion of which
+//! app ids are alive. That independence is a determinism requirement: the
+//! same `(config, seed)` must yield the same events no matter which placer
+//! or local scheduler the cluster runs, so that placement policies can be
+//! compared on identical workloads.
+
+use ahq_core::derive_seed;
+use ahq_sim::{AppKind, AppSpec};
+use ahq_workloads::profiles;
+use serde::{Deserialize, Serialize};
+
+/// LC profiles the churn stream draws from. Sphinx is excluded: its
+/// second-scale requests need minute-scale windows to produce latency
+/// samples, which mismatches the shared 500 ms cluster clock.
+const LC_POOL: [&str; 5] = ["xapian", "moses", "img-dnn", "masstree", "silo"];
+
+/// BE profiles the churn stream draws from.
+const BE_POOL: [&str; 3] = ["fluidanimate", "streamcluster", "stream"];
+
+/// Load fractions (of each LC app's calibrated max load) arrivals and
+/// load-change events pick from.
+const LOAD_LEVELS: [f64; 5] = [0.2, 0.3, 0.4, 0.5, 0.6];
+
+/// Builds the calibrated [`AppSpec`] for a churn-pool profile name.
+///
+/// # Panics
+///
+/// Panics on names outside [`LC_POOL`] / [`BE_POOL`] — churn streams only
+/// ever carry pool names.
+pub(crate) fn pool_spec(profile: &str) -> AppSpec {
+    match profile {
+        "xapian" => profiles::xapian(),
+        "moses" => profiles::moses(),
+        "img-dnn" => profiles::img_dnn(),
+        "masstree" => profiles::masstree(),
+        "silo" => profiles::silo(),
+        "fluidanimate" => profiles::fluidanimate(),
+        "streamcluster" => profiles::streamcluster(),
+        "stream" => profiles::stream(),
+        other => panic!("unknown churn profile {other:?}"),
+    }
+}
+
+/// One application arrival: which calibrated profile to instantiate, under
+/// what cluster-unique id, and (for LC apps) at what initial load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppArrival {
+    /// Cluster-unique application id; instance names are `{profile}#{id}`.
+    pub id: u64,
+    /// Profile name from the churn pools.
+    pub profile: String,
+    /// Initial load fraction; `None` for BE profiles.
+    pub load: Option<f64>,
+}
+
+impl AppArrival {
+    /// The unique instance name, `{profile}#{id}`.
+    pub fn instance_name(&self) -> String {
+        format!("{}#{}", self.profile, self.id)
+    }
+
+    /// Instantiates the calibrated profile under the unique instance name.
+    pub fn spec(&self) -> AppSpec {
+        pool_spec(&self.profile).with_name(self.instance_name())
+    }
+}
+
+/// One churn event, applied between rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A new application arrives and must be placed.
+    Arrive(AppArrival),
+    /// A running application departs the cluster.
+    Depart {
+        /// Id of the departing application.
+        id: u64,
+    },
+    /// A running LC application changes its offered load.
+    SetLoad {
+        /// Id of the application whose load changes.
+        id: u64,
+        /// New load fraction.
+        load: f64,
+    },
+}
+
+/// Parameters of the churn stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Applications arriving at round 0 (the initial population).
+    pub initial_apps: usize,
+    /// Expected arrivals per subsequent round.
+    pub arrivals_per_round: f64,
+    /// Per-app probability of departing each round.
+    pub departure_prob: f64,
+    /// Per-LC-app probability of a load change each round.
+    pub load_change_prob: f64,
+    /// Fraction of arrivals drawn from the BE pool.
+    pub be_fraction: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            initial_apps: 16,
+            arrivals_per_round: 2.0,
+            departure_prob: 0.05,
+            load_change_prob: 0.15,
+            be_fraction: 0.4,
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64) for churn generation. The crate
+/// deliberately does not use the `rand` stack here: the stream must stay
+/// bit-stable across `rand` versions because tests and `repro` output pin
+/// on it.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        // derive_seed(state, 1) is exactly the SplitMix64 step of the
+        // stream-1-salted state; advancing the state by the same constant
+        // keeps the generator the reference SplitMix64 sequence.
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[(self.next_u64() % options.len() as u64) as usize]
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// The fully materialised churn stream: every event, tagged with the round
+/// *before* which it applies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnStream {
+    events: Vec<(usize, ChurnEvent)>,
+}
+
+impl ChurnStream {
+    /// Generates the stream for `rounds` rounds from `(config, seed)`.
+    ///
+    /// Round 0 carries the `initial_apps` arrivals; every round applies
+    /// departures, then arrivals, then load changes — the order the
+    /// cluster replays them in.
+    pub fn generate(config: &ChurnConfig, rounds: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64(derive_seed(seed, 0xC0_FFEE));
+        let mut events = Vec::new();
+        let mut next_id: u64 = 0;
+        // The generator's own live set: (id, kind). Placement-independent.
+        let mut live: Vec<(u64, AppKind)> = Vec::new();
+
+        let mut arrive = |rng: &mut SplitMix64,
+                          live: &mut Vec<(u64, AppKind)>,
+                          events: &mut Vec<(usize, ChurnEvent)>,
+                          round: usize| {
+            let be = rng.chance(config.be_fraction);
+            let (profile, load) = if be {
+                ((*rng.pick(&BE_POOL)).to_owned(), None)
+            } else {
+                (
+                    (*rng.pick(&LC_POOL)).to_owned(),
+                    Some(*rng.pick(&LOAD_LEVELS)),
+                )
+            };
+            let id = next_id;
+            next_id += 1;
+            live.push((id, if be { AppKind::Be } else { AppKind::Lc }));
+            events.push((round, ChurnEvent::Arrive(AppArrival { id, profile, load })));
+        };
+
+        for round in 0..rounds {
+            if round == 0 {
+                for _ in 0..config.initial_apps {
+                    arrive(&mut rng, &mut live, &mut events, 0);
+                }
+                continue;
+            }
+            // Departures first: the freed capacity is visible to this
+            // round's arrivals.
+            live.retain(|&(id, _)| {
+                if rng.chance(config.departure_prob) {
+                    events.push((round, ChurnEvent::Depart { id }));
+                    false
+                } else {
+                    true
+                }
+            });
+            let mut arrivals = config.arrivals_per_round.floor() as usize;
+            if rng.chance(config.arrivals_per_round.fract()) {
+                arrivals += 1;
+            }
+            for _ in 0..arrivals {
+                arrive(&mut rng, &mut live, &mut events, round);
+            }
+            // Load changes on LC apps that were alive before this round's
+            // arrivals are indistinguishable from ones including them —
+            // the retained order is id order either way.
+            for &(id, kind) in &live {
+                if kind == AppKind::Lc && rng.chance(config.load_change_prob) {
+                    events.push((
+                        round,
+                        ChurnEvent::SetLoad {
+                            id,
+                            load: *rng.pick(&LOAD_LEVELS),
+                        },
+                    ));
+                }
+            }
+        }
+        ChurnStream { events }
+    }
+
+    /// Every event in application order, tagged with its round.
+    pub fn events(&self) -> &[(usize, ChurnEvent)] {
+        &self.events
+    }
+
+    /// The events applying before `round`, in application order.
+    pub fn events_for_round(&self, round: usize) -> impl Iterator<Item = &ChurnEvent> {
+        self.events
+            .iter()
+            .filter(move |(r, _)| *r == round)
+            .map(|(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = ChurnConfig::default();
+        let a = ChurnStream::generate(&cfg, 12, 7);
+        let b = ChurnStream::generate(&cfg, 12, 7);
+        assert_eq!(a, b);
+        let c = ChurnStream::generate(&cfg, 12, 8);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn round_zero_carries_the_initial_population() {
+        let cfg = ChurnConfig {
+            initial_apps: 10,
+            ..ChurnConfig::default()
+        };
+        let stream = ChurnStream::generate(&cfg, 5, 3);
+        let round0: Vec<_> = stream.events_for_round(0).collect();
+        assert_eq!(round0.len(), 10);
+        assert!(round0.iter().all(|e| matches!(e, ChurnEvent::Arrive(_))));
+    }
+
+    #[test]
+    fn events_are_internally_consistent() {
+        // Departures and load changes only ever target live apps; ids are
+        // unique; LC arrivals carry a load and BE arrivals do not.
+        let cfg = ChurnConfig {
+            initial_apps: 12,
+            arrivals_per_round: 3.0,
+            departure_prob: 0.2,
+            load_change_prob: 0.3,
+            be_fraction: 0.5,
+        };
+        let stream = ChurnStream::generate(&cfg, 20, 11);
+        let mut live = std::collections::HashMap::new();
+        for (_, event) in stream.events() {
+            match event {
+                ChurnEvent::Arrive(arrival) => {
+                    let spec = arrival.spec();
+                    assert_eq!(spec.name(), arrival.instance_name());
+                    assert_eq!(arrival.load.is_some(), spec.kind() == AppKind::Lc);
+                    assert!(
+                        live.insert(arrival.id, spec.kind()).is_none(),
+                        "duplicate id {}",
+                        arrival.id
+                    );
+                }
+                ChurnEvent::Depart { id } => {
+                    assert!(live.remove(id).is_some(), "departing dead app {id}");
+                }
+                ChurnEvent::SetLoad { id, load } => {
+                    assert_eq!(live.get(id), Some(&AppKind::Lc), "load change on {id}");
+                    assert!((0.0..=1.0).contains(load));
+                }
+            }
+        }
+        assert!(!live.is_empty(), "churn should leave a running population");
+    }
+
+    #[test]
+    fn pool_specs_resolve() {
+        for name in LC_POOL {
+            assert_eq!(pool_spec(name).kind(), AppKind::Lc, "{name}");
+        }
+        for name in BE_POOL {
+            assert_eq!(pool_spec(name).kind(), AppKind::Be, "{name}");
+        }
+    }
+}

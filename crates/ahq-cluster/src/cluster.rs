@@ -1,0 +1,612 @@
+//! The cluster runner: a fleet of heterogeneous nodes on a shared window
+//! clock, churned and placed between rounds, aggregated into a
+//! [`ClusterEntropyReport`].
+
+use ahq_core::{derive_seed, EntropyModel};
+use ahq_sched::{observe, RunResult, ScheduledRun, Scheduler};
+use ahq_sim::{percentile, AppKind, AppSpec, MachineConfig, NodeSim};
+use serde::{Deserialize, Serialize};
+
+use crate::churn::{ChurnConfig, ChurnEvent, ChurnStream};
+use crate::placement::{migratable, NodeView, Placer, PlacerKind};
+use crate::report::{ClusterEntropyReport, ClusterWindowStat, NodeUtilization};
+
+/// The local (per-node) scheduler running underneath the placer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalSched {
+    /// OS default: everything shared fairly, no management.
+    Unmanaged,
+    /// The paper's ARQ controller.
+    Arq,
+}
+
+impl LocalSched {
+    /// Both local schedulers, baseline first.
+    pub fn all() -> [LocalSched; 2] {
+        [LocalSched::Unmanaged, LocalSched::Arq]
+    }
+
+    /// The scheduler's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalSched::Unmanaged => "unmanaged",
+            LocalSched::Arq => "arq",
+        }
+    }
+
+    /// Instantiates a fresh scheduler for one node job.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            LocalSched::Unmanaged => Box::new(ahq_sched::Unmanaged),
+            LocalSched::Arq => Box::new(ahq_sched::Arq::new()),
+        }
+    }
+
+    /// Parses a scheduler from its display name.
+    pub fn parse(name: &str) -> Option<LocalSched> {
+        LocalSched::all()
+            .into_iter()
+            .find(|k| k.name() == name.to_ascii_lowercase())
+    }
+}
+
+/// One node's work for one round, as a *closed* job: everything that
+/// determines its [`RunResult`] is in the value, so a [`NodeBatchRunner`]
+/// may execute jobs in any order on any number of workers without
+/// changing a byte of output.
+///
+/// Executing a job is definitionally identical to the single-node
+/// pipeline: build the simulator against the full paper machine as
+/// reference, apply the loads in order, then drive the local scheduler
+/// through [`ScheduledRun`] for `windows` windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeJob {
+    /// Fleet index of the node (also the seed stream).
+    pub node: usize,
+    /// The node's machine budget.
+    pub machine: MachineConfig,
+    /// The apps placed on the node, in placement order.
+    pub apps: Vec<AppSpec>,
+    /// Initial per-LC-app load fractions, in app order (order matters:
+    /// each `set_load` advances the simulator RNG).
+    pub loads: Vec<(String, f64)>,
+    /// The node's local scheduler.
+    pub sched: LocalSched,
+    /// Windows to simulate this round.
+    pub windows: usize,
+    /// The per-`(node, round)` seed.
+    pub seed: u64,
+    /// Entropy model the local scheduler is fed with.
+    pub model: EntropyModel,
+}
+
+impl NodeJob {
+    /// Executes the job on the calling thread. The result is a pure
+    /// function of the job value.
+    pub fn execute(&self) -> RunResult {
+        let mut sim = NodeSim::with_reference(
+            self.machine,
+            MachineConfig::paper_xeon(),
+            self.apps.clone(),
+            self.seed,
+        )
+        .expect("cluster jobs carry valid app sets");
+        for (name, load) in &self.loads {
+            sim.set_load(name, *load)
+                .expect("cluster loads target placed LC apps");
+        }
+        let mut sched = self.sched.build();
+        let mut run = ScheduledRun::new(&mut sim, sched.as_mut(), &self.model);
+        while run.windows_run() < self.windows {
+            run.step();
+        }
+        run.finish()
+    }
+}
+
+/// Executes a round's node jobs. Implementations must return results in
+/// job order and must not let worker identity or scheduling order leak
+/// into any result — both hold trivially for [`SequentialRunner`]; the
+/// engine-backed runner in `ahq-experiments` inherits them from the
+/// executor's determinism guarantees.
+pub trait NodeBatchRunner {
+    /// Runs every job, returning results in job order.
+    fn run_nodes(&self, jobs: &[NodeJob]) -> Vec<RunResult>;
+}
+
+/// The reference runner: executes jobs one by one on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialRunner;
+
+impl NodeBatchRunner for SequentialRunner {
+    fn run_nodes(&self, jobs: &[NodeJob]) -> Vec<RunResult> {
+        jobs.iter().map(NodeJob::execute).collect()
+    }
+}
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Machine budget of each node (the fleet may be heterogeneous).
+    pub machines: Vec<MachineConfig>,
+    /// Placement policy.
+    pub placer: PlacerKind,
+    /// Local scheduler run on every node.
+    pub sched: LocalSched,
+    /// Monitoring windows per round (between churn/placement points).
+    pub windows_per_round: usize,
+    /// Rounds to simulate.
+    pub rounds: usize,
+    /// Cluster seed: churn stream and every node seed derive from it.
+    pub seed: u64,
+    /// Entropy model used on every node and for idle-node scoring.
+    pub model: EntropyModel,
+    /// Churn stream parameters.
+    pub churn: ChurnConfig,
+}
+
+impl ClusterConfig {
+    /// A config over an explicit fleet with the default clock (3 windows
+    /// per round, 8 rounds), seed 42, paper entropy model and default
+    /// churn.
+    pub fn new(machines: Vec<MachineConfig>, placer: PlacerKind, sched: LocalSched) -> Self {
+        ClusterConfig {
+            machines,
+            placer,
+            sched,
+            windows_per_round: 3,
+            rounds: 8,
+            seed: 42,
+            model: EntropyModel::default(),
+            churn: ChurnConfig::default(),
+        }
+    }
+
+    /// A config over the standard heterogeneous fleet of `nodes` nodes
+    /// (see [`ClusterConfig::fleet`]).
+    pub fn heterogeneous(nodes: usize, placer: PlacerKind, sched: LocalSched) -> Self {
+        Self::new(Self::fleet(nodes), placer, sched)
+    }
+
+    /// The standard heterogeneous fleet: cycling full paper Xeons with
+    /// 8-core/16-way and 6-core/12-way budget variants, the same budgeted
+    /// machines the single-node resource sweeps use.
+    pub fn fleet(nodes: usize) -> Vec<MachineConfig> {
+        let full = MachineConfig::paper_xeon();
+        let shapes = [full, full.with_budget(8, 16), full.with_budget(6, 12)];
+        (0..nodes).map(|i| shapes[i % shapes.len()]).collect()
+    }
+}
+
+/// One placed application instance.
+#[derive(Debug, Clone)]
+struct PlacedApp {
+    id: u64,
+    spec: AppSpec,
+    /// Current load fraction; `None` for BE apps.
+    load: Option<f64>,
+}
+
+/// One node's placement state plus its entropy history.
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    apps: Vec<PlacedApp>,
+    recent_es: Option<f64>,
+    recent_ret: Option<f64>,
+}
+
+/// The cluster simulation: applies churn and placement between rounds and
+/// fans each round's per-node windows through a [`NodeBatchRunner`].
+pub struct ClusterSim {
+    config: ClusterConfig,
+    stream: ChurnStream,
+    placer: Box<dyn Placer>,
+    nodes: Vec<NodeState>,
+    round: usize,
+    window_stats: Vec<ClusterWindowStat>,
+    violations: u64,
+    placements: u64,
+    departures: u64,
+    load_changes: u64,
+    migrations: u64,
+    occupancy_sum: Vec<f64>,
+    rounds_active: Vec<usize>,
+}
+
+impl ClusterSim {
+    /// Prepares a run: generates the churn stream and an empty fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet — a cluster needs at least one node.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(
+            !config.machines.is_empty(),
+            "cluster needs at least one node"
+        );
+        let stream = ChurnStream::generate(&config.churn, config.rounds, config.seed);
+        let placer = config.placer.build();
+        let nodes = vec![NodeState::default(); config.machines.len()];
+        let occupancy_sum = vec![0.0; config.machines.len()];
+        let rounds_active = vec![0; config.machines.len()];
+        ClusterSim {
+            config,
+            stream,
+            placer,
+            nodes,
+            round: 0,
+            window_stats: Vec::new(),
+            violations: 0,
+            placements: 0,
+            departures: 0,
+            load_changes: 0,
+            migrations: 0,
+            occupancy_sum,
+            rounds_active,
+        }
+    }
+
+    /// Rounds stepped so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether every configured round has been stepped.
+    pub fn finished(&self) -> bool {
+        self.round >= self.config.rounds
+    }
+
+    fn view(&self, index: usize) -> NodeView {
+        let node = &self.nodes[index];
+        let mut lc_threads = 0;
+        let mut be_threads = 0;
+        let mut be_apps = 0;
+        for app in &node.apps {
+            match app.spec.kind() {
+                AppKind::Lc => lc_threads += app.spec.threads(),
+                AppKind::Be => {
+                    be_threads += app.spec.threads();
+                    be_apps += 1;
+                }
+            }
+        }
+        NodeView {
+            index,
+            machine: self.config.machines[index],
+            lc_threads,
+            be_threads,
+            apps: node.apps.len(),
+            be_apps,
+            recent_es: node.recent_es,
+            recent_ret: node.recent_ret,
+        }
+    }
+
+    fn views(&self) -> Vec<NodeView> {
+        (0..self.nodes.len()).map(|i| self.view(i)).collect()
+    }
+
+    fn apply_churn(&mut self) {
+        let round = self.round;
+        // The stream is applied in generation order: departures, then
+        // arrivals (each placed against the fleet as mutated so far), then
+        // load changes.
+        let events: Vec<ChurnEvent> = self.stream.events_for_round(round).cloned().collect();
+        for event in events {
+            match event {
+                ChurnEvent::Depart { id } => {
+                    for node in &mut self.nodes {
+                        node.apps.retain(|a| a.id != id);
+                    }
+                    self.departures += 1;
+                }
+                ChurnEvent::Arrive(arrival) => {
+                    let spec = arrival.spec();
+                    let views = self.views();
+                    let target = self.placer.place(&spec, &views);
+                    assert!(target < self.nodes.len(), "placer returned node {target}");
+                    self.nodes[target].apps.push(PlacedApp {
+                        id: arrival.id,
+                        spec,
+                        load: arrival.load,
+                    });
+                    self.placements += 1;
+                }
+                ChurnEvent::SetLoad { id, load } => {
+                    for node in &mut self.nodes {
+                        for app in &mut node.apps {
+                            if app.id == id && app.load.is_some() {
+                                app.load = Some(load);
+                                self.load_changes += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_rebalance(&mut self) {
+        let views = self.views();
+        for migration in self.placer.rebalance(&views) {
+            let (from, to) = (migration.from, migration.to);
+            if from >= self.nodes.len() || to >= self.nodes.len() || from == to {
+                continue;
+            }
+            // The concrete app is the cluster's choice, not the placer's:
+            // the most recently placed migratable (BE) app — LC apps pin.
+            let pick = self.nodes[from]
+                .apps
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| migratable(a.spec.kind()))
+                .max_by_key(|(_, a)| a.id)
+                .map(|(i, _)| i);
+            if let Some(i) = pick {
+                let app = self.nodes[from].apps.remove(i);
+                self.nodes[to].apps.push(app);
+                self.migrations += 1;
+            }
+        }
+    }
+
+    /// Builds the round's closed per-node jobs (non-empty nodes only).
+    ///
+    /// A node hosting no LC application falls back to the unmanaged
+    /// scheduler regardless of the configured one: ARQ's contract requires
+    /// at least one LC app to protect, and a BE-only node has nothing to
+    /// manage. The fallback is a pure function of the node's app set, so
+    /// determinism is unaffected.
+    fn node_jobs(&self) -> Vec<NodeJob> {
+        let windows = self.config.windows_per_round;
+        (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].apps.is_empty())
+            .map(|i| {
+                let node = &self.nodes[i];
+                let has_lc = node.apps.iter().any(|a| a.spec.kind() == AppKind::Lc);
+                NodeJob {
+                    node: i,
+                    machine: self.config.machines[i],
+                    apps: node.apps.iter().map(|a| a.spec.clone()).collect(),
+                    loads: node
+                        .apps
+                        .iter()
+                        .filter_map(|a| a.load.map(|l| (a.spec.name().to_owned(), l)))
+                        .collect(),
+                    sched: if has_lc {
+                        self.config.sched
+                    } else {
+                        LocalSched::Unmanaged
+                    },
+                    windows,
+                    seed: derive_seed(derive_seed(self.config.seed, i as u64), self.round as u64),
+                    model: self.config.model,
+                }
+            })
+            .collect()
+    }
+
+    /// Advances one round: churn, rebalance, run every node for
+    /// `windows_per_round` windows through `runner`, aggregate.
+    pub fn step_round(&mut self, runner: &dyn NodeBatchRunner) {
+        assert!(!self.finished(), "cluster run already finished");
+        self.apply_churn();
+        if self.round > 0 {
+            self.apply_rebalance();
+        }
+
+        // Occupancy accounting for this round's assignment.
+        for (i, machine) in self.config.machines.iter().enumerate() {
+            let view = self.view(i);
+            self.occupancy_sum[i] += view.used_threads() as f64 / machine.cores as f64;
+            if view.apps > 0 {
+                self.rounds_active[i] += 1;
+            }
+        }
+
+        let jobs = self.node_jobs();
+        let results = runner.run_nodes(&jobs);
+        assert_eq!(results.len(), jobs.len(), "runner must answer every job");
+
+        let windows = self.config.windows_per_round;
+        let total_apps: usize = self.nodes.iter().map(|n| n.apps.len()).sum();
+        // Idle nodes score through the entropy model's empty-measurement
+        // path: E_S = 0 by construction.
+        let idle_es = self.config.model.evaluate_auto(&[], &[]).system;
+        let mut es_scratch = vec![idle_es; self.nodes.len()];
+        for w in 0..windows {
+            es_scratch.iter_mut().for_each(|e| *e = idle_es);
+            let mut violations = 0u64;
+            for (job, result) in jobs.iter().zip(results.iter()) {
+                es_scratch[job.node] = result.entropy[w].system;
+                violations += observe::violations(&result.observations[w]);
+            }
+            let mean_es = es_scratch.iter().sum::<f64>() / es_scratch.len() as f64;
+            let max_es = es_scratch.iter().cloned().fold(0.0, f64::max);
+            let p95_es = percentile(&es_scratch, 0.95).expect("fleet is non-empty");
+            self.violations += violations;
+            self.window_stats.push(ClusterWindowStat {
+                window: self.round * windows + w,
+                round: self.round,
+                mean_es,
+                p95_es,
+                max_es,
+                violations,
+                active_nodes: jobs.len(),
+                apps: total_apps,
+            });
+        }
+
+        // Refresh each node's entropy/tolerance history for the placer.
+        for (job, result) in jobs.iter().zip(results.iter()) {
+            let node = &mut self.nodes[job.node];
+            node.recent_es =
+                Some(result.entropy.iter().map(|e| e.system).sum::<f64>() / windows as f64);
+            let mut ret_sum = 0.0;
+            let mut ret_windows = 0u32;
+            for entropy in &result.entropy {
+                if !entropy.lc_apps.is_empty() {
+                    ret_sum += entropy
+                        .lc_apps
+                        .iter()
+                        .map(|a| a.remaining_tolerance)
+                        .sum::<f64>()
+                        / entropy.lc_apps.len() as f64;
+                    ret_windows += 1;
+                }
+            }
+            node.recent_ret = if ret_windows > 0 {
+                Some(ret_sum / ret_windows as f64)
+            } else {
+                None
+            };
+        }
+        // Nodes that went idle this round keep no stale history.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !jobs.iter().any(|j| j.node == i) {
+                node.recent_es = Some(idle_es);
+                node.recent_ret = None;
+            }
+        }
+
+        self.round += 1;
+    }
+
+    /// Steps every remaining round and seals the report.
+    pub fn run(mut self, runner: &dyn NodeBatchRunner) -> ClusterEntropyReport {
+        while !self.finished() {
+            self.step_round(runner);
+        }
+        self.into_report()
+    }
+
+    /// Seals the aggregated report.
+    pub fn into_report(self) -> ClusterEntropyReport {
+        let rounds = self.round.max(1);
+        ClusterEntropyReport {
+            placer: self.config.placer.name().to_owned(),
+            sched: self.config.sched.name().to_owned(),
+            nodes: self.config.machines.len(),
+            rounds: self.round,
+            windows_per_round: self.config.windows_per_round,
+            seed: self.config.seed,
+            window_stats: self.window_stats,
+            violations: self.violations,
+            placements: self.placements,
+            departures: self.departures,
+            load_changes: self.load_changes,
+            migrations: self.migrations,
+            node_utilization: self
+                .occupancy_sum
+                .iter()
+                .enumerate()
+                .map(|(node, &sum)| NodeUtilization {
+                    node,
+                    mean_occupancy: sum / rounds as f64,
+                    rounds_active: self.rounds_active[node],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs one cluster configuration to completion — the one-call entry
+/// point `repro cluster` and the integration tests use.
+pub fn run_cluster(config: ClusterConfig, runner: &dyn NodeBatchRunner) -> ClusterEntropyReport {
+    ClusterSim::new(config).run(runner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(placer: PlacerKind) -> ClusterConfig {
+        ClusterConfig {
+            windows_per_round: 2,
+            rounds: 3,
+            seed: 9,
+            churn: ChurnConfig {
+                initial_apps: 6,
+                arrivals_per_round: 1.0,
+                departure_prob: 0.1,
+                load_change_prob: 0.2,
+                be_fraction: 0.4,
+            },
+            ..ClusterConfig::heterogeneous(8, placer, LocalSched::Unmanaged)
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run_cluster(tiny_config(PlacerKind::EntropyAware), &SequentialRunner);
+        let b = run_cluster(tiny_config(PlacerKind::EntropyAware), &SequentialRunner);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_shape_matches_run() {
+        let report = run_cluster(tiny_config(PlacerKind::FirstFit), &SequentialRunner);
+        assert_eq!(report.nodes, 8);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.windows(), 6);
+        assert!(
+            report.placements >= 6,
+            "at least the initial population placed"
+        );
+        assert_eq!(report.node_utilization.len(), 8);
+        assert!(report.window_stats.iter().all(|w| w.apps > 0));
+        assert!(report
+            .window_stats
+            .iter()
+            .all(|w| w.mean_es <= w.p95_es + 1e-12 || w.active_nodes == 8));
+    }
+
+    #[test]
+    fn node_jobs_are_closed_and_seeded_per_round() {
+        let mut sim = ClusterSim::new(tiny_config(PlacerKind::LeastLoaded));
+        sim.apply_churn();
+        let jobs_r0 = sim.node_jobs();
+        assert!(!jobs_r0.is_empty());
+        for job in &jobs_r0 {
+            assert_eq!(
+                job.seed,
+                derive_seed(derive_seed(9, job.node as u64), 0),
+                "seed must be a pure function of (cluster seed, node, round)"
+            );
+        }
+        // Distinct nodes get distinct seeds.
+        let mut seeds: Vec<u64> = jobs_r0.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), jobs_r0.len());
+    }
+
+    #[test]
+    fn be_only_nodes_fall_back_to_unmanaged_under_arq() {
+        let mut config = tiny_config(PlacerKind::LeastLoaded);
+        config.sched = LocalSched::Arq;
+        config.churn.be_fraction = 1.0; // every arrival is a BE app
+        let report = run_cluster(config, &SequentialRunner);
+        assert_eq!(report.sched, "arq", "the configured scheduler is reported");
+        assert!(report.windows() > 0);
+    }
+
+    #[test]
+    fn fleet_is_heterogeneous_and_cycles() {
+        let fleet = ClusterConfig::fleet(7);
+        assert_eq!(fleet.len(), 7);
+        assert_eq!(fleet[0], MachineConfig::paper_xeon());
+        assert_eq!(fleet[3], fleet[0]);
+        assert!(fleet[1].cores < fleet[0].cores);
+        assert!(fleet[2].cores < fleet[1].cores);
+    }
+
+    #[test]
+    fn local_sched_round_trips() {
+        for kind in LocalSched::all() {
+            assert_eq!(LocalSched::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(LocalSched::parse("nope"), None);
+    }
+}

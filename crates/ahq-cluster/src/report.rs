@@ -1,0 +1,160 @@
+//! Cluster-wide aggregation of per-node entropy reports.
+
+use serde::{Deserialize, Serialize};
+
+/// One shared monitoring window, aggregated across the whole fleet. Idle
+/// nodes score `E_S = 0` (the entropy model's empty-measurement case) and
+/// participate in every statistic — an empty node is usable capacity, not
+/// missing data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterWindowStat {
+    /// Global window index (across rounds).
+    pub window: usize,
+    /// The round this window belongs to.
+    pub round: usize,
+    /// Mean `E_S` across all nodes.
+    pub mean_es: f64,
+    /// 95th percentile `E_S` across nodes.
+    pub p95_es: f64,
+    /// Maximum `E_S` across nodes.
+    pub max_es: f64,
+    /// QoS violations summed over every node's LC apps this window.
+    pub violations: u64,
+    /// Nodes hosting at least one app this window.
+    pub active_nodes: usize,
+    /// Applications placed cluster-wide this window.
+    pub apps: usize,
+}
+
+/// Mean thread occupancy of one node over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeUtilization {
+    /// Node index.
+    pub node: usize,
+    /// Mean `used threads / cores` over all rounds (can exceed 1 under
+    /// oversubscription).
+    pub mean_occupancy: f64,
+    /// Rounds in which the node hosted at least one app.
+    pub rounds_active: usize,
+}
+
+/// The aggregated record of one cluster run: the cluster-level analogue
+/// of [`ahq_sched::RunResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEntropyReport {
+    /// Placement policy name.
+    pub placer: String,
+    /// Local (per-node) scheduler name.
+    pub sched: String,
+    /// Fleet size.
+    pub nodes: usize,
+    /// Rounds simulated.
+    pub rounds: usize,
+    /// Windows per round.
+    pub windows_per_round: usize,
+    /// Cluster seed.
+    pub seed: u64,
+    /// Per-window aggregates, in window order.
+    pub window_stats: Vec<ClusterWindowStat>,
+    /// Total QoS violations across all nodes and windows.
+    pub violations: u64,
+    /// Applications placed (arrivals).
+    pub placements: u64,
+    /// Applications departed.
+    pub departures: u64,
+    /// Load-level changes applied.
+    pub load_changes: u64,
+    /// BE migrations performed.
+    pub migrations: u64,
+    /// Per-node mean occupancy.
+    pub node_utilization: Vec<NodeUtilization>,
+}
+
+impl ClusterEntropyReport {
+    /// Total windows simulated.
+    pub fn windows(&self) -> usize {
+        self.window_stats.len()
+    }
+
+    /// Mean of the per-window mean `E_S` over the whole run.
+    pub fn mean_entropy(&self) -> f64 {
+        mean(self.window_stats.iter().map(|w| w.mean_es))
+    }
+
+    /// Mean of the per-window mean `E_S` over the last `n` windows — the
+    /// steady-state score the cluster experiments compare placers on.
+    pub fn steady_mean_entropy(&self, n: usize) -> f64 {
+        mean(self.window_stats.iter().rev().take(n).map(|w| w.mean_es))
+    }
+
+    /// Mean of the per-window p95 `E_S` over the last `n` windows.
+    pub fn steady_p95_entropy(&self, n: usize) -> f64 {
+        mean(self.window_stats.iter().rev().take(n).map(|w| w.p95_es))
+    }
+
+    /// Mean fleet occupancy: average of the per-node mean occupancies.
+    pub fn mean_occupancy(&self) -> f64 {
+        mean(self.node_utilization.iter().map(|u| u.mean_occupancy))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(window: usize, mean_es: f64, p95: f64) -> ClusterWindowStat {
+        ClusterWindowStat {
+            window,
+            round: 0,
+            mean_es,
+            p95_es: p95,
+            max_es: p95,
+            violations: 0,
+            active_nodes: 1,
+            apps: 1,
+        }
+    }
+
+    #[test]
+    fn steady_helpers_average_the_tail() {
+        let report = ClusterEntropyReport {
+            placer: "first-fit".into(),
+            sched: "unmanaged".into(),
+            nodes: 4,
+            rounds: 1,
+            windows_per_round: 3,
+            seed: 0,
+            window_stats: vec![stat(0, 0.4, 0.8), stat(1, 0.2, 0.4), stat(2, 0.0, 0.0)],
+            violations: 0,
+            placements: 0,
+            departures: 0,
+            load_changes: 0,
+            migrations: 0,
+            node_utilization: vec![NodeUtilization {
+                node: 0,
+                mean_occupancy: 0.5,
+                rounds_active: 1,
+            }],
+        };
+        assert_eq!(report.windows(), 3);
+        assert!((report.mean_entropy() - 0.2).abs() < 1e-12);
+        assert!((report.steady_mean_entropy(2) - 0.1).abs() < 1e-12);
+        assert!((report.steady_p95_entropy(2) - 0.2).abs() < 1e-12);
+        assert!((report.mean_occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(report.steady_mean_entropy(0), 0.0);
+    }
+}

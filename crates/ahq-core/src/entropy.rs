@@ -294,6 +294,73 @@ mod tests {
     }
 
     #[test]
+    fn zero_lc_apps_scores_be_only() {
+        // The cluster aggregator hits this whenever a node hosts only
+        // batch work: E_LC must be exactly zero and yield must be perfect.
+        let model = EntropyModel::default();
+        let be = vec![
+            BeMeasurement::new("a", 2.0, 1.0).unwrap(), // slowdown 2
+            BeMeasurement::new("b", 2.0, 1.0).unwrap(),
+        ];
+        let report = model.evaluate(&[], &be);
+        assert_eq!(report.lc, 0.0);
+        assert!((report.be - 0.5).abs() < 1e-12);
+        // evaluate keeps the configured RI = 0.8: E_S = 0.2 * E_BE.
+        assert!((report.system - 0.1).abs() < 1e-12);
+        assert_eq!(report.yield_fraction, 1.0);
+        assert!(report.lc_apps.is_empty());
+        // evaluate_auto degenerates RI to 0: E_S = E_BE exactly.
+        let auto = model.evaluate_auto(&[], &be);
+        assert_eq!(auto.system, auto.be);
+    }
+
+    #[test]
+    fn zero_be_apps_scores_lc_only() {
+        // An LC-only node: E_BE must be exactly zero.
+        let model = EntropyModel::default();
+        let lc = vec![LcMeasurement::new("a", 1.0, 8.0, 2.0).unwrap()];
+        let report = model.evaluate(&lc, &[]);
+        assert_eq!(report.be, 0.0);
+        assert!(report.lc > 0.0);
+        // evaluate keeps RI = 0.8: E_S = 0.8 * E_LC.
+        assert!((report.system - 0.8 * report.lc).abs() < 1e-12);
+        // evaluate_auto degenerates RI to 1: E_S = E_LC exactly.
+        let auto = model.evaluate_auto(&lc, &[]);
+        assert_eq!(auto.system, auto.lc);
+    }
+
+    #[test]
+    fn both_empty_is_the_idle_node_case() {
+        // An idle cluster node contributes exactly zero entropy and a
+        // perfect yield, under both evaluate and evaluate_auto.
+        for report in [
+            EntropyModel::default().evaluate(&[], &[]),
+            EntropyModel::default().evaluate_auto(&[], &[]),
+        ] {
+            assert_eq!(report.lc, 0.0);
+            assert_eq!(report.be, 0.0);
+            assert_eq!(report.system, 0.0);
+            assert_eq!(report.yield_fraction, 1.0);
+            assert!(report.lc_apps.is_empty());
+        }
+    }
+
+    #[test]
+    fn ri_extremes_select_one_population() {
+        let lc = vec![LcMeasurement::new("lc", 1.0, 8.0, 2.0).unwrap()];
+        let be = vec![BeMeasurement::new("be", 4.0, 1.0).unwrap()]; // slowdown 4
+        let lc_only = EntropyModel::new(RelativeImportance::LC_ONLY).evaluate(&lc, &be);
+        assert_eq!(lc_only.system, lc_only.lc);
+        assert!(lc_only.be > 0.0, "E_BE is still reported, just unweighted");
+        let be_only = EntropyModel::new(RelativeImportance::BE_ONLY).evaluate(&lc, &be);
+        assert_eq!(be_only.system, be_only.be);
+        assert!(be_only.lc > 0.0);
+        // With both populations present evaluate_auto must NOT degenerate.
+        let auto = EntropyModel::default().evaluate_auto(&lc, &be);
+        assert!((auto.system - (0.8 * auto.lc + 0.2 * auto.be)).abs() < 1e-12);
+    }
+
+    #[test]
     fn yield_counts_elastic_satisfaction() {
         let model = EntropyModel::default();
         let lc = vec![

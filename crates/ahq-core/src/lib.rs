@@ -63,6 +63,7 @@ mod entropy;
 mod equivalence;
 mod error;
 mod measurement;
+mod seed;
 mod series;
 mod weighted;
 
@@ -70,5 +71,6 @@ pub use entropy::{EntropyModel, EntropyReport, LcAppReport, RelativeImportance};
 pub use equivalence::{isentropic_resource, resource_equivalence, EquivalencePoint};
 pub use error::TheoryError;
 pub use measurement::{BeMeasurement, LcMeasurement, QosElasticity};
+pub use seed::derive_seed;
 pub use series::EntropySeries;
 pub use weighted::{Weighted, WeightedEntropyModel};

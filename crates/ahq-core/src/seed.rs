@@ -1,0 +1,54 @@
+//! Deterministic seed derivation shared by every layer that fans work out
+//! (the experiment executor's replicas, the cluster runner's per-node
+//! per-round jobs).
+
+/// Derives the seed of logical stream `stream` from `base` — the one
+/// audited per-replica/per-job derivation shared by the executor and the
+/// cluster layer (a SplitMix64 finalizer over the stream-salted base).
+/// The result depends only on `(base, stream)`, never on worker identity
+/// or scheduling order, which is what keeps parallel runs byte-identical
+/// to sequential ones.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_pinned_and_stream_sensitive() {
+        // SplitMix64 reference outputs: derive_seed(0, 0) is the first
+        // splitmix64 output of state 0.
+        assert_eq!(derive_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(derive_seed(0, 1), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(derive_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(derive_seed(42, 1), 0x28EF_E333_B266_F103);
+        assert_eq!(derive_seed(42, 2), 0x5FD3_0D2F_CBEF_75E3);
+        assert_eq!(derive_seed(u64::MAX, u64::MAX), 0xE99F_F867_DBF6_82C9);
+        // Distinct streams from one base never collide in practice.
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn nested_derivations_stay_distinct() {
+        // The cluster layer derives per-(node, round) seeds by chaining:
+        // derive_seed(derive_seed(base, node), round). Chained streams must
+        // not collide across a realistic grid.
+        let mut seeds: Vec<u64> = (0..64)
+            .flat_map(|node| (0..32).map(move |round| derive_seed(derive_seed(7, node), round)))
+            .collect();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n);
+    }
+}

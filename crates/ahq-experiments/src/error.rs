@@ -1,0 +1,152 @@
+//! Typed errors for experiment-level analysis failures.
+//!
+//! Experiments run as grids; one pathological cell must degrade into a
+//! recorded error on the [`crate::ExperimentReport`], never a panic that
+//! aborts a whole `repro all` invocation.
+
+use std::fmt;
+
+use ahq_core::EntropySeries;
+
+/// An analysis step of an experiment failed in a way worth reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// A resource-equivalence comparison found the *baseline* strategy
+    /// reaching a target entropy that the supposedly better candidate
+    /// never reaches within the sampled resource range — the one
+    /// combination the analysis cannot express as a saving.
+    UnexpectedReachability {
+        /// The target entropy being equated.
+        target: f64,
+        /// Name of the baseline series.
+        baseline: String,
+        /// Resources the baseline needs to reach the target.
+        baseline_resource: f64,
+        /// Name of the candidate series that never reaches it.
+        candidate: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnexpectedReachability {
+                target,
+                baseline,
+                baseline_resource,
+                candidate,
+            } => write!(
+                f,
+                "unexpected reachability at E_S = {target}: {baseline} reaches it with \
+                 {baseline_resource:.2} resources but {candidate} never does in the sampled range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// How two entropy series relate at one target entropy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reachability {
+    /// Both strategies reach the target; the equivalence is well-defined.
+    Both {
+        /// Resources the baseline needs.
+        baseline: f64,
+        /// Resources the candidate needs.
+        candidate: f64,
+    },
+    /// Only the candidate reaches the target — a strict improvement the
+    /// equivalence cannot quantify as a finite saving.
+    CandidateOnly {
+        /// Resources the candidate needs.
+        candidate: f64,
+    },
+    /// Neither strategy reaches the target in the sampled range.
+    Neither,
+}
+
+/// Classifies how `baseline` and `candidate` relate at `target` entropy.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::UnexpectedReachability`] when the baseline
+/// reaches the target but the candidate does not — for a candidate meant
+/// to dominate the baseline this is an experiment-level anomaly, reported
+/// on the result rather than panicking the run.
+pub fn classify_reachability(
+    baseline: &EntropySeries,
+    candidate: &EntropySeries,
+    target: f64,
+) -> Result<Reachability, ExperimentError> {
+    match (
+        baseline.resource_for_entropy(target),
+        candidate.resource_for_entropy(target),
+    ) {
+        (Some(b), Some(c)) => Ok(Reachability::Both {
+            baseline: b,
+            candidate: c,
+        }),
+        (None, Some(c)) => Ok(Reachability::CandidateOnly { candidate: c }),
+        (None, None) => Ok(Reachability::Neither),
+        (Some(b), None) => Err(ExperimentError::UnexpectedReachability {
+            target,
+            baseline: baseline.name().to_owned(),
+            baseline_resource: b,
+            candidate: candidate.name().to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, points: &[(f64, f64)]) -> EntropySeries {
+        EntropySeries::from_points(name, points.to_vec())
+    }
+
+    #[test]
+    fn both_reachable_reports_resources() {
+        let base = series("unmanaged", &[(4.0, 0.8), (8.0, 0.2)]);
+        let cand = series("arq", &[(4.0, 0.6), (8.0, 0.1)]);
+        match classify_reachability(&base, &cand, 0.4).unwrap() {
+            Reachability::Both {
+                baseline,
+                candidate,
+            } => assert!(candidate < baseline),
+            other => panic!("expected Both, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_only_and_neither_are_ok() {
+        let base = series("unmanaged", &[(4.0, 0.8), (8.0, 0.5)]);
+        let cand = series("arq", &[(4.0, 0.6), (8.0, 0.1)]);
+        assert!(matches!(
+            classify_reachability(&base, &cand, 0.3).unwrap(),
+            Reachability::CandidateOnly { .. }
+        ));
+        assert_eq!(
+            classify_reachability(&base, &cand, 0.01).unwrap(),
+            Reachability::Neither
+        );
+    }
+
+    #[test]
+    fn baseline_only_is_the_typed_error() {
+        let base = series("unmanaged", &[(4.0, 0.8), (8.0, 0.1)]);
+        let cand = series("arq", &[(4.0, 0.9), (8.0, 0.5)]);
+        let err = classify_reachability(&base, &cand, 0.3).unwrap_err();
+        let ExperimentError::UnexpectedReachability {
+            target,
+            baseline,
+            candidate,
+            ..
+        } = &err;
+        assert_eq!(*target, 0.3);
+        assert_eq!(baseline, "unmanaged");
+        assert_eq!(candidate, "arq");
+        assert!(err.to_string().contains("unexpected reachability"));
+    }
+}

@@ -110,7 +110,8 @@ mod tests {
         });
         let parties = heatmap(&cfg, StrategyKind::Parties);
         let arq = heatmap(&cfg, StrategyKind::Arq);
-        let get = |cells: &[((f64, f64), (f64, f64, f64))], k: (f64, f64)| {
+        type HeatCell = ((f64, f64), (f64, f64, f64));
+        let get = |cells: &[HeatCell], k: (f64, f64)| {
             cells
                 .iter()
                 .find(|(c, _)| *c == k)

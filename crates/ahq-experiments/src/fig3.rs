@@ -8,6 +8,7 @@
 
 use ahq_core::{resource_equivalence, EntropySeries};
 
+use crate::error::{classify_reachability, Reachability};
 use crate::exec::{ExpContext, RunSpec};
 use crate::fig2::budget_spec;
 use crate::report::{f2, f3, ExperimentReport, TextTable};
@@ -61,8 +62,10 @@ pub fn run(cfg: &ExpContext) -> ExperimentReport {
         &["target E_S", "unmanaged cores", "arq cores", "saved"],
     );
     for target in [0.25, 0.4] {
-        match resource_equivalence(&unmanaged, &arq, target) {
-            Some(eq) => {
+        match classify_reachability(&unmanaged, &arq, target) {
+            Ok(Reachability::Both { .. }) => {
+                let eq = resource_equivalence(&unmanaged, &arq, target)
+                    .expect("both series reach the target");
                 table_eq.push_row(vec![
                     f2(target),
                     f2(eq.baseline_resource),
@@ -74,11 +77,24 @@ pub fn run(cfg: &ExpContext) -> ExperimentReport {
                     eq.saved
                 ));
             }
-            None => {
+            Ok(Reachability::CandidateOnly { candidate }) => {
+                table_eq.push_row(vec![f2(target), ">10".into(), f2(candidate), "n/a".into()]);
+                report.note(format!(
+                    "E_S = {target}: only ARQ reaches it in the sampled 4-10 core range \
+                     (an unquantifiable saving)"
+                ));
+            }
+            Ok(Reachability::Neither) => {
                 table_eq.push_row(vec![f2(target), "n/a".into(), "n/a".into(), "n/a".into()]);
                 report.note(format!(
                     "E_S = {target}: not reachable within the sampled 4-10 core range"
                 ));
+            }
+            Err(err) => {
+                // One bad cell degrades into a recorded error; the rest of
+                // the figure (and any surrounding `repro all`) still runs.
+                table_eq.push_row(vec![f2(target), "err".into(), "err".into(), "err".into()]);
+                report.error(err);
             }
         }
     }
@@ -152,15 +168,16 @@ mod tests {
         let unmanaged = entropy_series(&cfg, StrategyKind::Unmanaged);
         let arq = entropy_series(&cfg, StrategyKind::Arq);
         // At the scarce end of the sweep ARQ must need no more cores for
-        // E_S = 0.3 than Unmanaged.
+        // E_S = 0.3 than Unmanaged. The classifier turns the one illegal
+        // combination (only Unmanaged reaching it) into a typed error.
         let target = 0.3;
-        match (
-            unmanaged.resource_for_entropy(target),
-            arq.resource_for_entropy(target),
-        ) {
-            (Some(u), Some(a)) => assert!(a <= u + 0.25, "arq {a:.2} vs unmanaged {u:.2}"),
-            (None, Some(_)) => {} // ARQ reaches it, Unmanaged never does: fine
-            (u, a) => panic!("unexpected reachability: unmanaged {u:?}, arq {a:?}"),
+        match classify_reachability(&unmanaged, &arq, target).expect("arq must not regress") {
+            Reachability::Both {
+                baseline: u,
+                candidate: a,
+            } => assert!(a <= u + 0.25, "arq {a:.2} vs unmanaged {u:.2}"),
+            Reachability::CandidateOnly { .. } => {} // strict improvement: fine
+            Reachability::Neither => panic!("E_S = {target} unreachable for both strategies"),
         }
     }
 }

@@ -21,6 +21,7 @@
 //! | [`headline`] | §VI headline numbers (yield, `E_S` reductions, IPC gains) |
 //! | [`ablations`] | extra: ablations of ARQ's design choices (not a paper artifact) |
 //! | [`baselines`] | extra: six-strategy comparison incl. a Heracles-style controller |
+//! | [`cluster`] | extra: multi-node placement policies under churn (`ahq-cluster`) |
 //!
 //! The `repro` binary runs any subset and renders aligned text tables plus
 //! CSV files. Every experiment is deterministic (seeded) and offers a
@@ -36,6 +37,8 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod cluster;
+pub mod error;
 pub mod exec;
 pub mod fig1;
 pub mod fig10;
@@ -56,6 +59,8 @@ pub mod strategy;
 pub mod table2;
 pub mod table4;
 
+pub use cluster::EngineRunner;
+pub use error::{classify_reachability, ExperimentError, Reachability};
 pub use exec::{CacheStats, Engine, ExpContext, RunKey, RunSpec, SchedSpec};
 pub use report::{ExperimentReport, TextTable};
 pub use runs::ExpConfig;
@@ -116,6 +121,11 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
             "baselines",
             "Six-strategy comparison incl. Heracles",
             baselines::run,
+        ),
+        (
+            "cluster",
+            "Cluster: placement policies under churn",
+            cluster::run,
         ),
     ]
 }

@@ -104,6 +104,9 @@ pub struct ExperimentReport {
     pub title: String,
     /// Free-form notes: paper-vs-measured comparisons, substitutions, etc.
     pub notes: Vec<String>,
+    /// Analysis errors the experiment survived: one grid cell failing an
+    /// invariant is recorded here instead of aborting the whole run.
+    pub errors: Vec<String>,
     /// The result tables.
     pub tables: Vec<TextTable>,
 }
@@ -115,6 +118,7 @@ impl ExperimentReport {
             id: id.into(),
             title: title.into(),
             notes: Vec::new(),
+            errors: Vec::new(),
             tables: Vec::new(),
         }
     }
@@ -122,6 +126,11 @@ impl ExperimentReport {
     /// Adds a note line.
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Records a survivable analysis error.
+    pub fn error(&mut self, error: impl ToString) {
+        self.errors.push(error.to_string());
     }
 
     /// Renders the whole report as text.
@@ -135,6 +144,12 @@ impl ExperimentReport {
             out.push_str("\nNotes:\n");
             for n in &self.notes {
                 out.push_str(&format!("  * {n}\n"));
+            }
+        }
+        if !self.errors.is_empty() {
+            out.push_str("\nErrors:\n");
+            for e in &self.errors {
+                out.push_str(&format!("  ! {e}\n"));
             }
         }
         out
@@ -188,5 +203,15 @@ mod tests {
         let mut r = ExperimentReport::new("fig0", "demo");
         r.note("paper: 1.0, measured: 1.1");
         assert!(r.render().contains("paper: 1.0"));
+        assert!(!r.render().contains("Errors:"));
+    }
+
+    #[test]
+    fn report_renders_errors() {
+        let mut r = ExperimentReport::new("fig0", "demo");
+        r.error("cell (4 cores, 20 ways): unexpected reachability");
+        let rendered = r.render();
+        assert!(rendered.contains("Errors:"));
+        assert!(rendered.contains("  ! cell (4 cores, 20 ways)"));
     }
 }

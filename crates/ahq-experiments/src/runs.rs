@@ -10,19 +10,12 @@ use serde::{Deserialize, Serialize};
 use crate::exec::{ExpContext, RunSpec};
 use crate::strategy::StrategyKind;
 
-/// Derives the seed of logical stream `stream` from `base` — the one
-/// audited per-replica/per-job derivation shared by the executor and the
-/// replication helpers (a SplitMix64 finalizer over the stream-salted
-/// base). The result depends only on `(base, stream)`, never on worker
-/// identity or scheduling order, which is what keeps parallel runs
-/// byte-identical to sequential ones.
-pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// The audited per-replica/per-job seed derivation shared by the executor,
+/// the replication helpers and the cluster layer — now hosted in
+/// [`ahq_core`] so every crate draws from the same stream function.
+/// Re-exported here to keep the historical
+/// `ahq_experiments::runs::derive_seed` path working.
+pub use ahq_core::derive_seed;
 
 /// Experiment-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -183,24 +176,6 @@ mod tests {
         let single = ReplicatedStats::from_samples(&[5.0]).unwrap();
         assert_eq!(single.std_dev, 0.0);
         assert!(ReplicatedStats::from_samples(&[]).is_none());
-    }
-
-    #[test]
-    fn derive_seed_is_pinned_and_stream_sensitive() {
-        // SplitMix64 reference outputs: derive_seed(0, 0) is the first
-        // splitmix64 output of state 0.
-        assert_eq!(derive_seed(0, 0), 0xE220_A839_7B1D_CDAF);
-        assert_eq!(derive_seed(0, 1), 0x6E78_9E6A_A1B9_65F4);
-        assert_eq!(derive_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
-        assert_eq!(derive_seed(42, 1), 0x28EF_E333_B266_F103);
-        assert_eq!(derive_seed(42, 2), 0x5FD3_0D2F_CBEF_75E3);
-        assert_eq!(derive_seed(u64::MAX, u64::MAX), 0xE99F_F867_DBF6_82C9);
-        // Distinct streams from one base never collide in practice.
-        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
-        let mut unique = seeds.clone();
-        unique.sort_unstable();
-        unique.dedup();
-        assert_eq!(unique.len(), seeds.len());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use clite::{Clite, CliteConfig};
 pub use heracles::{Heracles, HeraclesConfig};
 pub use lcfirst::LcFirst;
 pub use parties::{Parties, PartiesConfig};
-pub use runner::{run, run_with_hook, RunResult};
+pub use runner::{run, run_with_hook, RunResult, ScheduledRun};
 pub use unmanaged::Unmanaged;
 
 use ahq_core::EntropyReport;

@@ -1,5 +1,12 @@
 //! The window-driven scheduling loop: simulate a window, score it with the
 //! entropy model, let the scheduler react, repeat.
+//!
+//! The loop is available in two shapes: the batch helpers [`run`] /
+//! [`run_with_hook`] that drive a whole run to completion, and the
+//! incremental [`ScheduledRun`] that advances one window per [`ScheduledRun::step`]
+//! call — the form the cluster layer uses to keep many nodes on a shared
+//! window clock. Both produce byte-identical [`RunResult`]s for the same
+//! inputs: the batch helpers are thin wrappers over the stepper.
 
 use ahq_core::{EntropyModel, EntropyReport};
 use ahq_sim::{NodeSim, Partition, WindowObservation};
@@ -29,18 +36,7 @@ impl RunResult {
     /// Mean system entropy over the last `n` windows (or all, if fewer) —
     /// the steady-state score experiments report.
     pub fn steady_entropy(&self, n: usize) -> f64 {
-        let tail: Vec<f64> = self
-            .entropy
-            .iter()
-            .rev()
-            .take(n)
-            .map(|e| e.system)
-            .collect();
-        if tail.is_empty() {
-            0.0
-        } else {
-            tail.iter().sum::<f64>() / tail.len() as f64
-        }
+        mean(self.entropy.iter().rev().take(n).map(|e| e.system))
     }
 
     /// Mean LC entropy over the last `n` windows.
@@ -60,43 +56,46 @@ impl RunResult {
 
     /// Mean p95 of one LC application over the last `n` windows.
     pub fn steady_p95(&self, name: &str, n: usize) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .observations
-            .iter()
-            .rev()
-            .take(n)
-            .filter_map(|o| o.lc_by_name(name).and_then(|s| s.p95_ms))
-            .collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
-        }
+        mean_opt(
+            self.observations
+                .iter()
+                .rev()
+                .take(n)
+                .filter_map(|o| o.lc_by_name(name).and_then(|s| s.p95_ms)),
+        )
     }
 
     /// Mean IPC of one BE application over the last `n` windows.
     pub fn steady_ipc(&self, name: &str, n: usize) -> Option<f64> {
-        let vals: Vec<f64> = self
-            .observations
-            .iter()
-            .rev()
-            .take(n)
-            .filter_map(|o| o.be_by_name(name).map(|s| s.ipc))
-            .collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
-        }
+        mean_opt(
+            self.observations
+                .iter()
+                .rev()
+                .take(n)
+                .filter_map(|o| o.be_by_name(name).map(|s| s.ipc)),
+        )
     }
 }
 
+/// Single-pass mean without collecting; `0.0` for an empty iterator.
+/// Accumulates in iteration order, so it sums exactly the way the old
+/// collect-then-sum implementation did.
 fn mean(values: impl Iterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = values.collect();
-    if v.is_empty() {
-        0.0
+    mean_opt(values).unwrap_or(0.0)
+}
+
+/// Single-pass mean without collecting; `None` for an empty iterator.
+fn mean_opt(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        None
     } else {
-        v.iter().sum::<f64>() / v.len() as f64
+        Some(sum / count as f64)
     }
 }
 
@@ -125,50 +124,116 @@ pub fn run_with_hook(
     model: &EntropyModel,
     mut hook: impl FnMut(&mut NodeSim, usize),
 ) -> RunResult {
-    let apps: Vec<ahq_sim::AppSpec> = sim.specs().cloned().collect();
-    sim.set_policy(scheduler.policy());
-    let initial = scheduler.initial_partition(sim.machine(), &apps);
-    // An unsound initial partition is a scheduler bug; surface it loudly.
-    sim.set_partition(initial)
-        .expect("scheduler proposed an invalid initial partition");
-    let adjustments_before = sim.adjustments();
-
-    let mut result = RunResult {
-        strategy: scheduler.name().to_owned(),
-        observations: Vec::with_capacity(windows),
-        entropy: Vec::with_capacity(windows),
-        partitions: Vec::with_capacity(windows),
-        violations: 0,
-        adjustments: 0,
-    };
-
+    let mut stepper = ScheduledRun::new(sim, scheduler, model);
     for w in 0..windows {
-        hook(sim, w);
-        let partition = sim.partition().clone();
-        let obs = sim.run_window();
+        hook(stepper.sim(), w);
+        stepper.step();
+    }
+    stepper.finish()
+}
+
+/// An in-progress scheduled run that advances one monitoring window per
+/// [`ScheduledRun::step`] call.
+///
+/// This is the per-window form of the loop [`run_with_hook`] drives to
+/// completion: construction installs the scheduler's policy and initial
+/// partition, each step simulates one window / scores it / lets the
+/// scheduler react, and [`ScheduledRun::finish`] seals the accumulated
+/// [`RunResult`]. Stepping `n` times and finishing is byte-identical to
+/// `run(sim, scheduler, n, model)`.
+pub struct ScheduledRun<'a> {
+    sim: &'a mut NodeSim,
+    scheduler: &'a mut dyn Scheduler,
+    model: &'a EntropyModel,
+    apps: Vec<ahq_sim::AppSpec>,
+    adjustments_before: u64,
+    result: RunResult,
+}
+
+impl<'a> ScheduledRun<'a> {
+    /// Prepares a run: installs the scheduler's sharing policy and initial
+    /// partition on `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheduler proposes an invalid initial partition —
+    /// that is a scheduler bug, not a runtime condition.
+    pub fn new(
+        sim: &'a mut NodeSim,
+        scheduler: &'a mut dyn Scheduler,
+        model: &'a EntropyModel,
+    ) -> Self {
+        let apps: Vec<ahq_sim::AppSpec> = sim.specs().cloned().collect();
+        sim.set_policy(scheduler.policy());
+        let initial = scheduler.initial_partition(sim.machine(), &apps);
+        // An unsound initial partition is a scheduler bug; surface it loudly.
+        sim.set_partition(initial)
+            .expect("scheduler proposed an invalid initial partition");
+        let adjustments_before = sim.adjustments();
+        let strategy = scheduler.name().to_owned();
+        ScheduledRun {
+            sim,
+            scheduler,
+            model,
+            apps,
+            adjustments_before,
+            result: RunResult {
+                strategy,
+                observations: Vec::new(),
+                entropy: Vec::new(),
+                partitions: Vec::new(),
+                violations: 0,
+                adjustments: 0,
+            },
+        }
+    }
+
+    /// The simulator under the run — for pre-window mutation (load-trace
+    /// replay, fault injection), exactly what [`run_with_hook`] hands its
+    /// hook.
+    pub fn sim(&mut self) -> &mut NodeSim {
+        self.sim
+    }
+
+    /// Number of windows stepped so far.
+    pub fn windows_run(&self) -> usize {
+        self.result.observations.len()
+    }
+
+    /// Advances one monitoring window: simulate, score, let the scheduler
+    /// react, apply any repartition. Returns the window's entropy report.
+    pub fn step(&mut self) -> &EntropyReport {
+        let partition = self.sim.partition().clone();
+        let obs = self.sim.run_window();
         let (lc, be) = observe::measurements(&obs);
-        let entropy = model.evaluate_auto(&lc, &be);
-        result.violations += observe::violations(&obs);
+        let entropy = self.model.evaluate_auto(&lc, &be);
+        self.result.violations += observe::violations(&obs);
 
         let ctx = SchedContext {
-            machine: sim.machine(),
-            apps: &apps,
+            machine: self.sim.machine(),
+            apps: &self.apps,
             partition: &partition,
             obs: &obs,
             entropy: &entropy,
-            now_s: sim.now().as_secs(),
+            now_s: self.sim.now().as_secs(),
         };
-        if let Some(next) = scheduler.decide(&ctx) {
+        if let Some(next) = self.scheduler.decide(&ctx) {
             // Refuse invalid proposals instead of crashing the run.
-            let _ = sim.set_partition(next);
+            let _ = self.sim.set_partition(next);
         }
 
-        result.observations.push(obs);
-        result.entropy.push(entropy);
-        result.partitions.push(partition);
+        self.result.observations.push(obs);
+        self.result.entropy.push(entropy);
+        self.result.partitions.push(partition);
+        self.result.entropy.last().expect("just pushed")
     }
-    result.adjustments = sim.adjustments() - adjustments_before;
-    result
+
+    /// Seals the run, accounting the scheduler's partition adjustments.
+    pub fn finish(self) -> RunResult {
+        let mut result = self.result;
+        result.adjustments = self.sim.adjustments() - self.adjustments_before;
+        result
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +253,26 @@ mod tests {
         let mut sim = NodeSim::new(MachineConfig::paper_xeon(), vec![lc, be], 9).unwrap();
         sim.set_load("svc", 0.3).unwrap();
         sim
+    }
+
+    fn entropy_only(systems: &[f64]) -> RunResult {
+        RunResult {
+            strategy: "test".into(),
+            observations: Vec::new(),
+            entropy: systems
+                .iter()
+                .map(|&system| EntropyReport {
+                    lc: 0.0,
+                    be: 0.0,
+                    system,
+                    yield_fraction: 1.0,
+                    lc_apps: Vec::new(),
+                })
+                .collect(),
+            partitions: Vec::new(),
+            violations: 0,
+            adjustments: 0,
+        }
     }
 
     #[test]
@@ -210,6 +295,44 @@ mod tests {
             fired.push(w)
         });
         assert_eq!(fired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stepper_matches_batch_run() {
+        let model = EntropyModel::default();
+        let batch = {
+            let mut s = sim();
+            let mut sched = Unmanaged;
+            run(&mut s, &mut sched, 4, &model)
+        };
+        let stepped = {
+            let mut s = sim();
+            let mut sched = Unmanaged;
+            let mut stepper = ScheduledRun::new(&mut s, &mut sched, &model);
+            while stepper.windows_run() < 4 {
+                stepper.step();
+            }
+            stepper.finish()
+        };
+        assert_eq!(
+            serde_json::to_string(&batch).unwrap(),
+            serde_json::to_string(&stepped).unwrap(),
+            "stepping must be byte-identical to the batch loop"
+        );
+    }
+
+    #[test]
+    fn steady_entropy_pinned_for_n_around_window_count() {
+        let r = entropy_only(&[0.1, 0.2, 0.4]);
+        // n smaller than the window count: mean of the last two.
+        assert!((r.steady_entropy(2) - 0.3).abs() < 1e-12);
+        // n equal to the window count: mean of all three.
+        assert!((r.steady_entropy(3) - (0.7 / 3.0)).abs() < 1e-12);
+        // n larger than the window count clamps to all windows.
+        assert_eq!(r.steady_entropy(3), r.steady_entropy(100));
+        // Degenerate cases.
+        assert_eq!(r.steady_entropy(0), 0.0);
+        assert_eq!(entropy_only(&[]).steady_entropy(5), 0.0);
     }
 
     #[test]

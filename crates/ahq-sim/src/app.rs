@@ -276,6 +276,14 @@ impl AppSpec {
         self.threads = threads.max(1);
         self
     }
+
+    /// Returns a copy with the name replaced — the cluster layer stamps
+    /// profile instances with unique names (`xapian#17`) so one node can
+    /// host several instances of the same calibrated profile.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
 }
 
 /// Builder for latency-critical [`AppSpec`]s. See [`AppSpec::lc`].
@@ -519,6 +527,14 @@ mod tests {
         let spec = lc().with_threads(8);
         assert_eq!(spec.threads(), 8);
         assert_eq!(lc().with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn with_name_overrides_only_the_name() {
+        let spec = lc().with_name("xapian#3");
+        assert_eq!(spec.name(), "xapian#3");
+        assert_eq!(spec.kind(), AppKind::Lc);
+        assert_eq!(spec.qos_threshold_ms(), lc().qos_threshold_ms());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Benchmarks of the cluster layer: one full round step (churn +
+//! placement + every node's windows + aggregation) at 16 and 64 nodes
+//! with the sequential reference runner, pinned in `BENCH_cluster.json`.
+
+use ahq_cluster::{
+    ChurnConfig, ClusterConfig, ClusterSim, LocalSched, PlacerKind, SequentialRunner,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The benched scenario: the standard heterogeneous fleet under
+/// entropy-aware placement with roughly one app per node, matching the
+/// `repro cluster` quick grid shape.
+fn bench_config(nodes: usize) -> ClusterConfig {
+    let mut config =
+        ClusterConfig::heterogeneous(nodes, PlacerKind::EntropyAware, LocalSched::Unmanaged);
+    config.windows_per_round = 2;
+    config.seed = 7;
+    config.churn = ChurnConfig {
+        initial_apps: nodes,
+        arrivals_per_round: nodes as f64 / 4.0,
+        departure_prob: 0.05,
+        load_change_prob: 0.15,
+        be_fraction: 0.4,
+    };
+    config
+}
+
+fn bench_round_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_round_step");
+    group.sample_size(10);
+    for nodes in [16usize, 64] {
+        group.bench_function(format!("{nodes}_nodes"), |b| {
+            // Iterations re-run round 0 on a fresh cluster so every
+            // measurement covers the same work: initial churn, placement
+            // of ~`nodes` apps, and `nodes x 2` simulated windows.
+            b.iter(|| {
+                let mut sim = ClusterSim::new(bench_config(nodes));
+                sim.step_round(&SequentialRunner);
+                black_box(sim.round())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A time-boxed Criterion configuration, matching the other benches in
+/// the suite.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_round_step);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Integration tests of the cluster layer as wired into the experiment
+//! harness: worker-count invariance of `repro cluster` and the
+//! entropy-aware placer's headline claim.
+
+use ahq_cluster::{run_cluster, LocalSched, PlacerKind, SequentialRunner};
+use ahq_experiments::cluster::{scenario, EngineRunner};
+use ahq_experiments::{ExpConfig, ExpContext};
+
+fn quick_cfg(jobs: usize) -> ExpContext {
+    ExpContext::with_jobs(
+        ExpConfig {
+            quick: true,
+            seed: 42,
+        },
+        jobs,
+    )
+}
+
+#[test]
+fn sixty_four_nodes_are_byte_identical_for_any_job_count() {
+    let serial = quick_cfg(1);
+    let parallel = quick_cfg(8);
+    let config = |cfg: &ExpContext| scenario(cfg, 64, PlacerKind::EntropyAware, LocalSched::Arq);
+    let a = run_cluster(config(&serial), &EngineRunner::new(serial.engine()));
+    let b = run_cluster(config(&parallel), &EngineRunner::new(parallel.engine()));
+    assert_eq!(
+        serde_json::to_string(&a).expect("serializable"),
+        serde_json::to_string(&b).expect("serializable"),
+        "cluster output must not depend on the worker count"
+    );
+}
+
+#[test]
+fn engine_runner_is_equivalent_to_the_sequential_reference() {
+    let cfg = quick_cfg(4);
+    let mut config = scenario(&cfg, 16, PlacerKind::LeastLoaded, LocalSched::Unmanaged);
+    config.rounds = 3;
+    let engine_side = run_cluster(config.clone(), &EngineRunner::new(cfg.engine()));
+    let reference = run_cluster(config, &SequentialRunner);
+    assert_eq!(
+        serde_json::to_string(&engine_side).expect("serializable"),
+        serde_json::to_string(&reference).expect("serializable"),
+        "the engine-backed runner must match per-job execution exactly"
+    );
+}
+
+#[test]
+fn entropy_aware_placement_beats_first_fit_on_a_churned_fleet() {
+    let cfg = quick_cfg(0);
+    let runner = EngineRunner::new(cfg.engine());
+    let build = |placer| scenario(&cfg, 64, placer, LocalSched::Unmanaged);
+    let steady = {
+        let c = build(PlacerKind::FirstFit);
+        (c.rounds * c.windows_per_round) / 2
+    };
+    let first_fit = run_cluster(build(PlacerKind::FirstFit), &runner);
+    let entropy_aware = run_cluster(build(PlacerKind::EntropyAware), &runner);
+    let ff = first_fit.steady_mean_entropy(steady);
+    let ea = entropy_aware.steady_mean_entropy(steady);
+    assert!(
+        ea <= ff + 1e-9,
+        "entropy-aware steady mean E_S ({ea:.4}) must not exceed first-fit ({ff:.4})"
+    );
+    assert!(
+        first_fit.placements == entropy_aware.placements,
+        "both placers face the same churn stream"
+    );
+}

@@ -26,24 +26,34 @@ const BE_POOL: [&str; 3] = ["fluidanimate", "streamcluster", "stream"];
 /// load-change events pick from.
 const LOAD_LEVELS: [f64; 5] = [0.2, 0.3, 0.4, 0.5, 0.6];
 
-/// Builds the calibrated [`AppSpec`] for a churn-pool profile name.
+/// The calibrated [`AppSpec`] for a churn-pool profile name, served from a
+/// process-wide pool built once — `spec()` is on the placement hot path
+/// and rebuilding calibrated profiles per arrival showed up in 10k-node
+/// profiles.
 ///
 /// # Panics
 ///
 /// Panics on names outside [`LC_POOL`] / [`BE_POOL`] — churn streams only
 /// ever carry pool names.
 pub(crate) fn pool_spec(profile: &str) -> AppSpec {
-    match profile {
-        "xapian" => profiles::xapian(),
-        "moses" => profiles::moses(),
-        "img-dnn" => profiles::img_dnn(),
-        "masstree" => profiles::masstree(),
-        "silo" => profiles::silo(),
-        "fluidanimate" => profiles::fluidanimate(),
-        "streamcluster" => profiles::streamcluster(),
-        "stream" => profiles::stream(),
-        other => panic!("unknown churn profile {other:?}"),
-    }
+    static POOL: std::sync::OnceLock<Vec<(&'static str, AppSpec)>> = std::sync::OnceLock::new();
+    let pool = POOL.get_or_init(|| {
+        vec![
+            ("xapian", profiles::xapian()),
+            ("moses", profiles::moses()),
+            ("img-dnn", profiles::img_dnn()),
+            ("masstree", profiles::masstree()),
+            ("silo", profiles::silo()),
+            ("fluidanimate", profiles::fluidanimate()),
+            ("streamcluster", profiles::streamcluster()),
+            ("stream", profiles::stream()),
+        ]
+    });
+    pool.iter()
+        .find(|(name, _)| *name == profile)
+        .unwrap_or_else(|| panic!("unknown churn profile {profile:?}"))
+        .1
+        .clone()
 }
 
 /// One application arrival: which calibrated profile to instantiate, under

@@ -2,14 +2,26 @@
 //! clock, churned and placed between rounds, aggregated into a
 //! [`ClusterEntropyReport`].
 
+use std::cell::Cell;
+use std::sync::Arc;
+
 use ahq_core::{derive_seed, EntropyModel};
 use ahq_sched::{observe, RunResult, ScheduledRun, Scheduler};
-use ahq_sim::{percentile, AppKind, AppSpec, MachineConfig, NodeSim};
+use ahq_sim::{
+    percentile, AppKind, AppSpec, MachineConfig, NodeSim, SimPerfStats, SteadyCalibration,
+    Surrogate,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::churn::{ChurnConfig, ChurnEvent, ChurnStream};
+use crate::fidelity::{FidelityMode, FidelityPolicy};
 use crate::placement::{migratable, NodeView, Placer, PlacerKind};
 use crate::report::{ClusterEntropyReport, ClusterWindowStat, NodeUtilization};
+
+/// The shared cluster window length in milliseconds — the [`NodeSim`]
+/// default window the HI-FI path simulates with, reused by the LO-FI
+/// surrogate so both fidelities keep the same clock.
+const WINDOW_MS: f64 = 500.0;
 
 /// The local (per-node) scheduler running underneath the placer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -50,23 +62,36 @@ impl LocalSched {
     }
 }
 
+/// The simulation resolution one [`NodeJob`] runs at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobFidelity {
+    /// Full discrete-event [`NodeSim`] round.
+    HiFi,
+    /// Closed-form [`Surrogate`] round, calibrated from the node's last
+    /// HI-FI round.
+    LoFi(SteadyCalibration),
+}
+
 /// One node's work for one round, as a *closed* job: everything that
 /// determines its [`RunResult`] is in the value, so a [`NodeBatchRunner`]
 /// may execute jobs in any order on any number of workers without
 /// changing a byte of output.
 ///
-/// Executing a job is definitionally identical to the single-node
+/// Executing a HI-FI job is definitionally identical to the single-node
 /// pipeline: build the simulator against the full paper machine as
 /// reference, apply the loads in order, then drive the local scheduler
-/// through [`ScheduledRun`] for `windows` windows.
+/// through [`ScheduledRun`] for `windows` windows. A LO-FI job replays
+/// the same loop against the closed-form surrogate instead of the event
+/// simulator (see DESIGN.md §8).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeJob {
     /// Fleet index of the node (also the seed stream).
     pub node: usize,
     /// The node's machine budget.
     pub machine: MachineConfig,
-    /// The apps placed on the node, in placement order.
-    pub apps: Vec<AppSpec>,
+    /// The apps placed on the node, in placement order. Shared with the
+    /// cluster's per-node cache so job construction does not copy specs.
+    pub apps: Arc<Vec<AppSpec>>,
     /// Initial per-LC-app load fractions, in app order (order matters:
     /// each `set_load` advances the simulator RNG).
     pub loads: Vec<(String, f64)>,
@@ -78,16 +103,36 @@ pub struct NodeJob {
     pub seed: u64,
     /// Entropy model the local scheduler is fed with.
     pub model: EntropyModel,
+    /// Simulation resolution for the round.
+    pub fidelity: JobFidelity,
 }
 
 impl NodeJob {
     /// Executes the job on the calling thread. The result is a pure
     /// function of the job value.
     pub fn execute(&self) -> RunResult {
+        match &self.fidelity {
+            JobFidelity::HiFi => self.execute_hifi().0,
+            JobFidelity::LoFi(calibration) => self.execute_lofi(calibration),
+        }
+    }
+
+    /// Executes the job and also reports how much simulator work it did.
+    /// LO-FI jobs run no discrete events and report empty counters.
+    pub fn execute_with_stats(&self) -> (RunResult, SimPerfStats) {
+        match &self.fidelity {
+            JobFidelity::HiFi => self.execute_hifi(),
+            JobFidelity::LoFi(calibration) => {
+                (self.execute_lofi(calibration), SimPerfStats::default())
+            }
+        }
+    }
+
+    fn execute_hifi(&self) -> (RunResult, SimPerfStats) {
         let mut sim = NodeSim::with_reference(
             self.machine,
             MachineConfig::paper_xeon(),
-            self.apps.clone(),
+            (*self.apps).clone(),
             self.seed,
         )
         .expect("cluster jobs carry valid app sets");
@@ -100,7 +145,48 @@ impl NodeJob {
         while run.windows_run() < self.windows {
             run.step();
         }
-        run.finish()
+        let result = run.finish();
+        let stats = sim.perf_stats();
+        (result, stats)
+    }
+
+    /// The LO-FI path: the scheduler contributes only its sharing policy
+    /// and initial partition (a demoted node's scheduler made no
+    /// adjustment, so the initial partition is the partition in force all
+    /// round), and the surrogate stamps out every window from one
+    /// steady-state solve. Seed-independent by construction.
+    fn execute_lofi(&self, calibration: &SteadyCalibration) -> RunResult {
+        let sched = self.sched.build();
+        let partition = sched.initial_partition(&self.machine, &self.apps);
+        let surrogate = Surrogate::new(
+            self.machine,
+            MachineConfig::paper_xeon(),
+            &self.apps,
+            &self.loads,
+            &partition,
+            sched.policy(),
+            WINDOW_MS,
+            Some(calibration),
+        )
+        .expect("cluster jobs carry valid app sets");
+        let mut result = RunResult {
+            strategy: sched.name().to_owned(),
+            observations: Vec::with_capacity(self.windows),
+            entropy: Vec::with_capacity(self.windows),
+            partitions: Vec::with_capacity(self.windows),
+            violations: 0,
+            adjustments: 0,
+        };
+        for w in 0..self.windows {
+            let obs = surrogate.window(w as u64);
+            let (lc, be) = observe::measurements(&obs);
+            let entropy = self.model.evaluate_auto(&lc, &be);
+            result.violations += observe::violations(&obs);
+            result.observations.push(obs);
+            result.entropy.push(entropy);
+            result.partitions.push(partition.clone());
+        }
+        result
     }
 }
 
@@ -112,15 +198,46 @@ impl NodeJob {
 pub trait NodeBatchRunner {
     /// Runs every job, returning results in job order.
     fn run_nodes(&self, jobs: &[NodeJob]) -> Vec<RunResult>;
+
+    /// Aggregated simulator work counters over every job run so far, when
+    /// the runner tracks them. Purely informational — results never
+    /// depend on these.
+    fn perf_stats(&self) -> Option<SimPerfStats> {
+        None
+    }
 }
 
-/// The reference runner: executes jobs one by one on the calling thread.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SequentialRunner;
+/// The reference runner: executes jobs one by one on the calling thread,
+/// accumulating their simulator work counters.
+#[derive(Debug, Default)]
+pub struct SequentialRunner {
+    stats: Cell<SimPerfStats>,
+}
+
+impl SequentialRunner {
+    /// A fresh runner with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl NodeBatchRunner for SequentialRunner {
     fn run_nodes(&self, jobs: &[NodeJob]) -> Vec<RunResult> {
-        jobs.iter().map(NodeJob::execute).collect()
+        jobs.iter()
+            .map(|job| {
+                let (result, stats) = job.execute_with_stats();
+                let mut total = self.stats.get();
+                total.events += stats.events;
+                total.rate_hits += stats.rate_hits;
+                total.rate_misses += stats.rate_misses;
+                self.stats.set(total);
+                result
+            })
+            .collect()
+    }
+
+    fn perf_stats(&self) -> Option<SimPerfStats> {
+        Some(self.stats.get())
     }
 }
 
@@ -143,6 +260,12 @@ pub struct ClusterConfig {
     pub model: EntropyModel,
     /// Churn stream parameters.
     pub churn: ChurnConfig,
+    /// Simulation resolution policy: full fidelity everywhere, or the
+    /// HI-FI/LO-FI ladder.
+    pub fidelity: FidelityMode,
+    /// Ladder promotion/demotion thresholds (ignored under
+    /// [`FidelityMode::Full`]).
+    pub fidelity_policy: FidelityPolicy,
 }
 
 impl ClusterConfig {
@@ -159,6 +282,8 @@ impl ClusterConfig {
             seed: 42,
             model: EntropyModel::default(),
             churn: ChurnConfig::default(),
+            fidelity: FidelityMode::default(),
+            fidelity_policy: FidelityPolicy::default(),
         }
     }
 
@@ -187,12 +312,58 @@ struct PlacedApp {
     load: Option<f64>,
 }
 
-/// One node's placement state plus its entropy history.
+/// One node's placement state plus its entropy history and fidelity
+/// ladder position.
 #[derive(Debug, Clone, Default)]
 struct NodeState {
     apps: Vec<PlacedApp>,
     recent_es: Option<f64>,
     recent_ret: Option<f64>,
+    /// Consecutive stable rounds (fidelity ladder input).
+    streak: u32,
+    /// The cached LO-FI round while the node is demoted; `None` = HI-FI.
+    lofi: Option<RunResult>,
+    /// Shared spec vector handed to every round's job; invalidated by any
+    /// churn or migration touching the node.
+    spec_cache: Option<Arc<Vec<AppSpec>>>,
+}
+
+impl NodeState {
+    /// Invalidates everything derived from the node's app set: the spec
+    /// cache, the stability streak and any LO-FI demotion. Called on
+    /// every churn event or migration touching the node — which is what
+    /// makes "recent churn" promote a node back to HI-FI.
+    fn touch(&mut self) {
+        self.streak = 0;
+        self.lofi = None;
+        self.spec_cache = None;
+    }
+}
+
+/// Mean per-window system entropy and LC remaining tolerance of one
+/// node's round — the placer's history signals and the fidelity ladder's
+/// stability inputs.
+fn recent_history(result: &RunResult, windows: usize) -> (Option<f64>, Option<f64>) {
+    let es = result.entropy.iter().map(|e| e.system).sum::<f64>() / windows as f64;
+    let mut ret_sum = 0.0;
+    let mut ret_windows = 0u32;
+    for entropy in &result.entropy {
+        if !entropy.lc_apps.is_empty() {
+            ret_sum += entropy
+                .lc_apps
+                .iter()
+                .map(|a| a.remaining_tolerance)
+                .sum::<f64>()
+                / entropy.lc_apps.len() as f64;
+            ret_windows += 1;
+        }
+    }
+    let ret = if ret_windows > 0 {
+        Some(ret_sum / ret_windows as f64)
+    } else {
+        None
+    };
+    (Some(es), ret)
 }
 
 /// The cluster simulation: applies churn and placement between rounds and
@@ -296,7 +467,11 @@ impl ClusterSim {
             match event {
                 ChurnEvent::Depart { id } => {
                     for node in &mut self.nodes {
+                        let before = node.apps.len();
                         node.apps.retain(|a| a.id != id);
+                        if node.apps.len() != before {
+                            node.touch();
+                        }
                     }
                     self.departures += 1;
                 }
@@ -310,15 +485,21 @@ impl ClusterSim {
                         spec,
                         load: arrival.load,
                     });
+                    self.nodes[target].touch();
                     self.placements += 1;
                 }
                 ChurnEvent::SetLoad { id, load } => {
                     for node in &mut self.nodes {
+                        let mut changed = false;
                         for app in &mut node.apps {
                             if app.id == id && app.load.is_some() {
                                 app.load = Some(load);
                                 self.load_changes += 1;
+                                changed = true;
                             }
+                        }
+                        if changed {
+                            node.touch();
                         }
                     }
                 }
@@ -345,6 +526,8 @@ impl ClusterSim {
             if let Some(i) = pick {
                 let app = self.nodes[from].apps.remove(i);
                 self.nodes[to].apps.push(app);
+                self.nodes[from].touch();
+                self.nodes[to].touch();
                 self.migrations += 1;
             }
         }
@@ -358,32 +541,49 @@ impl ClusterSim {
     /// manage. The fallback is a pure function of the node's app set, so
     /// determinism is unaffected.
     fn node_jobs(&self) -> Vec<NodeJob> {
-        let windows = self.config.windows_per_round;
         (0..self.nodes.len())
             .filter(|&i| !self.nodes[i].apps.is_empty())
-            .map(|i| {
-                let node = &self.nodes[i];
-                let has_lc = node.apps.iter().any(|a| a.spec.kind() == AppKind::Lc);
-                NodeJob {
-                    node: i,
-                    machine: self.config.machines[i],
-                    apps: node.apps.iter().map(|a| a.spec.clone()).collect(),
-                    loads: node
-                        .apps
-                        .iter()
-                        .filter_map(|a| a.load.map(|l| (a.spec.name().to_owned(), l)))
-                        .collect(),
-                    sched: if has_lc {
-                        self.config.sched
-                    } else {
-                        LocalSched::Unmanaged
-                    },
-                    windows,
-                    seed: derive_seed(derive_seed(self.config.seed, i as u64), self.round as u64),
-                    model: self.config.model,
-                }
-            })
+            .map(|i| self.node_job(i))
             .collect()
+    }
+
+    /// The round's HI-FI jobs: every non-empty node not currently demoted
+    /// to the LO-FI surrogate.
+    fn hifi_jobs(&self) -> Vec<NodeJob> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].apps.is_empty() && self.nodes[i].lofi.is_none())
+            .map(|i| self.node_job(i))
+            .collect()
+    }
+
+    /// Builds one node's closed job. The spec vector is shared from the
+    /// node's cache when `step_round` has refreshed it; the fallback keeps
+    /// the method a pure `&self` function of placement state.
+    fn node_job(&self, i: usize) -> NodeJob {
+        let node = &self.nodes[i];
+        let has_lc = node.apps.iter().any(|a| a.spec.kind() == AppKind::Lc);
+        NodeJob {
+            node: i,
+            machine: self.config.machines[i],
+            apps: node
+                .spec_cache
+                .clone()
+                .unwrap_or_else(|| Arc::new(node.apps.iter().map(|a| a.spec.clone()).collect())),
+            loads: node
+                .apps
+                .iter()
+                .filter_map(|a| a.load.map(|l| (a.spec.name().to_owned(), l)))
+                .collect(),
+            sched: if has_lc {
+                self.config.sched
+            } else {
+                LocalSched::Unmanaged
+            },
+            windows: self.config.windows_per_round,
+            seed: derive_seed(derive_seed(self.config.seed, i as u64), self.round as u64),
+            model: self.config.model,
+            fidelity: JobFidelity::HiFi,
+        }
     }
 
     /// Advances one round: churn, rebalance, run every node for
@@ -404,7 +604,32 @@ impl ClusterSim {
             }
         }
 
-        let jobs = self.node_jobs();
+        // Refresh the per-node spec caches invalidated by churn and
+        // migration, so every job this round (and the next, absent churn)
+        // shares one spec vector per node instead of rebuilding it.
+        for node in &mut self.nodes {
+            if node.spec_cache.is_none() && !node.apps.is_empty() {
+                node.spec_cache =
+                    Some(Arc::new(node.apps.iter().map(|a| a.spec.clone()).collect()));
+            }
+        }
+
+        let ladder = self.config.fidelity == FidelityMode::Ladder;
+        // Demoted nodes replay their cached surrogate round on the
+        // coordinator; everyone else runs HI-FI through the runner. Under
+        // `Full` the LO-FI set is empty and this is the historical path.
+        let lofi_nodes: Vec<usize> = if ladder {
+            (0..self.nodes.len())
+                .filter(|&i| !self.nodes[i].apps.is_empty() && self.nodes[i].lofi.is_some())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let jobs = if ladder {
+            self.hifi_jobs()
+        } else {
+            self.node_jobs()
+        };
         let results = runner.run_nodes(&jobs);
         assert_eq!(results.len(), jobs.len(), "runner must answer every job");
 
@@ -421,6 +646,14 @@ impl ClusterSim {
                 es_scratch[job.node] = result.entropy[w].system;
                 violations += observe::violations(&result.observations[w]);
             }
+            for &i in &lofi_nodes {
+                let result = self.nodes[i]
+                    .lofi
+                    .as_ref()
+                    .expect("demoted node keeps its surrogate round");
+                es_scratch[i] = result.entropy[w].system;
+                violations += observe::violations(&result.observations[w]);
+            }
             let mean_es = es_scratch.iter().sum::<f64>() / es_scratch.len() as f64;
             let max_es = es_scratch.iter().cloned().fold(0.0, f64::max);
             let p95_es = percentile(&es_scratch, 0.95).expect("fleet is non-empty");
@@ -432,40 +665,85 @@ impl ClusterSim {
                 p95_es,
                 max_es,
                 violations,
-                active_nodes: jobs.len(),
+                active_nodes: jobs.len() + lofi_nodes.len(),
+                hifi_nodes: jobs.len(),
+                lofi_nodes: lofi_nodes.len(),
                 apps: total_apps,
             });
         }
 
         // Refresh each node's entropy/tolerance history for the placer.
         for (job, result) in jobs.iter().zip(results.iter()) {
+            let (es, ret) = recent_history(result, windows);
             let node = &mut self.nodes[job.node];
-            node.recent_es =
-                Some(result.entropy.iter().map(|e| e.system).sum::<f64>() / windows as f64);
-            let mut ret_sum = 0.0;
-            let mut ret_windows = 0u32;
-            for entropy in &result.entropy {
-                if !entropy.lc_apps.is_empty() {
-                    ret_sum += entropy
-                        .lc_apps
-                        .iter()
-                        .map(|a| a.remaining_tolerance)
-                        .sum::<f64>()
-                        / entropy.lc_apps.len() as f64;
-                    ret_windows += 1;
-                }
-            }
-            node.recent_ret = if ret_windows > 0 {
-                Some(ret_sum / ret_windows as f64)
-            } else {
-                None
-            };
+            node.recent_es = es;
+            node.recent_ret = ret;
+        }
+        for &i in &lofi_nodes {
+            let (es, ret) = recent_history(
+                self.nodes[i]
+                    .lofi
+                    .as_ref()
+                    .expect("demoted node keeps its surrogate round"),
+                windows,
+            );
+            let node = &mut self.nodes[i];
+            node.recent_es = es;
+            node.recent_ret = ret;
         }
         // Nodes that went idle this round keep no stale history.
+        let mut active = vec![false; self.nodes.len()];
+        for job in &jobs {
+            active[job.node] = true;
+        }
+        for &i in &lofi_nodes {
+            active[i] = true;
+        }
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !jobs.iter().any(|j| j.node == i) {
+            if !active[i] {
                 node.recent_es = Some(idle_es);
                 node.recent_ret = None;
+            }
+        }
+
+        // Ladder transitions, evaluated per HI-FI node in job (= node
+        // index) order from this round's results only — a pure function
+        // of simulation state, independent of the runner and `--jobs`.
+        if ladder {
+            let policy = self.config.fidelity_policy;
+            for (job, result) in jobs.iter().zip(results.iter()) {
+                let node = &mut self.nodes[job.node];
+                let stable = result.adjustments == 0
+                    && result.violations == 0
+                    && node.recent_es.is_some_and(|es| es <= policy.es_threshold)
+                    && node.recent_ret.map_or(true, |ret| ret >= policy.ret_margin);
+                if !stable {
+                    node.streak = 0;
+                    continue;
+                }
+                node.streak += 1;
+                if node.streak < policy.stable_rounds {
+                    continue;
+                }
+                // Demote: snapshot the steady state, run the surrogate
+                // round once inline, and accept it only if it reproduces
+                // the calm the node is being demoted for — otherwise stay
+                // HI-FI and restart the streak.
+                let calibration = SteadyCalibration::from_windows(&result.observations);
+                let lofi_job = NodeJob {
+                    fidelity: JobFidelity::LoFi(calibration),
+                    ..job.clone()
+                };
+                let outcome = lofi_job.execute();
+                let (es, ret) = recent_history(&outcome, windows);
+                let calm = outcome.violations == 0
+                    && es.is_some_and(|e| e <= policy.es_threshold)
+                    && ret.map_or(true, |r| r >= policy.ret_margin);
+                if calm {
+                    node.lofi = Some(outcome);
+                } else {
+                    node.streak = 0;
+                }
             }
         }
 
@@ -538,14 +816,23 @@ mod tests {
 
     #[test]
     fn run_is_deterministic() {
-        let a = run_cluster(tiny_config(PlacerKind::EntropyAware), &SequentialRunner);
-        let b = run_cluster(tiny_config(PlacerKind::EntropyAware), &SequentialRunner);
+        let a = run_cluster(
+            tiny_config(PlacerKind::EntropyAware),
+            &SequentialRunner::default(),
+        );
+        let b = run_cluster(
+            tiny_config(PlacerKind::EntropyAware),
+            &SequentialRunner::default(),
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn report_shape_matches_run() {
-        let report = run_cluster(tiny_config(PlacerKind::FirstFit), &SequentialRunner);
+        let report = run_cluster(
+            tiny_config(PlacerKind::FirstFit),
+            &SequentialRunner::default(),
+        );
         assert_eq!(report.nodes, 8);
         assert_eq!(report.rounds, 3);
         assert_eq!(report.windows(), 6);
@@ -586,9 +873,79 @@ mod tests {
         let mut config = tiny_config(PlacerKind::LeastLoaded);
         config.sched = LocalSched::Arq;
         config.churn.be_fraction = 1.0; // every arrival is a BE app
-        let report = run_cluster(config, &SequentialRunner);
+        let report = run_cluster(config, &SequentialRunner::default());
         assert_eq!(report.sched, "arq", "the configured scheduler is reported");
         assert!(report.windows() > 0);
+    }
+
+    #[test]
+    fn sequential_runner_reports_aggregate_perf_stats() {
+        let runner = SequentialRunner::new();
+        let report = run_cluster(tiny_config(PlacerKind::EntropyAware), &runner);
+        assert!(report.windows() > 0);
+        let stats = runner.perf_stats().expect("sequential runner tracks stats");
+        assert!(stats.events > 0, "HI-FI rounds simulate discrete events");
+    }
+
+    #[test]
+    fn ladder_is_deterministic_and_partitions_active_nodes() {
+        let mut config = tiny_config(PlacerKind::EntropyAware);
+        config.fidelity = FidelityMode::Ladder;
+        let a = run_cluster(config.clone(), &SequentialRunner::default());
+        let b = run_cluster(config, &SequentialRunner::default());
+        assert_eq!(a, b);
+        assert!(a
+            .window_stats
+            .iter()
+            .all(|w| w.hifi_nodes + w.lofi_nodes == w.active_nodes));
+    }
+
+    #[test]
+    fn calm_ladder_demotes_nodes_until_churn_returns() {
+        // A BE-only fleet with no churn after the initial placement is
+        // stable by construction (no LC apps, no violations, unmanaged
+        // fallback makes no adjustments), so with a permissive policy every
+        // active node must reach LO-FI after `stable_rounds` HI-FI rounds.
+        let mut config = tiny_config(PlacerKind::FirstFit);
+        config.rounds = 4;
+        config.churn.be_fraction = 1.0;
+        config.churn.arrivals_per_round = 0.0;
+        config.churn.departure_prob = 0.0;
+        config.churn.load_change_prob = 0.0;
+        config.fidelity = FidelityMode::Ladder;
+        config.fidelity_policy = FidelityPolicy {
+            stable_rounds: 1,
+            es_threshold: f64::INFINITY,
+            ret_margin: f64::NEG_INFINITY,
+        };
+        let report = run_cluster(config, &SequentialRunner::default());
+        let first = report.window_stats.first().expect("windows recorded");
+        let last = report.window_stats.last().expect("windows recorded");
+        assert_eq!(first.lofi_nodes, 0, "round 0 runs everything HI-FI");
+        assert!(last.active_nodes > 0, "the initial population stays placed");
+        assert_eq!(
+            last.lofi_nodes, last.active_nodes,
+            "a calm fleet is fully demoted to the surrogate"
+        );
+        assert_eq!(last.hifi_nodes, 0);
+    }
+
+    #[test]
+    fn ladder_on_calm_fleet_matches_full_shape() {
+        // Same calm scenario under both fidelities: the reports agree on
+        // placement bookkeeping even though the entropy paths differ.
+        let mut config = tiny_config(PlacerKind::FirstFit);
+        config.churn.be_fraction = 1.0;
+        config.churn.arrivals_per_round = 0.0;
+        config.churn.departure_prob = 0.0;
+        config.churn.load_change_prob = 0.0;
+        let full = run_cluster(config.clone(), &SequentialRunner::default());
+        config.fidelity = FidelityMode::Ladder;
+        let ladder = run_cluster(config, &SequentialRunner::default());
+        assert_eq!(full.placements, ladder.placements);
+        assert_eq!(full.windows(), ladder.windows());
+        assert_eq!(full.violations, 0);
+        assert_eq!(ladder.violations, 0);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! The fidelity ladder: which simulation resolution each node runs at and
+//! the deterministic rules for moving between resolutions.
+//!
+//! Every node is either **HI-FI** — the full discrete-event
+//! [`ahq_sim::NodeSim`] — or **LO-FI** — the closed-form
+//! [`ahq_sim::Surrogate`] that replays a calibrated steady-state window
+//! with no event loop. Demotion and promotion are pure functions of
+//! simulation state (churn events, entropy history, scheduler activity),
+//! never of wall-clock or worker identity, so a ladder run is
+//! byte-identical for any `--jobs` count. See DESIGN.md §8.
+
+use serde::{Deserialize, Serialize};
+
+/// How the cluster assigns simulation fidelity to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FidelityMode {
+    /// Every node runs the full discrete-event simulator every round —
+    /// the historical behaviour and the accuracy reference.
+    #[default]
+    Full,
+    /// Nodes that stay stable for [`FidelityPolicy::stable_rounds`]
+    /// consecutive rounds are demoted to the LO-FI surrogate until the
+    /// next churn event, migration, or instability signal promotes them
+    /// back.
+    Ladder,
+}
+
+impl FidelityMode {
+    /// Both modes, reference first.
+    pub fn all() -> [FidelityMode; 2] {
+        [FidelityMode::Full, FidelityMode::Ladder]
+    }
+
+    /// The mode's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FidelityMode::Full => "full",
+            FidelityMode::Ladder => "ladder",
+        }
+    }
+
+    /// Parses a mode from its display name.
+    pub fn parse(name: &str) -> Option<FidelityMode> {
+        FidelityMode::all()
+            .into_iter()
+            .find(|m| m.name() == name.to_ascii_lowercase())
+    }
+}
+
+/// The ladder's promotion/demotion thresholds.
+///
+/// A HI-FI node round is *stable* when its local scheduler made no
+/// partition adjustment, no QoS violation occurred, its mean system
+/// entropy stayed at or below `es_threshold`, and its mean LC remaining
+/// tolerance (when it hosts LC apps) stayed at or above `ret_margin`.
+/// After `stable_rounds` consecutive stable rounds the node is demoted to
+/// LO-FI — provided the surrogate round itself reproduces the same calm.
+/// Any churn event or migration touching the node promotes it back to
+/// HI-FI immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityPolicy {
+    /// Consecutive stable rounds required before demotion to LO-FI.
+    pub stable_rounds: u32,
+    /// Mean system entropy a stable round must not exceed.
+    pub es_threshold: f64,
+    /// Mean LC remaining tolerance a stable round must not fall below —
+    /// nodes near an `ReT` violation stay HI-FI.
+    pub ret_margin: f64,
+}
+
+impl Default for FidelityPolicy {
+    fn default() -> Self {
+        FidelityPolicy {
+            stable_rounds: 2,
+            es_threshold: 0.05,
+            ret_margin: 0.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_round_trips() {
+        for mode in FidelityMode::all() {
+            assert_eq!(FidelityMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(FidelityMode::parse("LADDER"), Some(FidelityMode::Ladder));
+        assert_eq!(FidelityMode::parse("nope"), None);
+        assert_eq!(FidelityMode::default(), FidelityMode::Full);
+    }
+
+    #[test]
+    fn default_policy_is_conservative() {
+        let policy = FidelityPolicy::default();
+        assert!(policy.stable_rounds >= 1);
+        assert!(policy.es_threshold > 0.0 && policy.es_threshold < 0.5);
+        assert!(policy.ret_margin > 0.0 && policy.ret_margin < 1.0);
+    }
+}

@@ -27,25 +27,40 @@
 //! engine, so `repro cluster --jobs N` scales wall-clock with worker
 //! count without changing a byte of output.
 //!
+//! ## Fidelity ladder
+//!
+//! At 10k nodes a full discrete-event round is too slow for long-horizon
+//! experiments, so [`ClusterConfig::fidelity`] can enable a two-rung
+//! ladder ([`FidelityMode::Ladder`]): nodes that stay stable for
+//! [`FidelityPolicy::stable_rounds`] consecutive rounds are demoted to a
+//! closed-form LO-FI surrogate ([`ahq_sim::Surrogate`]) calibrated from
+//! their last HI-FI round, and any churn event, migration, or instability
+//! signal promotes them straight back. See DESIGN.md §8.
+//!
 //! ## Determinism
 //!
-//! Three properties combine to give byte-identical runs for any worker
+//! Four properties combine to give byte-identical runs for any worker
 //! count: the churn stream is generated up front from the cluster seed and
 //! never looks at placement state; per-node seeds depend only on
-//! `(cluster seed, node index, round)`; and placers break every tie by
-//! lowest node index.
+//! `(cluster seed, node index, round)`; placers break every tie by lowest
+//! node index; and fidelity-ladder transitions are pure functions of
+//! per-node simulation state, with LO-FI rounds computed inline on the
+//! coordinator rather than on the worker pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod churn;
 mod cluster;
+mod fidelity;
 mod placement;
 mod report;
 
 pub use churn::{AppArrival, ChurnConfig, ChurnEvent, ChurnStream};
 pub use cluster::{
-    run_cluster, ClusterConfig, ClusterSim, LocalSched, NodeBatchRunner, NodeJob, SequentialRunner,
+    run_cluster, ClusterConfig, ClusterSim, JobFidelity, LocalSched, NodeBatchRunner, NodeJob,
+    SequentialRunner,
 };
+pub use fidelity::{FidelityMode, FidelityPolicy};
 pub use placement::{EntropyAware, FirstFit, LeastLoaded, Migration, NodeView, Placer, PlacerKind};
 pub use report::{ClusterEntropyReport, ClusterWindowStat, NodeUtilization};

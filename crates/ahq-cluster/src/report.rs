@@ -22,6 +22,12 @@ pub struct ClusterWindowStat {
     pub violations: u64,
     /// Nodes hosting at least one app this window.
     pub active_nodes: usize,
+    /// Active nodes simulated at full discrete-event fidelity.
+    #[serde(default)]
+    pub hifi_nodes: usize,
+    /// Active nodes replayed through the LO-FI surrogate.
+    #[serde(default)]
+    pub lofi_nodes: usize,
     /// Applications placed cluster-wide this window.
     pub apps: usize,
 }
@@ -125,6 +131,8 @@ mod tests {
             max_es: p95,
             violations: 0,
             active_nodes: 1,
+            hifi_nodes: 1,
+            lofi_nodes: 0,
             apps: 1,
         }
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE]
-//!       [--timings FILE] [all | <ids>...]
+//!       [--timings FILE] [--nodes N] [--rounds N] [--fidelity MODE]
+//!       [all | <ids>...]
 //! repro --list
 //! ```
 //!
@@ -13,6 +14,11 @@
 //! `--jobs N` sets the worker count of the deterministic run engine
 //! (default: one per available core; output is byte-identical for any N).
 //! `--timings FILE` writes a JSON timing/cache profile of the invocation.
+//!
+//! `--nodes N` switches the `cluster` experiment from its placement grid
+//! to one scaled scenario at `N` nodes (`--rounds` rounds, default 1000);
+//! `--fidelity ladder` enables the HI-FI/LO-FI fidelity ladder
+//! (DESIGN.md §8), which is what makes `--nodes 10000` tractable.
 
 use std::env;
 use std::fs;
@@ -20,7 +26,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ahq_experiments::{all_experiments, ExpConfig, ExpContext};
+use ahq_cluster::FidelityMode;
+use ahq_experiments::{all_experiments, ClusterOpts, ExpConfig, ExpContext, Metric};
 use serde::Serialize;
 
 /// One experiment's wall-clock entry in the `--timings` report.
@@ -28,6 +35,10 @@ use serde::Serialize;
 struct ExperimentTiming {
     id: String,
     seconds: f64,
+    /// Deterministic scalar metrics the experiment exported (e.g. the
+    /// cluster experiment's HI-FI/LO-FI node-window split).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    metrics: Vec<Metric>,
 }
 
 /// The `--timings FILE` document.
@@ -61,11 +72,24 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
     let mut timings: Option<PathBuf> = None;
+    let mut cluster = ClusterOpts::default();
     let mut picks: Vec<String> = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--nodes" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cluster.nodes = Some(n),
+                _ => return usage("--nodes needs a positive integer"),
+            },
+            "--rounds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cluster.rounds = Some(n),
+                _ => return usage("--rounds needs a positive integer"),
+            },
+            "--fidelity" => match args.next().as_deref().and_then(FidelityMode::parse) {
+                Some(mode) => cluster.fidelity = mode,
+                None => return usage("--fidelity needs 'full' or 'ladder'"),
+            },
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => return usage("--seed needs an integer"),
@@ -117,7 +141,8 @@ fn main() -> ExitCode {
     // One context for the whole invocation: the run cache is shared across
     // experiments, so a configuration measured by fig8 is free for
     // headline, fig3 reuses fig2's budget points, and so on.
-    let cfg = ExpContext::with_jobs(ExpConfig { quick, seed }, jobs);
+    let mut cfg = ExpContext::with_jobs(ExpConfig { quick, seed }, jobs);
+    cfg.cluster = cluster;
     if let Some(dir) = &out {
         if let Err(e) = fs::create_dir_all(dir) {
             eprintln!("cannot create {dir:?}: {e}");
@@ -141,6 +166,7 @@ fn main() -> ExitCode {
         experiment_timings.push(ExperimentTiming {
             id: id.to_string(),
             seconds: elapsed.as_secs_f64(),
+            metrics: report.metrics.clone(),
         });
         if let Some(dir) = &out {
             for (i, table) in report.tables.iter().enumerate() {
@@ -230,7 +256,8 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE] \
-         [--timings FILE] [all | <ids>...]"
+         [--timings FILE] [--nodes N] [--rounds N] [--fidelity full|ladder] \
+         [all | <ids>...]"
     );
     eprintln!("       repro --list");
     if error.is_empty() {

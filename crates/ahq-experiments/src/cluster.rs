@@ -11,16 +11,29 @@
 //! `repro cluster --jobs N` is byte-identical for any `N`.
 
 use ahq_cluster::{
-    run_cluster, ChurnConfig, ClusterConfig, ClusterEntropyReport, LocalSched, NodeBatchRunner,
-    NodeJob, PlacerKind,
+    run_cluster, ChurnConfig, ClusterConfig, ClusterEntropyReport, FidelityMode, JobFidelity,
+    LocalSched, NodeBatchRunner, NodeJob, PlacerKind,
 };
 use ahq_sched::RunResult;
+use ahq_sim::SimPerfStats;
 use ahq_workloads::mixes::Mix;
 
 use crate::exec::{Engine, ExpContext, RunSpec, SchedSpec};
 use crate::report::{f2, f3, ExperimentReport, TextTable};
 use crate::runs::ExpConfig;
 use crate::strategy::StrategyKind;
+
+/// Command-line overrides for the cluster experiment — the
+/// `repro cluster --nodes N --rounds N --fidelity ladder|full` surface.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterOpts {
+    /// Fleet-size override: run one scaled scenario instead of the grid.
+    pub nodes: Option<usize>,
+    /// Round-count override for the scaled scenario (default 1000).
+    pub rounds: Option<usize>,
+    /// Fidelity mode applied to every cluster scenario.
+    pub fidelity: FidelityMode,
+}
 
 /// Translates a cluster [`NodeJob`] into the equivalent engine
 /// [`RunSpec`]: same machine, apps, load order, scheduler, window count,
@@ -31,7 +44,7 @@ fn job_spec(job: &NodeJob) -> RunSpec {
         machine: job.machine,
         mix: Mix {
             name: "cluster",
-            apps: job.apps.clone(),
+            apps: (*job.apps).clone(),
         },
         loads: job.loads.clone(),
         sched: SchedSpec::Kind(match job.sched {
@@ -63,12 +76,33 @@ impl<'a> EngineRunner<'a> {
 
 impl NodeBatchRunner for EngineRunner<'_> {
     fn run_nodes(&self, jobs: &[NodeJob]) -> Vec<RunResult> {
-        let specs: Vec<RunSpec> = jobs.iter().map(job_spec).collect();
-        self.engine
-            .run_all(&specs)
+        // HI-FI jobs fan out over the engine; LO-FI jobs (closed-form, no
+        // event loop) are cheaper than a cache lookup and run inline. The
+        // ladder never actually submits LO-FI jobs — it replays cached
+        // rounds on the coordinator — but the split keeps the runner
+        // correct for any caller.
+        let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+        let mut hifi: Vec<usize> = Vec::new();
+        let mut specs: Vec<RunSpec> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if matches!(job.fidelity, JobFidelity::HiFi) {
+                hifi.push(i);
+                specs.push(job_spec(job));
+            } else {
+                results[i] = Some(job.execute());
+            }
+        }
+        for (i, result) in hifi.into_iter().zip(self.engine.run_all(&specs)) {
+            results[i] = Some((*result).clone());
+        }
+        results
             .into_iter()
-            .map(|r| (*r).clone())
+            .map(|r| r.expect("every job answered"))
             .collect()
+    }
+
+    fn perf_stats(&self) -> Option<SimPerfStats> {
+        Some(self.engine.sim_stats())
     }
 }
 
@@ -105,13 +139,102 @@ pub fn scenario(
     config
 }
 
+/// The scaled single-cell scenario behind `repro cluster --nodes N`: the
+/// heterogeneous fleet at half occupancy under gentle churn, sized so the
+/// per-node pressure stays flat as the fleet grows. Long-horizon by
+/// default (1000 rounds) — the fidelity ladder is what makes that
+/// tractable at 10k nodes.
+pub fn scaled_scenario(cfg: &ExpConfig, nodes: usize, opts: &ClusterOpts) -> ClusterConfig {
+    let mut config = ClusterConfig::heterogeneous(nodes, PlacerKind::EntropyAware, LocalSched::Arq);
+    config.seed = cfg.seed;
+    config.windows_per_round = if cfg.quick { 2 } else { 3 };
+    config.rounds = opts.rounds.unwrap_or(1000);
+    config.fidelity = opts.fidelity;
+    config.churn = ChurnConfig {
+        initial_apps: (nodes / 2).max(1),
+        arrivals_per_round: (nodes as f64 / 256.0).max(1.0),
+        departure_prob: 0.005,
+        load_change_prob: 0.01,
+        be_fraction: 0.4,
+    };
+    config
+}
+
 /// Steady-state windows of a scenario: the last half of the run.
 fn steady_windows(config: &ClusterConfig) -> usize {
     (config.rounds * config.windows_per_round) / 2
 }
 
-/// Regenerates the cluster grid.
+/// Records a run's fidelity split as `--timings` metrics: node-windows
+/// simulated at each rung, plus the total windows for normalisation.
+fn fidelity_metrics(report: &mut ExperimentReport, result: &ClusterEntropyReport) {
+    let hifi: usize = result.window_stats.iter().map(|w| w.hifi_nodes).sum();
+    let lofi: usize = result.window_stats.iter().map(|w| w.lofi_nodes).sum();
+    report.metric("hifi_node_windows", hifi as f64);
+    report.metric("lofi_node_windows", lofi as f64);
+    report.metric("cluster_windows", result.windows() as f64);
+}
+
+/// The scaled single-cell run behind `repro cluster --nodes N`.
+fn run_scaled(cfg: &ExpContext, nodes: usize) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "cluster",
+        format!(
+            "Cluster: {nodes}-node fleet, {} fidelity",
+            cfg.cluster.fidelity.name()
+        ),
+    );
+    let runner = EngineRunner::new(cfg.engine());
+    let config = scaled_scenario(&cfg.cfg, nodes, &cfg.cluster);
+    let rounds = config.rounds;
+    let n = steady_windows(&config);
+    let result = run_cluster(config, &runner);
+
+    let mut table = TextTable::new(
+        format!("Scaled cluster: {nodes} nodes x {rounds} rounds"),
+        &[
+            "fidelity",
+            "mean E_S",
+            "steady E_S",
+            "steady p95",
+            "viol",
+            "placed",
+            "migr",
+            "occup",
+        ],
+    );
+    table.push_row(vec![
+        cfg.cluster.fidelity.name().into(),
+        f3(result.mean_entropy()),
+        f3(result.steady_mean_entropy(n)),
+        f3(result.steady_p95_entropy(n)),
+        result.violations.to_string(),
+        result.placements.to_string(),
+        result.migrations.to_string(),
+        f2(result.mean_occupancy()),
+    ]);
+    report.tables.push(table);
+
+    let hifi: usize = result.window_stats.iter().map(|w| w.hifi_nodes).sum();
+    let lofi: usize = result.window_stats.iter().map(|w| w.lofi_nodes).sum();
+    let active = hifi + lofi;
+    report.note(format!(
+        "fidelity split: {hifi} HI-FI / {lofi} LO-FI node-windows ({:.1} % LO-FI)",
+        if active == 0 {
+            0.0
+        } else {
+            lofi as f64 / active as f64 * 100.0
+        }
+    ));
+    fidelity_metrics(&mut report, &result);
+    report
+}
+
+/// Regenerates the cluster grid (or, with `--nodes N`, one scaled cell).
 pub fn run(cfg: &ExpContext) -> ExperimentReport {
+    if let Some(nodes) = cfg.cluster.nodes {
+        return run_scaled(cfg, nodes);
+    }
     let mut report = ExperimentReport::new(
         "cluster",
         "Cluster: placement policies under workload churn",
@@ -134,12 +257,24 @@ pub fn run(cfg: &ExpContext) -> ExperimentReport {
         ],
     );
     let mut steady: Vec<(usize, PlacerKind, LocalSched, f64)> = Vec::new();
+    let mut fidelity_split = (0usize, 0usize);
     for nodes in node_counts(cfg) {
         for placer in PlacerKind::all() {
             for sched in LocalSched::all() {
-                let config = scenario(cfg, nodes, placer, sched);
+                let mut config = scenario(cfg, nodes, placer, sched);
+                config.fidelity = cfg.cluster.fidelity;
                 let n = steady_windows(&config);
                 let result: ClusterEntropyReport = run_cluster(config, &runner);
+                fidelity_split.0 += result
+                    .window_stats
+                    .iter()
+                    .map(|w| w.hifi_nodes)
+                    .sum::<usize>();
+                fidelity_split.1 += result
+                    .window_stats
+                    .iter()
+                    .map(|w| w.lofi_nodes)
+                    .sum::<usize>();
                 table.push_row(vec![
                     nodes.to_string(),
                     placer.name().into(),
@@ -181,6 +316,8 @@ pub fn run(cfg: &ExpContext) -> ExperimentReport {
          history; first-fit packs low indices and concentrates interference."
             .to_string(),
     );
+    report.metric("hifi_node_windows", fidelity_split.0 as f64);
+    report.metric("lofi_node_windows", fidelity_split.1 as f64);
     report
 }
 
@@ -207,7 +344,10 @@ mod tests {
             tiny(&cfg, PlacerKind::EntropyAware),
             &EngineRunner::new(cfg.engine()),
         );
-        let sequential = run_cluster(tiny(&cfg, PlacerKind::EntropyAware), &SequentialRunner);
+        let sequential = run_cluster(
+            tiny(&cfg, PlacerKind::EntropyAware),
+            &SequentialRunner::default(),
+        );
         assert_eq!(
             serde_json::to_string(&engine_side).expect("serializable"),
             serde_json::to_string(&sequential).expect("serializable"),
@@ -229,5 +369,22 @@ mod tests {
             stats.hits, stats.misses,
             "an identical rerun must be answered entirely from the cache"
         );
+    }
+
+    #[test]
+    fn scaled_run_reports_fidelity_metrics() {
+        let mut cfg = ExpContext::new(ExpConfig {
+            quick: true,
+            seed: 13,
+        });
+        cfg.cluster = ClusterOpts {
+            nodes: Some(8),
+            rounds: Some(2),
+            fidelity: FidelityMode::Ladder,
+        };
+        let report = run(&cfg);
+        assert_eq!(report.tables.len(), 1);
+        assert!(report.metrics.iter().any(|m| m.name == "hifi_node_windows"));
+        assert!(report.metrics.iter().any(|m| m.name == "lofi_node_windows"));
     }
 }

@@ -357,6 +357,9 @@ impl Engine {
 pub struct ExpContext {
     /// The experiment configuration.
     pub cfg: ExpConfig,
+    /// Command-line overrides for the cluster experiment
+    /// (`repro cluster --nodes/--rounds/--fidelity`).
+    pub cluster: crate::cluster::ClusterOpts,
     engine: Engine,
 }
 
@@ -370,6 +373,7 @@ impl ExpContext {
     pub fn with_jobs(cfg: ExpConfig, jobs: usize) -> Self {
         ExpContext {
             cfg,
+            cluster: crate::cluster::ClusterOpts::default(),
             engine: Engine::new(jobs),
         }
     }

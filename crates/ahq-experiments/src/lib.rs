@@ -59,10 +59,10 @@ pub mod strategy;
 pub mod table2;
 pub mod table4;
 
-pub use cluster::EngineRunner;
+pub use cluster::{ClusterOpts, EngineRunner};
 pub use error::{classify_reachability, ExperimentError, Reachability};
 pub use exec::{CacheStats, Engine, ExpContext, RunKey, RunSpec, SchedSpec};
-pub use report::{ExperimentReport, TextTable};
+pub use report::{ExperimentReport, Metric, TextTable};
 pub use runs::ExpConfig;
 pub use strategy::StrategyKind;
 

@@ -95,6 +95,17 @@ impl TextTable {
     }
 }
 
+/// One scalar metric exported by an experiment into the `repro --timings`
+/// profile. Values must be deterministic functions of the experiment's
+/// simulation output (never wall-clock), so repeated runs agree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name, e.g. `hifi_node_windows`.
+    pub name: String,
+    /// Metric value.
+    pub value: f64,
+}
+
 /// The rendered result of one experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -109,6 +120,9 @@ pub struct ExperimentReport {
     pub errors: Vec<String>,
     /// The result tables.
     pub tables: Vec<TextTable>,
+    /// Scalar metrics surfaced in the `--timings` profile.
+    #[serde(default)]
+    pub metrics: Vec<Metric>,
 }
 
 impl ExperimentReport {
@@ -120,12 +134,21 @@ impl ExperimentReport {
             notes: Vec::new(),
             errors: Vec::new(),
             tables: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
     /// Adds a note line.
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Records a scalar metric for the `--timings` profile.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+        });
     }
 
     /// Records a survivable analysis error.

@@ -79,6 +79,7 @@ mod partition;
 mod quantile;
 mod resources;
 pub mod spacetime;
+mod surrogate;
 mod time;
 mod trace;
 
@@ -94,5 +95,6 @@ pub use observation::{BeWindowStats, LcWindowStats, WindowObservation};
 pub use partition::{Partition, RegionAlloc};
 pub use quantile::{percentile, percentile_in_place, TailEstimator};
 pub use resources::MachineConfig;
+pub use surrogate::{BeCalibration, LcCalibration, SteadyCalibration, Surrogate};
 pub use time::SimTime;
 pub use trace::{HistogramSummary, LatencyHistogram};

@@ -1,0 +1,625 @@
+//! Closed-form LO-FI surrogate of one node's monitoring window.
+//!
+//! The cluster layer's fidelity ladder (DESIGN.md §8) runs quiescent nodes
+//! through this module instead of the discrete-event [`crate::NodeSim`]:
+//! a fixed-point solve over the same fluid contention model
+//! ([`crate::compute_rates`]) yields steady-state per-application speeds,
+//! and standard multi-server queueing approximations turn those speeds
+//! into the per-window statistics a scheduler would otherwise observe.
+//! No event loop runs, so a surrogate window costs a handful of fluid
+//! solves once at construction and a few clones per window afterwards.
+//!
+//! The surrogate is deliberately deterministic and seed-free: two nodes
+//! with the same specs, loads, partition and policy produce bit-identical
+//! observations, which is what lets the cluster layer cache one
+//! [`WindowObservation`] template and stamp it out per window.
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::{AppKind, AppSpec, KindParams, LcParams};
+use crate::bandwidth::BandwidthModel;
+use crate::contention::{compute_rates, AppDemand, SharingPolicy};
+use crate::error::SimError;
+use crate::observation::{BeWindowStats, LcWindowStats, WindowObservation};
+use crate::partition::Partition;
+use crate::resources::MachineConfig;
+
+/// Utilisation above which the surrogate switches from the stable-queue
+/// approximation to the saturated-service model. Kept below 1 so the
+/// Allen–Cunneen term never divides by zero.
+const OVERLOAD_UTILISATION: f64 = 0.95;
+
+/// Multiplier turning the mean queueing delay into a p95 contribution:
+/// the wait of an M/G/c queue is roughly exponential in its tail, and an
+/// exponential's p95 sits at ~3x its mean.
+const TAIL_WAIT_FACTOR: f64 = 3.0;
+
+/// Iteration cap for the busy-thread fixed point. The solve almost always
+/// settles in two or three rounds; the cap only bounds pathological
+/// oscillation and keeps construction deterministic either way.
+const FIXED_POINT_ITERS: usize = 32;
+
+/// Per-application steady-state overrides snapshotted from a real
+/// [`crate::NodeSim`] run — the calibration hook of the fidelity ladder.
+///
+/// When the cluster layer demotes a node to LO-FI it snapshots the node's
+/// last HI-FI round with [`SteadyCalibration::from_windows`] and hands the
+/// snapshot to [`Surrogate::new`]; calibrated values then replace the
+/// analytic p95 / IPC so the surrogate continues the node's actually
+/// observed steady state instead of the queueing-formula estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadyCalibration {
+    /// Calibrated LC tails, in observation order.
+    pub lc: Vec<LcCalibration>,
+    /// Calibrated BE throughputs, in observation order.
+    pub be: Vec<BeCalibration>,
+}
+
+/// One LC application's calibrated steady-state tail latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LcCalibration {
+    /// Application name.
+    pub name: String,
+    /// Mean observed p95 across the snapshot windows; `None` when any
+    /// window had no estimate (the app was effectively idle).
+    pub p95_ms: Option<f64>,
+}
+
+/// One BE application's calibrated steady-state IPC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeCalibration {
+    /// Application name.
+    pub name: String,
+    /// Mean observed IPC across the snapshot windows.
+    pub ipc: f64,
+}
+
+impl SteadyCalibration {
+    /// Snapshots per-application steady-state values from observed
+    /// windows: the mean p95 of every LC application (kept only when every
+    /// window produced an estimate) and the mean IPC of every BE
+    /// application. Returns an empty calibration for an empty slice.
+    pub fn from_windows(windows: &[WindowObservation]) -> Self {
+        let Some(first) = windows.first() else {
+            return SteadyCalibration {
+                lc: Vec::new(),
+                be: Vec::new(),
+            };
+        };
+        let lc = first
+            .lc
+            .iter()
+            .map(|stat| {
+                let mut sum = 0.0;
+                let mut complete = true;
+                for w in windows {
+                    match w.lc_by_name(&stat.name).and_then(|s| s.p95_ms) {
+                        Some(p95) => sum += p95,
+                        None => complete = false,
+                    }
+                }
+                LcCalibration {
+                    name: stat.name.clone(),
+                    p95_ms: if complete {
+                        Some(sum / windows.len() as f64)
+                    } else {
+                        None
+                    },
+                }
+            })
+            .collect();
+        let be = first
+            .be
+            .iter()
+            .map(|stat| {
+                let sum: f64 = windows
+                    .iter()
+                    .filter_map(|w| w.be_by_name(&stat.name).map(|s| s.ipc))
+                    .sum();
+                BeCalibration {
+                    name: stat.name.clone(),
+                    ipc: sum / windows.len() as f64,
+                }
+            })
+            .collect();
+        SteadyCalibration { lc, be }
+    }
+
+    /// Calibrated p95 for an LC application, if any.
+    pub fn lc_p95(&self, name: &str) -> Option<f64> {
+        self.lc
+            .iter()
+            .find(|c| c.name == name)
+            .and_then(|c| c.p95_ms)
+    }
+
+    /// Calibrated IPC for a BE application, if any.
+    pub fn be_ipc(&self, name: &str) -> Option<f64> {
+        self.be.iter().find(|c| c.name == name).map(|c| c.ipc)
+    }
+
+    /// Whether the calibration carries no overrides at all.
+    pub fn is_empty(&self) -> bool {
+        self.lc.is_empty() && self.be.is_empty()
+    }
+}
+
+/// Closed-form replacement for a full [`crate::NodeSim`] window under a
+/// *fixed* load mix and partition.
+///
+/// Construction solves the fluid contention model to a busy-thread fixed
+/// point and precomputes one window's statistics; [`Surrogate::window`]
+/// then stamps the template with a window index and clock. Because the
+/// surrogate models a steady state, every window is identical up to its
+/// index — exactly the regime the fidelity ladder demotes nodes in.
+#[derive(Debug, Clone)]
+pub struct Surrogate {
+    window_ms: f64,
+    lc: Vec<LcWindowStats>,
+    be: Vec<BeWindowStats>,
+}
+
+impl Surrogate {
+    /// Builds the surrogate for `specs` running on `machine` under
+    /// `partition` and `policy`, with miss-ratio curves normalised against
+    /// `reference` (the same convention as [`crate::NodeSim::with_reference`]).
+    /// `loads` assigns LC load fractions by application name; LC
+    /// applications absent from `loads` are idle. A `calibration` snapshot
+    /// overrides the analytic p95 / IPC per application where present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an invalid machine or
+    /// non-positive window, [`SimError::DuplicateApp`] for duplicate
+    /// names, [`SimError::UnknownApp`] when a load names no spec, and
+    /// [`SimError::WrongKind`] when a load names a BE application.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        machine: MachineConfig,
+        reference: MachineConfig,
+        specs: &[AppSpec],
+        loads: &[(String, f64)],
+        partition: &Partition,
+        policy: SharingPolicy,
+        window_ms: f64,
+        calibration: Option<&SteadyCalibration>,
+    ) -> Result<Self, SimError> {
+        machine.validate()?;
+        reference.validate()?;
+        if !window_ms.is_finite() || window_ms <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                what: "window_ms",
+                reason: format!("must be positive and finite, got {window_ms}"),
+            });
+        }
+        if partition.num_apps() != specs.len() {
+            return Err(SimError::InvalidPartition {
+                reason: format!(
+                    "partition covers {} applications, specs cover {}",
+                    partition.num_apps(),
+                    specs.len()
+                ),
+            });
+        }
+        for (i, a) in specs.iter().enumerate() {
+            if specs[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(SimError::DuplicateApp {
+                    name: a.name().to_owned(),
+                });
+            }
+        }
+
+        // Resolve load fractions exactly as `NodeSim::set_load` does:
+        // clamp to [0, 10] and convert to arrivals per millisecond.
+        let mut fractions = vec![0.0f64; specs.len()];
+        for (name, fraction) in loads {
+            let i = specs
+                .iter()
+                .position(|s| s.name() == name.as_str())
+                .ok_or_else(|| SimError::UnknownApp { name: name.clone() })?;
+            if specs[i].kind() != AppKind::Lc {
+                return Err(SimError::WrongKind {
+                    name: name.clone(),
+                    operation: "set_load",
+                });
+            }
+            fractions[i] = fraction.clamp(0.0, 10.0);
+        }
+
+        let bw = BandwidthModel::new(machine.membw_gbps);
+        let curves: Vec<_> = specs
+            .iter()
+            .map(|s| s.cache_profile().curve(reference.llc_ways))
+            .collect();
+        let lambda_per_ms: Vec<f64> = specs
+            .iter()
+            .zip(fractions.iter())
+            .map(|(s, f)| match s.max_load_qps() {
+                Some(max_load) => f * max_load / 1000.0,
+                None => 0.0,
+            })
+            .collect();
+
+        // --- Busy-thread fixed point ----------------------------------
+        // BE applications keep every thread runnable; an LC application's
+        // mean in-service count follows Little's law at its effective
+        // service time, which itself depends on everyone's busy counts
+        // through the contention model. Iterate to a fixed point from the
+        // full-speed estimate; integer busy counts make convergence (or
+        // the iteration cap) exact and deterministic.
+        let busy_estimate = |spec: &AppSpec, lambda: f64, speed: f64| -> u32 {
+            if lambda <= 0.0 {
+                return 0;
+            }
+            let mean_service = spec.mean_service_ms().expect("LC spec has a mean service");
+            let occupied = lambda * mean_service / speed.max(1e-9);
+            (occupied.ceil().max(1.0) as u32).min(spec.threads())
+        };
+        let mut busy: Vec<u32> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s.kind() {
+                AppKind::Be => s.threads(),
+                AppKind::Lc => busy_estimate(s, lambda_per_ms[i], 1.0),
+            })
+            .collect();
+        let solve = |busy: &[u32]| {
+            let demands: Vec<AppDemand> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| AppDemand {
+                    kind: s.kind(),
+                    busy: busy[i],
+                    curve: curves[i].clone(),
+                    bw_per_thread: s.cache_profile().bw_gbps_per_thread,
+                })
+                .collect();
+            compute_rates(&machine, partition, &demands, policy, &bw)
+        };
+        let mut rates = solve(&busy);
+        for _ in 0..FIXED_POINT_ITERS {
+            let next: Vec<u32> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| match s.kind() {
+                    AppKind::Be => s.threads(),
+                    AppKind::Lc => busy_estimate(s, lambda_per_ms[i], rates[i].speed_per_thread),
+                })
+                .collect();
+            if next == busy {
+                break;
+            }
+            busy = next;
+            rates = solve(&busy);
+        }
+
+        // --- Per-window statistics ------------------------------------
+        let mut lc = Vec::new();
+        let mut be = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let speed = rates[i].speed_per_thread.max(1e-9);
+            match &spec.params {
+                KindParams::Lc(params) => {
+                    let stats = lc_window(
+                        spec,
+                        params,
+                        lambda_per_ms[i],
+                        fractions[i],
+                        speed,
+                        rates[i].core_capacity,
+                        window_ms,
+                        calibration,
+                    );
+                    lc.push(stats);
+                }
+                KindParams::Be(params) => {
+                    // Solo speed on the reference machine, computed exactly
+                    // as `NodeSim::with_reference` does for its BE state.
+                    let solo = compute_rates(
+                        &reference,
+                        &Partition::all_shared(1),
+                        &[AppDemand {
+                            kind: AppKind::Be,
+                            busy: spec.threads(),
+                            curve: curves[i].clone(),
+                            bw_per_thread: spec.cache_profile().bw_gbps_per_thread,
+                        }],
+                        SharingPolicy::Fair,
+                        &BandwidthModel::new(reference.membw_gbps),
+                    );
+                    let solo_speed = solo[0].speed_per_thread.max(1e-9);
+                    let ipc = calibration
+                        .and_then(|c| c.be_ipc(spec.name()))
+                        .unwrap_or(params.ipc_solo * speed / solo_speed);
+                    be.push(BeWindowStats {
+                        name: spec.name().to_owned(),
+                        ipc,
+                        ipc_solo: params.ipc_solo,
+                        mean_core_capacity: rates[i].core_capacity,
+                    });
+                }
+            }
+        }
+
+        Ok(Surrogate { window_ms, lc, be })
+    }
+
+    /// Stamps the steady-state template into the observation for window
+    /// `index` — identical statistics, window-specific index and clock.
+    pub fn window(&self, index: u64) -> WindowObservation {
+        WindowObservation {
+            window_index: index,
+            start_ms: index as f64 * self.window_ms,
+            end_ms: (index + 1) as f64 * self.window_ms,
+            lc: self.lc.clone(),
+            be: self.be.clone(),
+        }
+    }
+
+    /// The configured window length in milliseconds.
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+}
+
+/// The closed-form LC window: an M/G/c approximation at the fixed-point
+/// speed. Below [`OVERLOAD_UTILISATION`] the queue is stable and the wait
+/// follows the Allen–Cunneen / Sakasegawa approximation; at or above it
+/// the service saturates, the client pool fills and the excess arrivals
+/// drop — mirroring the discrete simulator's bounded-outstanding model.
+#[allow(clippy::too_many_arguments)]
+fn lc_window(
+    spec: &AppSpec,
+    params: &LcParams,
+    lambda_per_ms: f64,
+    load_fraction: f64,
+    speed: f64,
+    core_capacity: f64,
+    window_ms: f64,
+    calibration: Option<&SteadyCalibration>,
+) -> LcWindowStats {
+    let ideal_ms = spec.ideal_tail_ms().expect("LC spec has an ideal tail");
+    let qos_ms = params.qos_threshold_ms;
+    let name = spec.name().to_owned();
+    if lambda_per_ms <= 0.0 {
+        return LcWindowStats {
+            name,
+            p95_ms: None,
+            ideal_ms,
+            qos_ms,
+            load: load_fraction,
+            arrivals: 0,
+            completions: 0,
+            drops: 0,
+            backlog: 0,
+            mean_core_capacity: 0.0,
+        };
+    }
+
+    let servers = spec.threads() as f64;
+    let service_ms = params.mean_service_ms / speed;
+    let utilisation = lambda_per_ms * service_ms / servers;
+    let arrivals = (lambda_per_ms * window_ms).round() as u64;
+    let max_outstanding = spec.max_outstanding().expect("LC spec has a cap") as usize;
+
+    let (p95_ms, completions, drops, backlog, mean_core_capacity) =
+        if utilisation < OVERLOAD_UTILISATION {
+            // Stable queue: everything offered completes. Squared
+            // coefficient of variation of a log-normal service demand is
+            // exp(sigma^2) - 1.
+            let sigma = params.sigma.max(1e-6);
+            let cs2 = (sigma * sigma).exp() - 1.0;
+            let wait_exponent = (2.0 * (servers + 1.0)).sqrt() - 1.0;
+            let wq = (1.0 + cs2) / 2.0 * utilisation.powf(wait_exponent)
+                / (servers * (1.0 - utilisation))
+                * service_ms;
+            let p95 = ideal_ms / speed + TAIL_WAIT_FACTOR * wq;
+            let in_system = lambda_per_ms * (wq + service_ms);
+            let backlog = (in_system.round() as usize).min(max_outstanding);
+            let held = (lambda_per_ms * service_ms).min(core_capacity);
+            (Some(p95), arrivals, 0, backlog, held)
+        } else {
+            // Saturated: throughput caps at the servers' joint rate, the
+            // finite client pool fills, and the excess arrivals drop.
+            let throughput = servers / service_ms * window_ms;
+            let completions = (throughput.round() as u64).min(arrivals);
+            let drops = arrivals - completions;
+            let full_queue_wait = max_outstanding as f64 * service_ms / servers;
+            let p95 = ideal_ms / speed + full_queue_wait;
+            (
+                Some(p95),
+                completions,
+                drops,
+                max_outstanding,
+                core_capacity,
+            )
+        };
+
+    let p95_ms = match calibration.and_then(|c| c.lc_p95(&name)) {
+        Some(calibrated) if p95_ms.is_some() => Some(calibrated),
+        _ => p95_ms,
+    };
+
+    LcWindowStats {
+        name,
+        p95_ms,
+        ideal_ms,
+        qos_ms,
+        load: load_fraction,
+        arrivals,
+        completions,
+        drops,
+        backlog,
+        mean_core_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::CacheProfile;
+
+    fn lc_spec(name: &str) -> AppSpec {
+        AppSpec::lc(name)
+            .threads(4)
+            .mean_service_ms(1.0)
+            .service_sigma(0.6)
+            .qos_threshold_ms(5.0)
+            .max_load_qps(2000.0)
+            .cache(CacheProfile::balanced())
+            .build()
+            .unwrap()
+    }
+
+    fn be_spec(name: &str) -> AppSpec {
+        AppSpec::be(name)
+            .threads(4)
+            .ipc_solo(1.5)
+            .cache(CacheProfile::streaming())
+            .build()
+            .unwrap()
+    }
+
+    fn build(
+        specs: &[AppSpec],
+        loads: &[(String, f64)],
+        calibration: Option<&SteadyCalibration>,
+    ) -> Surrogate {
+        let machine = MachineConfig::paper_xeon();
+        Surrogate::new(
+            machine,
+            machine,
+            specs,
+            loads,
+            &Partition::all_shared(specs.len()),
+            SharingPolicy::Fair,
+            500.0,
+            calibration,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_are_identical_up_to_the_clock() {
+        let specs = [lc_spec("svc"), be_spec("batch")];
+        let sur = build(&specs, &[("svc".to_owned(), 0.4)], None);
+        let w0 = sur.window(0);
+        let w3 = sur.window(3);
+        assert_eq!(w0.lc, w3.lc);
+        assert_eq!(w0.be, w3.be);
+        assert_eq!(w3.window_index, 3);
+        assert_eq!(w3.start_ms, 1500.0);
+        assert_eq!(w3.end_ms, 2000.0);
+    }
+
+    #[test]
+    fn moderate_load_is_stable_and_within_qos() {
+        let specs = [lc_spec("svc")];
+        let obs = build(&specs, &[("svc".to_owned(), 0.4)], None).window(0);
+        let stat = &obs.lc[0];
+        // 0.4 * 2000 qps over 500 ms = 400 arrivals, all completed.
+        assert_eq!(stat.arrivals, 400);
+        assert_eq!(stat.completions, 400);
+        assert_eq!(stat.drops, 0);
+        let p95 = stat.p95_ms.expect("loaded app has a tail estimate");
+        assert!(p95 >= stat.ideal_ms);
+        assert!(stat.meets_qos(), "p95 {p95:.3} vs qos {}", stat.qos_ms);
+    }
+
+    #[test]
+    fn idle_lc_app_reports_no_tail() {
+        let specs = [lc_spec("svc")];
+        let obs = build(&specs, &[], None).window(0);
+        let stat = &obs.lc[0];
+        assert_eq!(stat.p95_ms, None);
+        assert_eq!(stat.arrivals, 0);
+        assert_eq!(stat.backlog, 0);
+        assert_eq!(stat.mean_core_capacity, 0.0);
+    }
+
+    #[test]
+    fn overload_drops_and_saturates_the_backlog() {
+        // 4 threads x 1 ms mean service support ~4000 qps at full speed;
+        // offering 2x the nominal max (4000 qps) saturates them.
+        let specs = [lc_spec("svc")];
+        let obs = build(&specs, &[("svc".to_owned(), 4.0)], None).window(0);
+        let stat = &obs.lc[0];
+        assert!(stat.drops > 0, "expected drops, got {stat:?}");
+        assert_eq!(stat.backlog, specs[0].max_outstanding().unwrap() as usize);
+        assert!(!stat.meets_qos());
+    }
+
+    #[test]
+    fn be_ipc_degrades_under_a_co_runner() {
+        let solo = build(&[be_spec("batch")], &[], None).window(0).be[0].ipc;
+        let specs = [lc_spec("svc"), be_spec("batch")];
+        let shared = build(&specs, &[("svc".to_owned(), 0.8)], None).window(0).be[0].ipc;
+        assert!(solo > 0.0);
+        assert!(
+            shared < solo,
+            "co-located IPC {shared:.3} should fall below solo {solo:.3}"
+        );
+    }
+
+    #[test]
+    fn calibration_overrides_analytic_values() {
+        let specs = [lc_spec("svc"), be_spec("batch")];
+        let base = build(&specs, &[("svc".to_owned(), 0.4)], None).window(0);
+        let calibration = SteadyCalibration {
+            lc: vec![LcCalibration {
+                name: "svc".to_owned(),
+                p95_ms: Some(2.5),
+            }],
+            be: vec![BeCalibration {
+                name: "batch".to_owned(),
+                ipc: 0.9,
+            }],
+        };
+        let obs = build(&specs, &[("svc".to_owned(), 0.4)], Some(&calibration)).window(0);
+        assert_eq!(obs.lc[0].p95_ms, Some(2.5));
+        assert_eq!(obs.be[0].ipc, 0.9);
+        assert_ne!(base.lc[0].p95_ms, obs.lc[0].p95_ms);
+        // Idle apps keep their `None` tail even when calibrated.
+        let idle = build(&specs, &[], Some(&calibration)).window(0);
+        assert_eq!(idle.lc[0].p95_ms, None);
+    }
+
+    #[test]
+    fn calibration_snapshot_averages_windows() {
+        let specs = [lc_spec("svc"), be_spec("batch")];
+        let sur = build(&specs, &[("svc".to_owned(), 0.4)], None);
+        let windows = [sur.window(0), sur.window(1)];
+        let cal = SteadyCalibration::from_windows(&windows);
+        assert_eq!(cal.lc_p95("svc"), windows[0].lc[0].p95_ms);
+        assert_eq!(cal.be_ipc("batch"), Some(windows[0].be[0].ipc));
+        assert!(SteadyCalibration::from_windows(&[]).is_empty());
+    }
+
+    #[test]
+    fn unknown_or_be_loads_are_rejected() {
+        let machine = MachineConfig::paper_xeon();
+        let specs = [be_spec("batch")];
+        let err = Surrogate::new(
+            machine,
+            machine,
+            &specs,
+            &[("nope".to_owned(), 0.5)],
+            &Partition::all_shared(1),
+            SharingPolicy::Fair,
+            500.0,
+            None,
+        );
+        assert!(matches!(err, Err(SimError::UnknownApp { .. })));
+        let err = Surrogate::new(
+            machine,
+            machine,
+            &specs,
+            &[("batch".to_owned(), 0.5)],
+            &Partition::all_shared(1),
+            SharingPolicy::Fair,
+            500.0,
+            None,
+        );
+        assert!(matches!(err, Err(SimError::WrongKind { .. })));
+    }
+}

@@ -1,9 +1,11 @@
 //! Benchmarks of the cluster layer: one full round step (churn +
 //! placement + every node's windows + aggregation) at 16 and 64 nodes
-//! with the sequential reference runner, pinned in `BENCH_cluster.json`.
+//! with the sequential reference runner, pinned in `BENCH_cluster.json`,
+//! plus ladder-vs-full fidelity round steps at 256/1024 nodes pinned in
+//! `BENCH_cluster_10k.json`.
 
 use ahq_cluster::{
-    ChurnConfig, ClusterConfig, ClusterSim, LocalSched, PlacerKind, SequentialRunner,
+    ChurnConfig, ClusterConfig, ClusterSim, FidelityMode, LocalSched, PlacerKind, SequentialRunner,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -35,10 +37,55 @@ fn bench_round_step(c: &mut Criterion) {
             // of ~`nodes` apps, and `nodes x 2` simulated windows.
             b.iter(|| {
                 let mut sim = ClusterSim::new(bench_config(nodes));
-                sim.step_round(&SequentialRunner);
+                sim.step_round(&SequentialRunner::default());
                 black_box(sim.round())
             })
         });
+    }
+    group.finish();
+}
+
+/// The fidelity-ladder scenario: half-occupied fleet under gentle churn
+/// (the `repro cluster --nodes N` shape), where most nodes stay calm long
+/// enough to demote. `rounds` is set far beyond what Criterion will step
+/// so one warmed simulation serves every iteration.
+fn fidelity_config(nodes: usize, fidelity: FidelityMode) -> ClusterConfig {
+    let mut config =
+        ClusterConfig::heterogeneous(nodes, PlacerKind::EntropyAware, LocalSched::Unmanaged);
+    config.windows_per_round = 2;
+    config.seed = 7;
+    config.rounds = 50_000;
+    config.fidelity = fidelity;
+    config.churn = ChurnConfig {
+        initial_apps: (nodes / 2).max(1),
+        arrivals_per_round: (nodes as f64 / 256.0).max(1.0),
+        departure_prob: 0.005,
+        load_change_prob: 0.01,
+        be_fraction: 0.4,
+    };
+    config
+}
+
+fn bench_fidelity_round_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_fidelity_round_step");
+    group.sample_size(10);
+    for nodes in [256usize, 1024] {
+        for fidelity in [FidelityMode::Full, FidelityMode::Ladder] {
+            group.bench_function(format!("{nodes}_nodes_{}", fidelity.name()), |b| {
+                // Warm outside the timing loop: the first rounds place the
+                // initial population and (under the ladder) let stable
+                // nodes demote, so iterations measure the steady regime.
+                let runner = SequentialRunner::default();
+                let mut sim = ClusterSim::new(fidelity_config(nodes, fidelity));
+                for _ in 0..6 {
+                    sim.step_round(&runner);
+                }
+                b.iter(|| {
+                    sim.step_round(&runner);
+                    black_box(sim.round())
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -55,5 +102,5 @@ fn quick() -> Criterion {
 criterion_group!(
     name = benches;
     config = quick();
-    targets = bench_round_step);
+    targets = bench_round_step, bench_fidelity_round_step);
 criterion_main!(benches);

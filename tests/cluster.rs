@@ -2,7 +2,7 @@
 //! harness: worker-count invariance of `repro cluster` and the
 //! entropy-aware placer's headline claim.
 
-use ahq_cluster::{run_cluster, LocalSched, PlacerKind, SequentialRunner};
+use ahq_cluster::{run_cluster, FidelityMode, LocalSched, PlacerKind, SequentialRunner};
 use ahq_experiments::cluster::{scenario, EngineRunner};
 use ahq_experiments::{ExpConfig, ExpContext};
 
@@ -36,12 +36,67 @@ fn engine_runner_is_equivalent_to_the_sequential_reference() {
     let mut config = scenario(&cfg, 16, PlacerKind::LeastLoaded, LocalSched::Unmanaged);
     config.rounds = 3;
     let engine_side = run_cluster(config.clone(), &EngineRunner::new(cfg.engine()));
-    let reference = run_cluster(config, &SequentialRunner);
+    let reference = run_cluster(config, &SequentialRunner::default());
     assert_eq!(
         serde_json::to_string(&engine_side).expect("serializable"),
         serde_json::to_string(&reference).expect("serializable"),
         "the engine-backed runner must match per-job execution exactly"
     );
+}
+
+/// The churned 256-node ladder scenario the fidelity tests pin on.
+fn ladder_scenario(cfg: &ExpContext, fidelity: FidelityMode) -> ahq_cluster::ClusterConfig {
+    let mut config = scenario(cfg, 256, PlacerKind::EntropyAware, LocalSched::Arq);
+    config.rounds = 6;
+    config.fidelity = fidelity;
+    config
+}
+
+#[test]
+fn ladder_at_256_nodes_is_byte_identical_for_any_job_count() {
+    let serial = quick_cfg(1);
+    let parallel = quick_cfg(8);
+    let a = run_cluster(
+        ladder_scenario(&serial, FidelityMode::Ladder),
+        &EngineRunner::new(serial.engine()),
+    );
+    let b = run_cluster(
+        ladder_scenario(&parallel, FidelityMode::Ladder),
+        &EngineRunner::new(parallel.engine()),
+    );
+    assert_eq!(
+        serde_json::to_string(&a).expect("serializable"),
+        serde_json::to_string(&b).expect("serializable"),
+        "ladder promotion/demotion must not depend on the worker count"
+    );
+}
+
+#[test]
+fn ladder_tracks_full_fidelity_steady_entropy_at_256_nodes() {
+    let cfg = quick_cfg(0);
+    let runner = EngineRunner::new(cfg.engine());
+    let steady = {
+        let c = ladder_scenario(&cfg, FidelityMode::Full);
+        (c.rounds * c.windows_per_round) / 2
+    };
+    let full = run_cluster(ladder_scenario(&cfg, FidelityMode::Full), &runner);
+    let ladder = run_cluster(ladder_scenario(&cfg, FidelityMode::Ladder), &runner);
+    assert!(
+        ladder.window_stats.iter().any(|w| w.lofi_nodes > 0),
+        "the ladder demotes at least one node on this scenario"
+    );
+    assert!(
+        full.window_stats.iter().all(|w| w.lofi_nodes == 0),
+        "full fidelity never demotes"
+    );
+    // Documented tolerance (DESIGN.md §8): the ladder may shift placement
+    // slightly through its surrogate-derived entropy history, but the
+    // steady-state cluster E_S must stay within 0.05 mean / 0.10 p95 of
+    // the full-fidelity reference.
+    let dm = (full.steady_mean_entropy(steady) - ladder.steady_mean_entropy(steady)).abs();
+    let dp = (full.steady_p95_entropy(steady) - ladder.steady_p95_entropy(steady)).abs();
+    assert!(dm <= 0.05, "steady mean E_S diverges by {dm:.4}");
+    assert!(dp <= 0.10, "steady p95 E_S diverges by {dp:.4}");
 }
 
 #[test]

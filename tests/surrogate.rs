@@ -1,0 +1,148 @@
+//! Property tests of the LO-FI surrogate against the full discrete-event
+//! simulator on quiescent (steady-load, no-churn) profiles — the regime
+//! the fidelity ladder demotes nodes in (DESIGN.md §8).
+//!
+//! Tolerances are deliberately loose for the *uncalibrated* surrogate
+//! (the analytic queueing formulas only approximate the event loop) and
+//! tight for the *calibrated* one (the ladder always calibrates from the
+//! node's last HI-FI round before trusting the surrogate).
+
+use ahq_sim::{
+    AppSpec, MachineConfig, NodeSim, Partition, SharingPolicy, SteadyCalibration, Surrogate,
+    WindowObservation,
+};
+use ahq_workloads::profiles;
+use proptest::prelude::*;
+
+const WINDOWS: usize = 8;
+const WINDOW_MS: f64 = 500.0;
+
+fn lc_pool() -> Vec<AppSpec> {
+    vec![profiles::xapian(), profiles::masstree(), profiles::silo()]
+}
+
+fn be_pool() -> Vec<AppSpec> {
+    vec![profiles::fluidanimate(), profiles::streamcluster()]
+}
+
+/// Runs the full simulator for [`WINDOWS`] windows at a fixed load.
+fn simulate(specs: &[AppSpec], loads: &[(String, f64)], seed: u64) -> Vec<WindowObservation> {
+    let machine = MachineConfig::paper_xeon();
+    let mut sim =
+        NodeSim::with_reference(machine, machine, specs.to_vec(), seed).expect("valid specs");
+    for (name, load) in loads {
+        sim.set_load(name, *load).expect("LC load applies");
+    }
+    (0..WINDOWS).map(|_| sim.run_window()).collect()
+}
+
+/// Mean observed p95 of app 0 across windows; `None` if any window had no
+/// estimate.
+fn mean_p95(observations: &[WindowObservation]) -> Option<f64> {
+    let mut sum = 0.0;
+    for obs in observations {
+        sum += obs.lc[0].p95_ms?;
+    }
+    Some(sum / observations.len() as f64)
+}
+
+/// Mean observed IPC of BE app 0 across windows.
+fn mean_ipc(observations: &[WindowObservation]) -> f64 {
+    observations.iter().map(|o| o.be[0].ipc).sum::<f64>() / observations.len() as f64
+}
+
+fn build_surrogate(
+    specs: &[AppSpec],
+    loads: &[(String, f64)],
+    calibration: Option<&SteadyCalibration>,
+) -> Surrogate {
+    let machine = MachineConfig::paper_xeon();
+    Surrogate::new(
+        machine,
+        machine,
+        specs,
+        loads,
+        &Partition::all_shared(specs.len()),
+        SharingPolicy::Fair,
+        WINDOW_MS,
+        calibration,
+    )
+    .expect("valid surrogate config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On a quiescent profile the uncalibrated surrogate lands in the same
+    /// regime as the event simulator: LC tail within a small constant
+    /// factor, BE IPC within 15 %, and matched QoS bookkeeping shape.
+    #[test]
+    fn surrogate_tracks_quiescent_node_sim(
+        lc_index in 0usize..3,
+        be_index in prop::option::of(0usize..2),
+        load in prop::sample::select(vec![0.2f64, 0.3, 0.4, 0.5]),
+        seed in 0u64..1000,
+    ) {
+        let mut specs = vec![lc_pool()[lc_index].clone()];
+        if let Some(i) = be_index {
+            specs.push(be_pool()[i].clone());
+        }
+        let loads = vec![(specs[0].name().to_owned(), load)];
+        let observed = simulate(&specs, &loads, seed);
+        let surrogate = build_surrogate(&specs, &loads, None).window(0);
+
+        if let Some(sim_p95) = mean_p95(&observed) {
+            let sur_p95 = surrogate.lc[0]
+                .p95_ms
+                .expect("loaded surrogate app has a tail estimate");
+            let ratio = sur_p95 / sim_p95;
+            prop_assert!(
+                (0.4..=2.5).contains(&ratio),
+                "p95 ratio {ratio:.3} outside tolerance (surrogate {sur_p95:.3} ms \
+                 vs simulated {sim_p95:.3} ms)"
+            );
+        }
+        if be_index.is_some() {
+            let sim_ipc = mean_ipc(&observed);
+            let sur_ipc = surrogate.be[0].ipc;
+            let rel = (sur_ipc - sim_ipc).abs() / sim_ipc.max(1e-9);
+            prop_assert!(
+                rel <= 0.15,
+                "BE IPC off by {:.1} % (surrogate {sur_ipc:.3} vs simulated {sim_ipc:.3})",
+                rel * 100.0
+            );
+        }
+        prop_assert_eq!(surrogate.lc[0].drops, 0, "quiescent loads must not drop");
+    }
+
+    /// Calibrated from the simulator's own windows — the ladder's actual
+    /// demotion path — the surrogate reproduces the observed steady state
+    /// almost exactly.
+    #[test]
+    fn calibrated_surrogate_reproduces_observed_means(
+        lc_index in 0usize..3,
+        be_index in 0usize..2,
+        load in prop::sample::select(vec![0.3f64, 0.4]),
+        seed in 0u64..1000,
+    ) {
+        let specs = vec![lc_pool()[lc_index].clone(), be_pool()[be_index].clone()];
+        let loads = vec![(specs[0].name().to_owned(), load)];
+        let observed = simulate(&specs, &loads, seed);
+        let calibration = SteadyCalibration::from_windows(&observed);
+        let surrogate = build_surrogate(&specs, &loads, Some(&calibration)).window(0);
+
+        if let Some(sim_p95) = mean_p95(&observed) {
+            let sur_p95 = surrogate.lc[0].p95_ms.expect("calibrated tail present");
+            prop_assert!(
+                (sur_p95 - sim_p95).abs() <= 1e-9,
+                "calibrated p95 {sur_p95} != observed mean {sim_p95}"
+            );
+        }
+        let sim_ipc = mean_ipc(&observed);
+        prop_assert!(
+            (surrogate.be[0].ipc - sim_ipc).abs() <= 1e-9,
+            "calibrated IPC {} != observed mean {sim_ipc}",
+            surrogate.be[0].ipc
+        );
+    }
+}

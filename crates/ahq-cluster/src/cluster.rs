@@ -366,6 +366,25 @@ fn recent_history(result: &RunResult, windows: usize) -> (Option<f64>, Option<f6
     (Some(es), ret)
 }
 
+/// Whether a HI-FI round qualifies as stable for the fidelity ladder: no
+/// scheduler adjustments, no QoS violations, calm entropy and tolerance
+/// signals — and no active MBA throttle in force at round end. A throttle
+/// is an ongoing bandwidth intervention the closed-form surrogate would
+/// freeze for the whole demotion, so throttled nodes stay at full
+/// fidelity no matter how calm they look.
+fn round_is_stable(
+    policy: &FidelityPolicy,
+    result: &RunResult,
+    recent_es: Option<f64>,
+    recent_ret: Option<f64>,
+) -> bool {
+    result.adjustments == 0
+        && result.violations == 0
+        && recent_es.is_some_and(|es| es <= policy.es_threshold)
+        && recent_ret.map_or(true, |ret| ret >= policy.ret_margin)
+        && result.partitions.last().is_none_or(|p| !p.has_throttle())
+}
+
 /// The cluster simulation: applies churn and placement between rounds and
 /// fans each round's per-node windows through a [`NodeBatchRunner`].
 pub struct ClusterSim {
@@ -713,10 +732,7 @@ impl ClusterSim {
             let policy = self.config.fidelity_policy;
             for (job, result) in jobs.iter().zip(results.iter()) {
                 let node = &mut self.nodes[job.node];
-                let stable = result.adjustments == 0
-                    && result.violations == 0
-                    && node.recent_es.is_some_and(|es| es <= policy.es_threshold)
-                    && node.recent_ret.map_or(true, |ret| ret >= policy.ret_margin);
+                let stable = round_is_stable(&policy, result, node.recent_es, node.recent_ret);
                 if !stable {
                     node.streak = 0;
                     continue;
@@ -946,6 +962,33 @@ mod tests {
         assert_eq!(full.windows(), ladder.windows());
         assert_eq!(full.violations, 0);
         assert_eq!(ladder.violations, 0);
+    }
+
+    #[test]
+    fn active_throttle_blocks_ladder_demotion() {
+        use ahq_sim::{MbaLevel, Partition, RegionAlloc};
+        let policy = FidelityPolicy {
+            stable_rounds: 1,
+            es_threshold: f64::INFINITY,
+            ret_margin: f64::NEG_INFINITY,
+        };
+        let calm = RunResult {
+            strategy: "arq".to_owned(),
+            observations: vec![],
+            entropy: vec![],
+            partitions: vec![Partition::all_shared(2)],
+            violations: 0,
+            adjustments: 0,
+        };
+        assert!(round_is_stable(&policy, &calm, Some(0.0), None));
+        let mut throttled = calm.clone();
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(1.into(), RegionAlloc::EMPTY.with_mba(MbaLevel::new(40)));
+        throttled.partitions.push(p);
+        assert!(
+            !round_is_stable(&policy, &throttled, Some(0.0), None),
+            "a node ending its round throttled must stay HI-FI"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`fig13`] | Fig. 13 — fluctuating-load timeline |
 //! | [`headline`] | §VI headline numbers (yield, `E_S` reductions, IPC gains) |
 //! | [`ablations`] | extra: ablations of ARQ's design choices (not a paper artifact) |
+//! | [`membw`] | extra: memory-bandwidth (MBA) throttling as a third resource dimension |
 //! | [`baselines`] | extra: six-strategy comparison incl. a Heracles-style controller |
 //! | [`cluster`] | extra: multi-node placement policies under churn (`ahq-cluster`) |
 //!
@@ -53,6 +54,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod membw;
 pub mod report;
 pub mod runs;
 pub mod strategy;
@@ -116,6 +118,11 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
             "ablations",
             "Ablations of ARQ's design choices",
             ablations::run,
+        ),
+        (
+            "membw",
+            "Memory-bandwidth throttling (MBA) ablation",
+            membw::run,
         ),
         (
             "baselines",

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use ahq_sim::{AppKind, AppSpec, MachineConfig, Partition, SharingPolicy};
+use ahq_sim::{AppKind, AppSpec, MachineConfig, MbaLevel, Partition, SharingPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::parties::{ResourceKind, MEMBW_UNIT_PCT};
@@ -41,6 +41,12 @@ pub struct ArqConfig {
     /// How the shared region's cores are divided. The paper's ARQ gives
     /// LC applications strict priority there; `Fair` exists for ablation.
     pub sharing: SharingPolicy,
+    /// Whether ARQ may additionally throttle BE memory bandwidth with
+    /// MBA-style levels. Off by default — Algorithm 1 negotiates cores,
+    /// ways and bandwidth reservations only; this gate adds a tighten /
+    /// relax step over [`MbaLevel`] for the membw ablation family.
+    #[serde(default)]
+    pub throttle_be: bool,
 }
 
 impl Default for ArqConfig {
@@ -52,6 +58,7 @@ impl Default for ArqConfig {
             entropy_epsilon: 0.025,
             smoothing_windows: 1,
             sharing: SharingPolicy::LcPriority,
+            throttle_be: false,
         }
     }
 }
@@ -272,6 +279,72 @@ impl Arq {
         }
         Some(p)
     }
+
+    /// The gated MBA step (`throttle_be`): when some LC application is
+    /// starving (`min ReT < beneficiary_ret`), tighten the loosest
+    /// non-blacklisted BE application one level; when every LC application
+    /// is comfortable (`ReT > victim_ret` across the board), relax the
+    /// tightest throttled BE application one level. Returns the adjusted
+    /// partition and the BE region it touched, so the caller can enrol the
+    /// move in the entropy-rollback machinery like any other adjustment.
+    fn throttle_step(
+        &self,
+        ctx: &SchedContext<'_>,
+        ret: &[(usize, f64)],
+        now_s: f64,
+    ) -> Option<(Partition, Region)> {
+        let min_ret = ret.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+        let be = |i: &usize| ctx.apps[*i].kind() == AppKind::Be;
+        if min_ret < self.config.beneficiary_ret {
+            // Tighten: BE bandwidth pressure is the suspected interferer.
+            let target = (0..ctx.apps.len())
+                .filter(be)
+                .filter(|&i| !self.blacklisted(Region::Isolated(i), now_s))
+                .max_by_key(|&i| ctx.partition.isolated(i.into()).mba.pct())?;
+            let alloc = ctx.partition.isolated(target.into());
+            if alloc.mba.pct() <= MbaLevel::MIN_PCT {
+                return None; // already at the tightest hardware level
+            }
+            let mut p = ctx.partition.clone();
+            p.set_isolated(target.into(), alloc.with_mba(alloc.mba.tighten()));
+            p.validate(ctx.machine).ok()?;
+            Some((p, Region::Isolated(target)))
+        } else if ret.iter().all(|&(_, r)| r > self.config.victim_ret) {
+            // Relax: nobody needs the protection any more; hand bandwidth
+            // back to the throttled BE application one level at a time.
+            let target = (0..ctx.apps.len())
+                .filter(be)
+                .filter(|&i| !ctx.partition.isolated(i.into()).mba.is_unthrottled())
+                .min_by_key(|&i| ctx.partition.isolated(i.into()).mba.pct())?;
+            let alloc = ctx.partition.isolated(target.into());
+            let mut p = ctx.partition.clone();
+            p.set_isolated(target.into(), alloc.with_mba(alloc.mba.relax()));
+            Some((p, Region::Isolated(target)))
+        } else {
+            None
+        }
+    }
+}
+
+impl Arq {
+    /// Falls through to the gated MBA step when the core/way/reservation
+    /// machinery found nothing to do; a successful throttle move enrols in
+    /// the same entropy-rollback protocol as every other adjustment.
+    fn throttle_or_idle(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        ret: &[(usize, f64)],
+    ) -> Option<Partition> {
+        if self.config.throttle_be {
+            if let Some((p, touched)) = self.throttle_step(ctx, ret, ctx.now_s) {
+                self.last = Some((ctx.partition.clone(), touched));
+                self.is_adjust = true;
+                return Some(p);
+            }
+        }
+        self.is_adjust = false;
+        None
+    }
 }
 
 impl Default for Arq {
@@ -326,14 +399,13 @@ impl Scheduler for Arq {
         // Algorithm 1, AdjustResource.
         let Some(victim) = self.find_victim(ctx, &ret, ctx.now_s) else {
             // Every eligible victim region is blacklisted right now.
-            self.is_adjust = false;
-            return None;
+            return self.throttle_or_idle(ctx, &ret);
         };
         let beneficiary = self.find_beneficiary(&ret);
         if victim == beneficiary {
-            // Both shared (or same region): equilibrium.
-            self.is_adjust = false;
-            return None;
+            // Both shared (or same region): equilibrium — the only move
+            // left, if enabled, is handing throttled bandwidth back.
+            return self.throttle_or_idle(ctx, &ret);
         }
 
         // findVictimResource: stay on the FSM's current resource type until
@@ -350,8 +422,9 @@ impl Scheduler for Arq {
                 return Some(p);
             }
         }
-        self.is_adjust = false;
-        None
+        // No movable core / way / reservation unit: the MBA step is the
+        // remaining actuator.
+        self.throttle_or_idle(ctx, &ret)
     }
 }
 
@@ -535,5 +608,77 @@ mod tests {
     fn fsm_prefers_cores_then_ways() {
         let arq = Arq::new();
         assert_eq!(arq.fsm, ResourceKind::Cores);
+    }
+
+    #[test]
+    fn throttle_step_tightens_loosest_be_when_lc_starves() {
+        let fx = Fixture::new();
+        let arq = Arq::with_config(ArqConfig {
+            throttle_be: true,
+            ..ArqConfig::default()
+        });
+        let p = Partition::all_shared(3);
+        let e = make_entropy(6.0, 2.2); // lc0 ReT < 0: starving
+        let ctx = fx.ctx(&p, &e, 0.5);
+        let ret = Arq::ret_array(&ctx);
+        let (next, touched) = arq.throttle_step(&ctx, &ret, 0.5).expect("tightens");
+        assert_eq!(touched, Region::Isolated(2), "the BE app's region");
+        assert_eq!(next.isolated(2.into()).mba.pct(), 100 - MbaLevel::STEP_PCT);
+        assert!(next.has_throttle());
+    }
+
+    #[test]
+    fn equilibrium_relaxes_a_throttled_be_app() {
+        let fx = Fixture::new();
+        let mut arq = Arq::with_config(ArqConfig {
+            throttle_be: true,
+            ..ArqConfig::default()
+        });
+        let mut p = Partition::all_shared(3);
+        p.set_isolated(2.into(), RegionAlloc::EMPTY.with_mba(MbaLevel::new(40)));
+        // Both LC apps comfortable (ReT well above victim_ret): the only
+        // remaining move is handing bandwidth back, one level at a time.
+        let e = make_entropy(2.2, 2.4);
+        let next = arq.decide(&fx.ctx(&p, &e, 0.5)).expect("relaxes");
+        assert_eq!(next.isolated(2.into()).mba.pct(), 50);
+    }
+
+    #[test]
+    fn throttle_gate_off_stays_idle_at_equilibrium() {
+        let fx = Fixture::new();
+        let mut arq = Arq::new();
+        let mut p = Partition::all_shared(3);
+        p.set_isolated(2.into(), RegionAlloc::EMPTY.with_mba(MbaLevel::new(40)));
+        let e = make_entropy(2.2, 2.4);
+        assert!(
+            arq.decide(&fx.ctx(&p, &e, 0.5)).is_none(),
+            "default config must never touch MBA levels"
+        );
+    }
+
+    #[test]
+    fn tighten_rolls_back_when_entropy_worsens() {
+        let fx = Fixture::new();
+        let mut arq = Arq::with_config(ArqConfig {
+            throttle_be: true,
+            ..ArqConfig::default()
+        });
+        // Cores cannot move (shared would drop to zero for the BE app) and
+        // neither can ways, once everything but the floor is isolated; use
+        // the blacklist to force the throttle path instead: both the
+        // shared region and every LC region are blacklisted.
+        let p = Partition::all_shared(3);
+        arq.blacklist.insert(Region::Shared, 100.0);
+        arq.blacklist.insert(Region::Isolated(0), 100.0);
+        arq.blacklist.insert(Region::Isolated(1), 100.0);
+        let e1 = make_entropy(6.0, 2.2);
+        let p1 = arq.decide(&fx.ctx(&p, &e1, 0.5)).expect("tightens BE");
+        assert_eq!(p1.isolated(2.into()).mba.pct(), 90);
+        // Entropy got worse: the throttle move is cancelled like any other
+        // adjustment and the BE region is protected for blacklist_secs.
+        let e2 = make_entropy(9.0, 2.2);
+        let rolled = arq.decide(&fx.ctx(&p1, &e2, 1.0)).expect("rolls back");
+        assert_eq!(rolled, p);
+        assert!(arq.blacklisted(Region::Isolated(2), 30.0));
     }
 }

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::parties::equal_split;
+use crate::parties::{equal_split, MEMBW_UNIT_PCT};
 use crate::{SchedContext, Scheduler};
 
 /// Tuning knobs of the [`Clite`] reimplementation.
@@ -38,6 +38,12 @@ pub struct CliteConfig {
     pub probe_margin: f64,
     /// RNG seed for candidate generation and the optimizer.
     pub seed: u64,
+    /// Whether candidates also partition memory bandwidth (one reservation
+    /// unit per application minimum, summing to the whole node). Off by
+    /// default: the published CLITE searches cores × ways, and the legacy
+    /// RNG draw sequence is preserved exactly when this is off.
+    #[serde(default)]
+    pub partition_membw: bool,
 }
 
 impl Default for CliteConfig {
@@ -53,6 +59,7 @@ impl Default for CliteConfig {
             probe_every: 4,
             probe_margin: 0.01,
             seed: 0xC11E,
+            partition_membw: false,
         }
     }
 }
@@ -152,17 +159,23 @@ impl Clite {
 
     fn build_candidates(&mut self, machine: &MachineConfig, napps: usize) {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let with_membw = self.config.partition_membw;
+        let membw_units = 100 / MEMBW_UNIT_PCT;
         let mut candidates = Vec::with_capacity(self.config.candidate_pool + 1);
         // Always include the equal split as a sane anchor.
-        candidates.push(make_candidate(
+        candidates.push(candidate_from_parts(
             equal_split(machine.cores, napps, &[]),
             equal_split(machine.llc_ways, napps, &[]),
+            with_membw.then(|| equal_split(membw_units, napps, &[])),
             machine,
         ));
         while candidates.len() <= self.config.candidate_pool {
             let cores = random_composition(&mut rng, machine.cores, napps);
             let ways = random_composition(&mut rng, machine.llc_ways, napps);
-            candidates.push(make_candidate(cores, ways, machine));
+            // The membw draw comes after the legacy draws, so with the
+            // flag off the stream is untouched.
+            let membw = with_membw.then(|| random_composition(&mut rng, membw_units, napps));
+            candidates.push(candidate_from_parts(cores, ways, membw, machine));
         }
         self.candidates = candidates;
     }
@@ -265,14 +278,24 @@ impl Clite {
 
         for attempt in 0..16 {
             let mut allocs = current.allocs.clone();
-            let move_cores = self.rng.gen_bool(0.5);
-            let has_units = |allocs: &[RegionAlloc], i: usize| {
-                if move_cores {
-                    allocs[i].cores > 1
-                } else {
-                    allocs[i].ways > 1
+            // With membw partitioning off this is the published coin flip,
+            // drawn identically; the three-way choice only exists behind
+            // the flag.
+            let dim = if self.config.partition_membw {
+                self.rng.gen_range(0..3u32)
+            } else if self.rng.gen_bool(0.5) {
+                0
+            } else {
+                1
+            };
+            let unit_count = |allocs: &[RegionAlloc], i: usize| -> u32 {
+                match dim {
+                    0 => allocs[i].cores,
+                    1 => allocs[i].ways,
+                    _ => allocs[i].membw_pct / MEMBW_UNIT_PCT,
                 }
             };
+            let has_units = |allocs: &[RegionAlloc], i: usize| unit_count(allocs, i) > 1;
             let (from, to) = match worst {
                 // A violating LC application pulls resources toward itself.
                 Some(w) if slack_of(w) < 0.05 && attempt < 12 => {
@@ -280,13 +303,7 @@ impl Clite {
                         .iter()
                         .copied()
                         .filter(|&i| has_units(&allocs, i))
-                        .max_by_key(|&i| {
-                            if move_cores {
-                                allocs[i].cores
-                            } else {
-                                allocs[i].ways
-                            }
-                        })
+                        .max_by_key(|&i| unit_count(&allocs, i))
                         .or_else(|| {
                             lc.iter()
                                 .copied()
@@ -306,13 +323,7 @@ impl Clite {
                         .copied()
                         .filter(|&i| has_units(&allocs, i) && slack_of(i) > 0.1)
                         .max_by(|&a, &b| slack_of(a).total_cmp(&slack_of(b)));
-                    let target = be.iter().copied().min_by_key(|&i| {
-                        if move_cores {
-                            allocs[i].cores
-                        } else {
-                            allocs[i].ways
-                        }
-                    });
+                    let target = be.iter().copied().min_by_key(|&i| unit_count(&allocs, i));
                     match (donor, target) {
                         (Some(d), Some(t)) if d != t => (d, t),
                         _ => {
@@ -327,16 +338,29 @@ impl Clite {
                     }
                 }
             };
-            if move_cores {
-                allocs[from].cores -= 1;
-                allocs[to].cores += 1;
-            } else {
-                allocs[from].ways -= 1;
-                allocs[to].ways += 1;
+            match dim {
+                0 => {
+                    allocs[from].cores -= 1;
+                    allocs[to].cores += 1;
+                }
+                1 => {
+                    allocs[from].ways -= 1;
+                    allocs[to].ways += 1;
+                }
+                _ => {
+                    allocs[from].membw_pct -= MEMBW_UNIT_PCT;
+                    allocs[to].membw_pct += MEMBW_UNIT_PCT;
+                }
             }
             let cores: Vec<u32> = allocs.iter().map(|a| a.cores).collect();
             let ways: Vec<u32> = allocs.iter().map(|a| a.ways).collect();
-            return Some(make_candidate(cores, ways, machine));
+            let membw = self.config.partition_membw.then(|| {
+                allocs
+                    .iter()
+                    .map(|a| a.membw_pct / MEMBW_UNIT_PCT)
+                    .collect()
+            });
+            return Some(candidate_from_parts(cores, ways, membw, machine));
         }
         None
     }
@@ -348,18 +372,41 @@ impl Default for Clite {
     }
 }
 
-fn make_candidate(cores: Vec<u32>, ways: Vec<u32>, machine: &MachineConfig) -> Candidate {
-    let mut x = Vec::with_capacity(cores.len() * 2);
+/// Assembles a candidate from per-app core and way counts, plus an
+/// optional bandwidth split (in [`MEMBW_UNIT_PCT`]-sized units). The
+/// x-vector gains a third block of dimensions only when the bandwidth
+/// split is present, so pools built with and without `partition_membw`
+/// are each internally consistent.
+fn candidate_from_parts(
+    cores: Vec<u32>,
+    ways: Vec<u32>,
+    membw_units: Option<Vec<u32>>,
+    machine: &MachineConfig,
+) -> Candidate {
+    let blocks = if membw_units.is_some() { 3 } else { 2 };
+    let mut x = Vec::with_capacity(cores.len() * blocks);
     for &c in &cores {
         x.push(c as f64 / machine.cores as f64);
     }
     for &w in &ways {
         x.push(w as f64 / machine.llc_ways as f64);
     }
+    if let Some(units) = &membw_units {
+        for &u in units {
+            x.push((u * MEMBW_UNIT_PCT) as f64 / 100.0);
+        }
+    }
     let allocs = cores
         .into_iter()
         .zip(ways)
-        .map(|(c, w)| RegionAlloc::new(c, w))
+        .enumerate()
+        .map(|(i, (c, w))| {
+            let a = RegionAlloc::new(c, w);
+            match &membw_units {
+                Some(units) => a.with_membw(units[i] * MEMBW_UNIT_PCT),
+                None => a,
+            }
+        })
         .collect();
     Candidate { x, allocs }
 }
@@ -654,6 +701,77 @@ mod tests {
                 "exactly one unit moved: dc={dc} dw={dw}"
             );
             assert!(n.allocs.iter().all(|a| a.cores >= 1 && a.ways >= 1));
+        }
+    }
+
+    #[test]
+    fn membw_flag_extends_candidates_and_neighbours() {
+        let machine = MachineConfig::paper_xeon();
+        let mut clite = Clite::with_config(CliteConfig {
+            partition_membw: true,
+            ..CliteConfig::default()
+        });
+        clite.build_candidates(&machine, 4);
+        for c in &clite.candidates {
+            assert_eq!(c.x.len(), 12, "three blocks of four dimensions");
+            let total: u32 = c.allocs.iter().map(|a| a.membw_pct).sum();
+            assert_eq!(total, 100, "the whole node's bandwidth is split");
+            assert!(c
+                .allocs
+                .iter()
+                .all(|a| a.membw_pct >= MEMBW_UNIT_PCT && a.membw_pct % MEMBW_UNIT_PCT == 0));
+            assert!(Partition::strict(c.allocs.clone())
+                .validate(&machine)
+                .is_ok());
+        }
+        clite.current = Some(clite.candidates[0].clone());
+        let apps = vec![
+            AppSpec::lc("a").qos_threshold_ms(5.0).build().unwrap(),
+            AppSpec::lc("b").qos_threshold_ms(5.0).build().unwrap(),
+            AppSpec::be("c").build().unwrap(),
+            AppSpec::be("d").build().unwrap(),
+        ];
+        let partition = Partition::strict(clite.current.as_ref().unwrap().allocs.clone());
+        let obs = ahq_sim::WindowObservation {
+            window_index: 0,
+            start_ms: 0.0,
+            end_ms: 500.0,
+            lc: vec![],
+            be: vec![],
+        };
+        let entropy = ahq_core::EntropyModel::default().evaluate(&[], &[]);
+        let ctx = SchedContext {
+            machine: &machine,
+            apps: &apps,
+            partition: &partition,
+            obs: &obs,
+            entropy: &entropy,
+            now_s: 0.0,
+        };
+        for _ in 0..20 {
+            let nb = clite.neighbour(&ctx).expect("neighbour exists");
+            assert!(Partition::strict(nb.allocs.clone())
+                .validate(&machine)
+                .is_ok());
+            let base = &clite.current.as_ref().unwrap().allocs;
+            let diff = |f: fn(&RegionAlloc) -> u32| -> u32 {
+                nb.allocs
+                    .iter()
+                    .zip(base.iter())
+                    .map(|(a, b)| f(a).abs_diff(f(b)))
+                    .sum()
+            };
+            let (dc, dw, dm) = (
+                diff(|a| a.cores),
+                diff(|a| a.ways),
+                diff(|a| a.membw_pct) / MEMBW_UNIT_PCT,
+            );
+            assert_eq!(
+                dc + dw + dm,
+                2,
+                "exactly one unit moved in one dimension: dc={dc} dw={dw} dm={dm}"
+            );
+            assert!(nb.allocs.iter().all(|a| a.membw_pct >= MEMBW_UNIT_PCT));
         }
     }
 }

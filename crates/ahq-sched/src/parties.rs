@@ -69,8 +69,13 @@ impl Default for PartiesConfig {
 /// application's latency slack `(M_i - p95_i) / M_i` and:
 ///
 /// * **upsizes** the most-violating application by one unit of its current
-///   FSM resource (cores ⇄ LLC ways), taken from a BE region if possible,
-///   else from the LC application with the most slack;
+///   FSM resource — the FSM cycles all three dimensions the original
+///   paper partitions: cores, LLC ways, and memory-bandwidth
+///   *reservations* in `MEMBW_UNIT_PCT`-point units (floors enforced by
+///   the fluid solver, as opposed to the MBA throttle *ceilings* that
+///   [`ArqConfig::throttle_be`](crate::ArqConfig) gates) — taken from a
+///   BE region if possible, else from the LC application with the most
+///   slack;
 /// * **downsizes** (tentatively) the slackest application when everyone
 ///   has comfortable slack, returning the unit to the BE pool — and
 ///   *reverts* the downsize if a violation follows, holding that

@@ -76,6 +76,7 @@ pub struct RateScratch {
     cache_factors: Vec<f64>,
     capacities: Vec<f64>,
     bw_demand: Vec<f64>,
+    eff_demand: Vec<f64>,
     reserved: Vec<f64>,
     unmet: Vec<f64>,
     saturations: Vec<f64>,
@@ -228,6 +229,18 @@ pub fn compute_rates_into(
             d.bw_per_thread * capacities[i] * d.curve.traffic_factor(effective_ways[i])
         }),
     );
+    // MBA throttle: a throttled region may not *pull* more than its
+    // level's share of peak bandwidth, so its effective demand on the
+    // memory system is capped. Unthrottled levels map to an infinite cap,
+    // making `min` a bit-identical no-op for legacy partitions. The
+    // throttled app's own saturation (below) stays relative to its uncapped
+    // appetite — the cap slows it down — while its capped demand stops
+    // draining the shared pool, relieving every co-runner.
+    scratch.eff_demand.clear();
+    scratch.eff_demand.extend((0..demands.len()).map(|i| {
+        let cap = partition.isolated(i.into()).mba.cap_fraction() * bw.capacity_gbps();
+        scratch.bw_demand[i].min(cap)
+    }));
     scratch.reserved.clear();
     scratch.reserved.extend(
         (0..demands.len())
@@ -237,7 +250,7 @@ pub fn compute_rates_into(
     scratch.unmet.clear();
     scratch.unmet.extend(
         scratch
-            .bw_demand
+            .eff_demand
             .iter()
             .zip(scratch.reserved.iter())
             .map(|(d, r)| (d - r).max(0.0)),
@@ -249,6 +262,7 @@ pub fn compute_rates_into(
         pool / total_unmet
     };
     let bw_demand = &scratch.bw_demand;
+    let eff_demand = &scratch.eff_demand;
     let reserved = &scratch.reserved;
     let unmet = &scratch.unmet;
     scratch.saturations.clear();
@@ -256,7 +270,7 @@ pub fn compute_rates_into(
         if bw_demand[i] <= 1e-12 {
             return 1.0;
         }
-        let granted = bw_demand[i].min(reserved[i]) + unmet[i] * pool_fraction;
+        let granted = eff_demand[i].min(reserved[i]) + unmet[i] * pool_fraction;
         (granted / bw_demand[i]).clamp(1e-6, 1.0)
     }));
 
@@ -487,6 +501,71 @@ mod tests {
             &bw(),
         );
         assert!((solo[0].membw_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mba_throttle_slows_hog_and_relieves_victim() {
+        use crate::partition::MbaLevel;
+        let mut hog = demand(AppKind::Be, 10, 10);
+        hog.bw_per_thread = 7.0;
+        hog.curve = MissRatioCurve::new(0.85, 1.5, 2.2, 20);
+        let victim = demand(AppKind::Lc, 4, 4);
+        let demands = [victim, hog];
+        let tight_bw = BandwidthModel::new(30.0);
+        let free = Partition::all_shared(2);
+        let unthrottled =
+            compute_rates(&machine(), &free, &demands, SharingPolicy::Fair, &tight_bw);
+        let mut p = free.clone();
+        p.set_isolated(1.into(), RegionAlloc::EMPTY.with_mba(MbaLevel::new(30)));
+        let throttled = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &tight_bw);
+        assert!(
+            throttled[1].membw_factor < unthrottled[1].membw_factor,
+            "the throttled hog must slow down: {} !< {}",
+            throttled[1].membw_factor,
+            unthrottled[1].membw_factor
+        );
+        assert!(
+            throttled[0].membw_factor > unthrottled[0].membw_factor,
+            "capping the hog must relieve the victim: {} !> {}",
+            throttled[0].membw_factor,
+            unthrottled[0].membw_factor
+        );
+        // An unthrottled level is bit-identical to no throttle at all.
+        let mut q = free.clone();
+        q.set_isolated(1.into(), RegionAlloc::EMPTY.with_mba(MbaLevel::UNTHROTTLED));
+        let same = compute_rates(&machine(), &q, &demands, SharingPolicy::Fair, &tight_bw);
+        for (a, b) in unthrottled.iter().zip(same.iter()) {
+            assert_eq!(a.speed_per_thread.to_bits(), b.speed_per_thread.to_bits());
+            assert_eq!(a.membw_factor.to_bits(), b.membw_factor.to_bits());
+        }
+    }
+
+    #[test]
+    fn mba_throttle_sensitivity_tracks_memory_fraction() {
+        use crate::partition::MbaLevel;
+        // Two identical-load apps, one memory-bound and one cache-friendly:
+        // the same throttle level must hurt the memory-bound app more,
+        // because the cap acts through `memory_slowdown`'s memory fraction.
+        let mut membound = demand(AppKind::Be, 4, 4);
+        membound.bw_per_thread = 6.0;
+        membound.curve = MissRatioCurve::new(0.9, 1.0, 2.0, 20);
+        let mut cachey = demand(AppKind::Be, 4, 4);
+        cachey.bw_per_thread = 6.0;
+        cachey.curve = MissRatioCurve::new(0.1, 6.0, 0.5, 20);
+        let level = MbaLevel::new(20);
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(0.into(), RegionAlloc::EMPTY.with_mba(level));
+        p.set_isolated(1.into(), RegionAlloc::EMPTY.with_mba(level));
+        let free = Partition::all_shared(2);
+        let demands = [membound, cachey];
+        let base = compute_rates(&machine(), &free, &demands, SharingPolicy::Fair, &bw());
+        let capped = compute_rates(&machine(), &p, &demands, SharingPolicy::Fair, &bw());
+        let drop0 = capped[0].speed_per_thread / base[0].speed_per_thread;
+        let drop1 = capped[1].speed_per_thread / base[1].speed_per_thread;
+        assert!(
+            drop0 < drop1,
+            "memory-bound app must be more throttle-sensitive: {drop0} !< {drop1}"
+        );
     }
 
     #[test]

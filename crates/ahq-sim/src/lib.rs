@@ -90,9 +90,9 @@ pub use contention::{
     compute_rates, compute_rates_into, AppDemand, AppRates, RateScratch, SharingPolicy,
 };
 pub use error::SimError;
-pub use node::{NodeSim, OverheadModel, RateCache, SimPerfStats};
+pub use node::{scan_next_event, NodeSim, OverheadModel, RateCache, ScanEvent, SimPerfStats};
 pub use observation::{BeWindowStats, LcWindowStats, WindowObservation};
-pub use partition::{Partition, RegionAlloc};
+pub use partition::{MbaLevel, Partition, PartitionDimension, RegionAlloc};
 pub use quantile::{percentile, percentile_in_place, TailEstimator};
 pub use resources::MachineConfig;
 pub use surrogate::{BeCalibration, LcCalibration, SteadyCalibration, Surrogate};

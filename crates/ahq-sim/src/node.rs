@@ -1,4 +1,5 @@
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,7 +44,7 @@ impl Default for OverheadModel {
 }
 
 /// One outstanding request of an LC application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Request {
     arrival: SimTime,
     /// Remaining service demand in core-milliseconds at speed 1.
@@ -54,11 +55,88 @@ struct Request {
 /// absorbs the float dust left by the subtract-and-clamp in `advance`.
 const COMPLETION_EPS_MS: f64 = 1e-9;
 
+/// Slab storage for every LC application's in-service requests: one
+/// contiguous allocation partitioned into fixed per-application slabs
+/// (capacity = the application's thread count), replacing one `Vec` per
+/// application. Push and swap-remove reproduce `Vec` semantics exactly —
+/// order matters, because completion order feeds the order-sensitive
+/// [`TailEstimator`] ring.
+#[derive(Debug)]
+struct RequestArena {
+    slots: Vec<Request>,
+    offset: Vec<usize>,
+    cap: Vec<usize>,
+    len: Vec<usize>,
+}
+
+impl RequestArena {
+    fn new(caps: &[usize]) -> Self {
+        let mut offset = Vec::with_capacity(caps.len());
+        let mut total = 0usize;
+        for &c in caps {
+            offset.push(total);
+            total += c;
+        }
+        RequestArena {
+            slots: vec![
+                Request {
+                    arrival: SimTime::ZERO,
+                    remaining_ms: 0.0,
+                };
+                total
+            ],
+            offset,
+            cap: caps.to_vec(),
+            len: vec![0; caps.len()],
+        }
+    }
+
+    fn len(&self, i: usize) -> usize {
+        self.len[i]
+    }
+
+    fn cap(&self, i: usize) -> usize {
+        self.cap[i]
+    }
+
+    fn slab(&self, i: usize) -> &[Request] {
+        &self.slots[self.offset[i]..self.offset[i] + self.len[i]]
+    }
+
+    fn slab_mut(&mut self, i: usize) -> &mut [Request] {
+        &mut self.slots[self.offset[i]..self.offset[i] + self.len[i]]
+    }
+
+    fn push(&mut self, i: usize, req: Request) {
+        debug_assert!(self.len[i] < self.cap[i], "slab overflow for app {i}");
+        self.slots[self.offset[i] + self.len[i]] = req;
+        self.len[i] += 1;
+    }
+
+    /// Removes slot `j` of app `i` by moving the last slot into its place
+    /// — element-for-element what `Vec::swap_remove` does.
+    fn swap_remove(&mut self, i: usize, j: usize) -> Request {
+        let o = self.offset[i];
+        let last = self.len[i] - 1;
+        let removed = self.slots[o + j];
+        self.slots[o + j] = self.slots[o + last];
+        self.len[i] = last;
+        removed
+    }
+
+    /// Fold-min over the slab, `f64::INFINITY` when empty — the same fold
+    /// the old per-app `refresh_min_remaining` ran.
+    fn min_remaining(&self, i: usize) -> f64 {
+        self.slab(i)
+            .iter()
+            .map(|r| r.remaining_ms)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
 #[derive(Debug)]
 struct LcState {
-    in_service: Vec<Request>,
     queue: VecDeque<Request>,
-    next_arrival: SimTime,
     /// Arrival rate in requests per millisecond; zero means no load.
     lambda_per_ms: f64,
     /// Offered load as a fraction of the nominal max load.
@@ -68,12 +146,6 @@ struct LcState {
     /// while the application is silenced.
     inter_arrival: Option<Exp<f64>>,
     service: LogNormal<f64>,
-    /// Exact minimum of `in_service[..].remaining_ms`, `f64::INFINITY`
-    /// when nothing is in service. Maintained incrementally so
-    /// `next_event` never rescans the in-service set; updated with the
-    /// same subtract-and-clamp arithmetic as the requests themselves, so
-    /// it stays bit-identical to a fresh scan.
-    min_remaining_ms: f64,
     tail: TailEstimator,
     window_samples: Vec<f64>,
     window_arrivals: u64,
@@ -82,22 +154,8 @@ struct LcState {
     max_outstanding: usize,
 }
 
-impl LcState {
-    /// Recomputes the cached in-service minimum from scratch — called
-    /// after completions remove requests (the only shrink path).
-    fn refresh_min_remaining(&mut self) {
-        self.min_remaining_ms = self
-            .in_service
-            .iter()
-            .map(|r| r.remaining_ms)
-            .fold(f64::INFINITY, f64::min);
-    }
-}
-
 #[derive(Debug)]
 struct BeState {
-    /// ∫ speed_per_thread dt over the current window, in thread-ms.
-    window_speed_integral: f64,
     /// The per-thread speed factor the application achieves alone on the
     /// reference machine — used to normalise reported IPC.
     solo_speed: f64,
@@ -109,28 +167,112 @@ struct AppRuntime {
     curve: MissRatioCurve,
     lc: Option<LcState>,
     be: Option<BeState>,
-    warmup_until: SimTime,
-    window_capacity_integral: f64,
 }
 
-impl AppRuntime {
-    fn busy_threads(&self) -> u32 {
-        match (&self.lc, &self.be) {
-            (Some(lc), _) => lc.in_service.len() as u32,
-            (None, Some(_)) => self.spec.threads(),
-            (None, None) => 0,
-        }
-    }
+/// The per-application state the event loop touches on *every* event, in
+/// struct-of-arrays layout: `next_event`'s scan and `advance`'s
+/// integration walk parallel contiguous slices instead of chasing
+/// `Option`s through an enum-per-app layout. The encodings make the scans
+/// branch-free:
+///
+/// * `min_remaining_ms` is `f64::INFINITY` for BE applications and idle
+///   LC applications, so "has a pending completion" is a float compare;
+/// * `next_arrival` is [`SimTime::NEVER`] for BE applications, so the
+///   arrival comparison needs no kind check;
+/// * `be_threads` is `0.0` for LC applications, so the BE speed integral
+///   accumulates an exact `0.0` for them instead of branching.
+#[derive(Debug)]
+struct HotState {
+    /// Exact minimum of in-service remaining work (core-ms); INFINITY
+    /// when nothing is in service. Maintained with the same
+    /// subtract-and-clamp arithmetic as the requests themselves, so it
+    /// stays bit-identical to a fresh scan over the slab.
+    min_remaining_ms: Vec<f64>,
+    next_arrival: Vec<SimTime>,
+    warmup_until: Vec<SimTime>,
+    /// Cached per-thread speed *including* the warm-up penalty; refreshed
+    /// by `recompute_rates`, which runs whenever anything the speed
+    /// depends on changes (see `next_warm_expiry`).
+    speed: Vec<f64>,
+    /// Cached `core_capacity` of the current rate vector.
+    capacity: Vec<f64>,
+    /// Thread count as f64 for BE applications, 0.0 otherwise.
+    be_threads: Vec<f64>,
+    /// Busy-thread count for non-LC applications (LC busy counts live in
+    /// the arena lengths).
+    static_busy: Vec<u32>,
+    is_lc: Vec<bool>,
+    /// ∫ core_capacity dt over the current window, core-ms.
+    window_capacity_integral: Vec<f64>,
+    /// ∫ speed · threads dt over the current window for BE apps, thread-ms.
+    window_speed_integral: Vec<f64>,
 }
 
 /// Minimum samples in the current window before the per-window percentile
 /// is preferred over the streaming ring estimate.
 const WINDOW_P95_MIN_SAMPLES: usize = 50;
 
-/// Entry cap of the [`RateCache`] map — a defensive bound far above any
+/// Entry cap of the [`RateCache`] maps — a defensive bound far above any
 /// reachable key population (busy counts are bounded by per-application
-/// thread counts); the map is dropped wholesale if it is ever hit.
+/// thread counts); the maps are dropped wholesale if it is ever hit.
 const RATE_CACHE_MAX_ENTRIES: usize = 1 << 16;
+
+/// The multiplier of the FxHash-style mixing step — the same constant the
+/// rustc hasher uses (a 64-bit truncation of π's digits).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A minimal FxHash-style hasher: one rotate-xor-multiply per word. Not
+/// collision-resistant against adversaries — which is fine for the rate
+/// cache, whose keys are tiny simulator-internal states — and an order of
+/// magnitude cheaper than the default SipHash on the per-event lookup.
+#[derive(Debug, Default, Clone)]
+struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_ne_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A memoizing front-end to the fluid contention solver
 /// ([`compute_rates`]): between repartitions the busy-thread vector
@@ -142,8 +284,16 @@ const RATE_CACHE_MAX_ENTRIES: usize = 1 << 16;
 /// partition, miss-ratio curves and bandwidth model are *not* part of the
 /// key — the owner must call [`RateCache::invalidate`] whenever any of
 /// those change (the node does so in `set_partition`/`set_policy`, which
-/// also advances the partition epoch). Keys are packed into a reusable
-/// `Vec<u32>` so a cache hit performs zero heap allocations.
+/// also advances the partition epoch).
+///
+/// After [`RateCache::set_layout`] declares each application's maximum
+/// busy count, keys whose bit widths fit are packed into a single `u64`
+/// (policy bit, one warm bit per app, then each busy count in its own bit
+/// field) and probed in an FxHash-keyed map: the hot-path lookup hashes
+/// one machine word instead of SipHashing a heap `Vec<u32>`. Keys that do
+/// not fit — more than ~60 busy bits, or no layout declared — fall back
+/// to the original `Vec<u32>` key, also Fx-hashed. Both paths perform
+/// zero heap allocations on a hit.
 ///
 /// The warm-up flag is included defensively: the solver's output does not
 /// currently depend on it (warm-up scales thread speed *after* the
@@ -151,8 +301,12 @@ const RATE_CACHE_MAX_ENTRIES: usize = 1 << 16;
 /// and it keeps the cache correct if warm-up ever moves into the solver.
 #[derive(Debug, Default)]
 pub struct RateCache {
-    map: HashMap<Vec<u32>, Vec<AppRates>>,
+    packed: HashMap<u64, Vec<AppRates>, FxBuildHasher>,
+    wide: HashMap<Vec<u32>, Vec<AppRates>, FxBuildHasher>,
     key: Vec<u32>,
+    /// Bit width of each application's busy field in the packed key.
+    bits: Vec<u32>,
+    packable: bool,
     scratch: RateScratch,
     epoch: u64,
     hits: u64,
@@ -160,9 +314,25 @@ pub struct RateCache {
 }
 
 impl RateCache {
-    /// Creates an empty cache at epoch zero.
+    /// Creates an empty cache at epoch zero. Until [`RateCache::
+    /// set_layout`] is called, every lookup uses the wide-key path.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Declares each application's maximum busy-thread count so lookup
+    /// keys can be packed into a single `u64` when the per-app bit widths
+    /// fit alongside the policy and warm bits. Safe to call repeatedly; a
+    /// layout change drops previously packed entries.
+    pub fn set_layout(&mut self, max_busy: &[u32]) {
+        let bits: Vec<u32> = max_busy.iter().map(|&t| 32 - t.leading_zeros()).collect();
+        let total: u32 = 1 + max_busy.len() as u32 + bits.iter().sum::<u32>();
+        let packable = total <= 64 && max_busy.len() <= 63;
+        if bits != self.bits || packable != self.packable {
+            self.packed.clear();
+            self.bits = bits;
+            self.packable = packable;
+        }
     }
 
     /// The partition epoch: how many times the cache has been invalidated
@@ -192,17 +362,82 @@ impl RateCache {
         }
     }
 
-    /// Number of distinct rate vectors currently memoized.
+    /// Number of distinct rate vectors currently memoized (both key
+    /// representations).
     pub fn entries(&self) -> usize {
-        self.map.len()
+        self.packed.len() + self.wide.len()
     }
 
     /// Drops every memoized entry and advances the epoch. Must be called
     /// whenever the machine, partition, curves or bandwidth model change;
     /// hit/miss counters survive.
     pub fn invalidate(&mut self) {
-        self.map.clear();
+        self.packed.clear();
+        self.wide.clear();
         self.epoch += 1;
+    }
+
+    /// Packs a busy-count sequence into the single-`u64` key of the
+    /// declared layout: the policy bit, one warm bit per application,
+    /// then each busy count in its own bit field. Returns `None` when no
+    /// packable layout is declared, `count` does not match it, or a busy
+    /// count overflows its field (a caller exceeding the layout it set).
+    ///
+    /// Exposed so the node can key its own derived-state memo by the
+    /// exact same value that indexes this cache.
+    #[inline(always)]
+    pub fn pack_scan_key<I: IntoIterator<Item = u32>>(
+        &self,
+        busy: I,
+        count: usize,
+        warm_mask: u64,
+        policy: SharingPolicy,
+    ) -> Option<u64> {
+        if !self.packable || count != self.bits.len() {
+            return None;
+        }
+        let mut key: u64 = match policy {
+            SharingPolicy::Fair => 0,
+            SharingPolicy::LcPriority => 1,
+        };
+        let n = count as u32;
+        key |= (warm_mask & ((1u64 << n) - 1)) << 1;
+        let mut shift = 1 + n;
+        let mut overflow = 0u64;
+        for (v, &b) in busy.into_iter().zip(self.bits.iter()) {
+            // `busy >> b` is non-zero exactly when the count does not fit
+            // in its field (with b = 0 that is any non-zero count).
+            overflow |= (v as u64) >> b;
+            if b > 0 {
+                key |= (v as u64) << shift;
+                shift += b;
+            }
+        }
+        (overflow == 0).then_some(key)
+    }
+
+    /// The declared packed layout: per-application busy-field bit widths,
+    /// `None` when keys do not fit in a `u64`. Lets the node derive the
+    /// field positions for its incrementally maintained scan key from the
+    /// exact same layout this cache packs with.
+    fn layout(&self) -> Option<&[u32]> {
+        self.packable.then_some(self.bits.as_slice())
+    }
+
+    /// [`RateCache::pack_scan_key`] over a demand vector.
+    #[inline]
+    fn pack_key(
+        &self,
+        demands: &[AppDemand],
+        warm_mask: u64,
+        policy: SharingPolicy,
+    ) -> Option<u64> {
+        self.pack_scan_key(
+            demands.iter().map(|d| d.busy),
+            demands.len(),
+            warm_mask,
+            policy,
+        )
     }
 
     /// Computes (or recalls) the rate vector for `demands` under the
@@ -221,6 +456,32 @@ impl RateCache {
         bw: &BandwidthModel,
         out: &mut Vec<AppRates>,
     ) -> bool {
+        if self.packable && demands.len() == self.bits.len() {
+            if let Some(key) = self.pack_key(demands, warm_mask, policy) {
+                if let Some(cached) = self.packed.get(&key) {
+                    self.hits += 1;
+                    out.clear();
+                    out.extend_from_slice(cached);
+                    return true;
+                }
+                self.misses += 1;
+                compute_rates_into(
+                    machine,
+                    partition,
+                    demands,
+                    policy,
+                    bw,
+                    &mut self.scratch,
+                    out,
+                );
+                if self.entries() >= RATE_CACHE_MAX_ENTRIES {
+                    self.packed.clear();
+                    self.wide.clear();
+                }
+                self.packed.insert(key, out.clone());
+                return false;
+            }
+        }
         self.key.clear();
         self.key.push(match policy {
             SharingPolicy::Fair => 0,
@@ -229,7 +490,7 @@ impl RateCache {
         self.key.push(warm_mask as u32);
         self.key.push((warm_mask >> 32) as u32);
         self.key.extend(demands.iter().map(|d| d.busy));
-        if let Some(cached) = self.map.get(self.key.as_slice()) {
+        if let Some(cached) = self.wide.get(self.key.as_slice()) {
             self.hits += 1;
             out.clear();
             out.extend_from_slice(cached);
@@ -245,11 +506,127 @@ impl RateCache {
             &mut self.scratch,
             out,
         );
-        if self.map.len() >= RATE_CACHE_MAX_ENTRIES {
-            self.map.clear();
+        if self.entries() >= RATE_CACHE_MAX_ENTRIES {
+            self.packed.clear();
+            self.wide.clear();
         }
-        self.map.insert(self.key.clone(), out.clone());
+        self.wide.insert(self.key.clone(), out.clone());
         false
+    }
+}
+
+/// Entry bound of the [`DerivedCache`]: the reachable key population is
+/// the busy-count cross product actually visited between repartitions
+/// (tens of keys), so hitting this bound means something degenerate is
+/// going on and the memo is dropped wholesale.
+const DERIVED_CACHE_MAX_ENTRIES: usize = 4096;
+
+/// An open-addressed memo of the *derived* per-application rate state —
+/// the post-warm-up-penalty thread speeds and core capacities — keyed by
+/// the same packed `u64` the [`RateCache`] uses.
+///
+/// The rate cache answers "what did the fluid solver say for this busy
+/// vector"; on top of that the event loop still pays, per lookup, the
+/// `HashMap` probe, the `AppRates` vector copy, and the penalty-scaling
+/// pass. Between repartitions the busy vector cycles through a handful
+/// of values, so those derived speeds are themselves pure functions of
+/// the packed key (the warm bits encode exactly the penalty condition,
+/// and re-multiplying the same two floats is bit-stable) — one flat
+/// linear-probe table short-circuits all three costs down to a key pack,
+/// one probe and a `2n`-float copy. Invalidated wherever the rate cache
+/// is, plus on overhead-model changes (the stored speeds embed the
+/// penalty factor).
+#[derive(Debug)]
+struct DerivedCache {
+    /// Slot keys; meaningful only where `used` is set.
+    keys: Vec<u64>,
+    used: Vec<bool>,
+    /// Slot payloads at stride `2n`: `[speed_0, capacity_0, speed_1, ...]`.
+    vals: Vec<f64>,
+    /// Apps per entry (payload stride is `2 * n`).
+    n: usize,
+    len: usize,
+}
+
+impl DerivedCache {
+    fn new(n: usize) -> Self {
+        let slots = 64;
+        DerivedCache {
+            keys: vec![0; slots],
+            used: vec![false; slots],
+            vals: vec![0.0; slots * 2 * n],
+            n,
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.used.fill(false);
+        self.len = 0;
+    }
+
+    /// Maps a key to its preferred slot: one multiplicative hash, high
+    /// bits folded down to the (power-of-two) table size.
+    #[inline(always)]
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(FX_SEED) >> 32) as usize & (self.keys.len() - 1)
+    }
+
+    /// Returns the payload offset for `key`, or `None` on a miss.
+    #[inline(always)]
+    fn lookup(&self, key: u64) -> Option<usize> {
+        let mut s = self.slot_of(key);
+        loop {
+            if !self.used[s] {
+                return None;
+            }
+            if self.keys[s] == key {
+                return Some(s * 2 * self.n);
+            }
+            s = (s + 1) & (self.keys.len() - 1);
+        }
+    }
+
+    /// Inserts the interleaved `(speed, capacity)` state under `key`,
+    /// growing (or, past the defensive bound, dropping) the table as
+    /// needed. The caller looks up before inserting, so `key` is absent.
+    fn insert(&mut self, key: u64, speed: &[f64], capacity: &[f64]) {
+        if self.len >= DERIVED_CACHE_MAX_ENTRIES {
+            self.clear();
+        }
+        if (self.len + 1) * 2 >= self.keys.len() {
+            self.grow();
+        }
+        let mut s = self.slot_of(key);
+        while self.used[s] {
+            s = (s + 1) & (self.keys.len() - 1);
+        }
+        self.used[s] = true;
+        self.keys[s] = key;
+        let off = s * 2 * self.n;
+        for i in 0..self.n {
+            self.vals[off + 2 * i] = speed[i];
+            self.vals[off + 2 * i + 1] = capacity[i];
+        }
+        self.len += 1;
+    }
+
+    /// Doubles the table, re-probing every live entry into the new slots.
+    fn grow(&mut self) {
+        let old_slots = self.keys.len();
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; old_slots * 2]);
+        let old_used = std::mem::replace(&mut self.used, vec![false; old_slots * 2]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0.0; old_slots * 2 * 2 * self.n]);
+        self.len = 0;
+        for s in 0..old_slots {
+            if old_used[s] {
+                let off = s * 2 * self.n;
+                let (speeds, caps): (Vec<f64>, Vec<f64>) = (0..self.n)
+                    .map(|i| (old_vals[off + 2 * i], old_vals[off + 2 * i + 1]))
+                    .unzip();
+                self.insert(old_keys[s], &speeds, &caps);
+            }
+        }
     }
 }
 
@@ -267,6 +644,70 @@ pub struct SimPerfStats {
     pub rate_misses: u64,
 }
 
+/// The event kinds the node's window loop dispatches, as found by
+/// [`scan_next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanEvent {
+    /// The monitoring window boundary was reached first.
+    WindowEnd,
+    /// The next arrival of the carried LC application.
+    Arrival(usize),
+    /// A request of the carried application reaches zero remaining work;
+    /// the index lets completion processing skip straight to the owner.
+    Completion(usize),
+    /// Some application's warm-up penalty expires.
+    WarmupExpiry,
+}
+
+/// Scans the flat per-application event-source arrays for the earliest
+/// next event. Pure function over the SoA slices so its tie-break
+/// behaviour can be pinned by property tests.
+///
+/// Event sources are examined in a fixed order — the window end, then per
+/// application in index order: arrival, completion, warm-up expiry — and
+/// every comparison is strict (`<`), so the *first* source examined keeps
+/// a contested timestamp. `to_bits`-level determinism of the returned
+/// time follows from the comparisons being exact float/integer compares.
+///
+/// Encodings: `next_arrival[i]` is [`SimTime::NEVER`] when app `i` never
+/// arrives (BE apps, silenced LC apps); `min_remaining_ms[i]` is
+/// `f64::INFINITY` when app `i` has nothing in service, which doubles as
+/// the "no completion pending" test; `warmup_until[i]` in the past means
+/// no expiry is pending.
+#[inline(always)]
+pub fn scan_next_event(
+    time: SimTime,
+    window_end: SimTime,
+    next_arrival: &[SimTime],
+    min_remaining_ms: &[f64],
+    speed: &[f64],
+    warmup_until: &[SimTime],
+) -> (SimTime, ScanEvent) {
+    let mut best = (window_end, ScanEvent::WindowEnd);
+    for i in 0..next_arrival.len() {
+        if next_arrival[i] < best.0 {
+            best = (next_arrival[i], ScanEvent::Arrival(i));
+        }
+        let min_remaining = min_remaining_ms[i];
+        if min_remaining < f64::INFINITY && speed[i] > 1e-12 {
+            // Round *up* to the clock's microsecond resolution: rounding
+            // down would schedule a zero-length step that never completes
+            // the request (a livelock).
+            let dt_us = ((min_remaining / speed[i]).max(0.0) * 1_000.0).ceil() as u64;
+            let t = time + SimTime::from_us(dt_us.max(1));
+            if t < best.0 {
+                best = (t, ScanEvent::Completion(i));
+            }
+        }
+        if warmup_until[i] > time && warmup_until[i] < best.0 {
+            best = (warmup_until[i], ScanEvent::WarmupExpiry);
+        }
+    }
+    // Guarantee forward progress: an event computed for "now" (e.g. a
+    // zero-remaining completion) is processed without advancing time.
+    (best.0.max(time), best.1)
+}
+
 /// The simulated datacenter node.
 ///
 /// Owns the clock, the applications, the current [`Partition`] and the
@@ -278,6 +719,8 @@ pub struct NodeSim {
     reference: MachineConfig,
     bw: BandwidthModel,
     apps: Vec<AppRuntime>,
+    hot: HotState,
+    arena: RequestArena,
     partition: Partition,
     policy: SharingPolicy,
     overhead: OverheadModel,
@@ -287,11 +730,37 @@ pub struct NodeSim {
     rng: StdRng,
     rates: Vec<AppRates>,
     rates_dirty: bool,
+    /// The earliest `warmup_until` strictly after the last rate
+    /// recomputation, [`SimTime::NEVER`] if none. Crossing it forces a
+    /// recomputation even when no event dirtied the rates: an event
+    /// landing exactly on a warm-up boundary (e.g. an arrival that only
+    /// queues) swallows the `WarmupExpiry` event, and the cached speeds
+    /// would otherwise keep the stale penalty.
+    next_warm_expiry: SimTime,
     /// Persistent demand vector handed to the solver; only the `busy`
     /// fields change between calls (kind, curve and bandwidth appetite
     /// are fixed per application).
     demands: Vec<AppDemand>,
     rate_cache: RateCache,
+    /// Memo of post-penalty speed/capacity vectors by packed key; lets
+    /// most rate recomputations skip the rate cache entirely.
+    derived: DerivedCache,
+    /// Rate recomputations answered by `derived` (they never reach the
+    /// rate cache, so they are invisible to its own hit counter).
+    derived_hits: u64,
+    /// The packed busy/warm/policy key, maintained *incrementally*: busy
+    /// bit fields are patched at the arrival/completion sites that change
+    /// them, warm bits and the policy bit are rebuilt only when
+    /// `warm_stale` is raised. `None` when the layout does not pack.
+    packed_key: Option<u64>,
+    /// Bit offset of each application's busy field in `packed_key`.
+    busy_shift: Vec<u32>,
+    /// Bit mask of each application's busy field in `packed_key`.
+    busy_mask: Vec<u64>,
+    /// Raised whenever a warm bit of `packed_key` may have flipped: on
+    /// repartitions (new warm-up deadlines), policy changes, and when the
+    /// clock crosses `next_warm_expiry`.
+    warm_stale: bool,
     /// Discrete events processed since construction.
     events: u64,
     adjustments: u64,
@@ -350,14 +819,11 @@ impl NodeSim {
                             .expect("validated service distribution parameters");
                         (
                             Some(LcState {
-                                in_service: Vec::new(),
                                 queue: VecDeque::new(),
-                                next_arrival: SimTime::NEVER,
                                 lambda_per_ms: 0.0,
                                 load_fraction: 0.0,
                                 inter_arrival: None,
                                 service,
-                                min_remaining_ms: f64::INFINITY,
                                 tail: TailEstimator::new(512),
                                 window_samples: Vec::new(),
                                 window_arrivals: 0,
@@ -388,7 +854,6 @@ impl NodeSim {
                         (
                             None,
                             Some(BeState {
-                                window_speed_integral: 0.0,
                                 solo_speed: solo[0].speed_per_thread.max(1e-9),
                             }),
                         )
@@ -399,26 +864,97 @@ impl NodeSim {
                     curve,
                     lc,
                     be,
-                    warmup_until: SimTime::ZERO,
-                    window_capacity_integral: 0.0,
                 }
             })
             .collect();
-        let partition = Partition::all_shared(apps.len());
+        let n = apps.len();
+        let partition = Partition::all_shared(n);
+        let slab_caps: Vec<usize> = apps
+            .iter()
+            .map(|a| {
+                if a.lc.is_some() {
+                    a.spec.threads() as usize
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let arena = RequestArena::new(&slab_caps);
+        let hot = HotState {
+            min_remaining_ms: vec![f64::INFINITY; n],
+            next_arrival: vec![SimTime::NEVER; n],
+            warmup_until: vec![SimTime::ZERO; n],
+            speed: vec![0.0; n],
+            capacity: vec![0.0; n],
+            be_threads: apps
+                .iter()
+                .map(|a| {
+                    if a.be.is_some() {
+                        a.spec.threads() as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            static_busy: apps
+                .iter()
+                .map(|a| match (&a.lc, &a.be) {
+                    (Some(_), _) => 0,
+                    (None, Some(_)) => a.spec.threads(),
+                    (None, None) => 0,
+                })
+                .collect(),
+            is_lc: apps.iter().map(|a| a.lc.is_some()).collect(),
+            window_capacity_integral: vec![0.0; n],
+            window_speed_integral: vec![0.0; n],
+        };
         let demands: Vec<AppDemand> = apps
             .iter()
-            .map(|a| AppDemand {
+            .enumerate()
+            .map(|(i, a)| AppDemand {
                 kind: a.spec.kind(),
-                busy: a.busy_threads(),
+                busy: if hot.is_lc[i] {
+                    arena.len(i) as u32
+                } else {
+                    hot.static_busy[i]
+                },
                 curve: a.curve,
                 bw_per_thread: a.spec.cache_profile().bw_gbps_per_thread,
             })
             .collect();
+        let mut rate_cache = RateCache::new();
+        let max_busy: Vec<u32> = apps.iter().map(|a| a.spec.threads()).collect();
+        rate_cache.set_layout(&max_busy);
+        // Field positions of the incremental scan key, derived from the
+        // cache's own layout so the two can never disagree: fields start
+        // after the policy bit and the `n` warm bits.
+        let (busy_shift, busy_mask): (Vec<u32>, Vec<u64>) = match rate_cache.layout() {
+            Some(bits) => {
+                let mut shift = 1 + n as u32;
+                bits.iter()
+                    .map(|&b| {
+                        let s = shift;
+                        shift += b;
+                        // Zero-width fields (apps that are never busy) get
+                        // shift 0 and mask 0: the patch becomes a no-op
+                        // instead of a potentially overflowing shift.
+                        if b == 0 {
+                            (0, 0)
+                        } else {
+                            (s, ((1u64 << b) - 1) << s)
+                        }
+                    })
+                    .unzip()
+            }
+            None => (vec![0; n], vec![0; n]),
+        };
         let mut sim = NodeSim {
             machine,
             reference,
             bw,
             apps,
+            hot,
+            arena,
             partition,
             policy: SharingPolicy::Fair,
             overhead: OverheadModel::default(),
@@ -428,8 +964,15 @@ impl NodeSim {
             rng: StdRng::seed_from_u64(seed),
             rates: Vec::new(),
             rates_dirty: true,
+            next_warm_expiry: SimTime::NEVER,
             demands,
-            rate_cache: RateCache::new(),
+            rate_cache,
+            derived: DerivedCache::new(n),
+            derived_hits: 0,
+            packed_key: None,
+            busy_shift,
+            busy_mask,
+            warm_stale: true,
             events: 0,
             adjustments: 0,
             tail_quantile: 0.95,
@@ -477,7 +1020,9 @@ impl NodeSim {
     pub fn perf_stats(&self) -> SimPerfStats {
         SimPerfStats {
             events: self.events,
-            rate_hits: self.rate_cache.hits(),
+            // Derived-memo answers are memory hits from the event loop's
+            // point of view; the rate cache never sees those lookups.
+            rate_hits: self.rate_cache.hits() + self.derived_hits,
             rate_misses: self.rate_cache.misses(),
         }
     }
@@ -512,6 +1057,9 @@ impl NodeSim {
             // partition-epoch event for observers, and dropping the map
             // keeps the entry population tied to the current regime.
             self.rate_cache.invalidate();
+            self.derived.clear();
+            // The policy bit sits in the packed key too.
+            self.warm_stale = true;
         }
     }
 
@@ -524,6 +1072,10 @@ impl NodeSim {
     /// Overrides the repartitioning overhead model.
     pub fn set_overhead(&mut self, overhead: OverheadModel) {
         self.overhead = overhead;
+        // The cached per-thread speeds — and every derived-memo entry —
+        // embed the warm-up penalty factor.
+        self.rates_dirty = true;
+        self.derived.clear();
     }
 
     /// Overrides the reported tail quantile (default 0.95, the paper's
@@ -584,7 +1136,7 @@ impl NodeSim {
         } else {
             None
         };
-        lc.next_arrival = if let Some(inter) = lc.inter_arrival {
+        self.hot.next_arrival[id.index()] = if let Some(inter) = lc.inter_arrival {
             self.time + SimTime::from_ms(inter.sample(&mut self.rng))
         } else {
             SimTime::NEVER
@@ -594,13 +1146,23 @@ impl NodeSim {
         // applications.
         let per_window = lc.lambda_per_ms * self.window.as_ms();
         let capacity = ((per_window * 3.0) as usize).clamp(64, 4096);
-        let mut fresh = TailEstimator::new(capacity);
+        // Re-target in place: behaviourally a fresh estimator at the new
+        // capacity, but the ring and scratch allocations are reused.
+        let previous_median = lc.tail.quantile(0.5);
+        lc.tail.reset(capacity);
         // Seed with the previous median so the estimator is not empty right
         // after a resize; real samples quickly dominate.
-        if let Some(p) = lc.tail.quantile(0.5) {
-            fresh.record(p);
+        if let Some(p) = previous_median {
+            lc.tail.record(p);
         }
-        lc.tail = fresh;
+        // Pre-size the per-window sample buffer for the expected completion
+        // count, so enabling histograms or raising the load never grows it
+        // mid-window.
+        let expected = (per_window.ceil() as usize).min(4096);
+        if lc.window_samples.capacity() < expected {
+            let additional = expected - lc.window_samples.len();
+            lc.window_samples.reserve(additional);
+        }
         Ok(())
     }
 
@@ -643,18 +1205,21 @@ impl NodeSim {
             != self.partition.shared_cores(&self.machine)
             || partition.shared_ways(&self.machine) != self.partition.shared_ways(&self.machine);
         let until = self.time + SimTime::from_ms(self.overhead.warmup_ms);
-        for (i, app) in self.apps.iter_mut().enumerate() {
+        for i in 0..self.apps.len() {
             let touched = changed.contains(&AppId::from(i))
                 || (shared_changed && partition.isolated(i.into()).cores == 0);
             if touched {
-                app.warmup_until = until;
+                self.hot.warmup_until[i] = until;
             }
         }
         self.partition = partition;
         self.adjustments += 1;
         self.rates_dirty = true;
+        // Fresh warm-up deadlines change the packed key's warm mask.
+        self.warm_stale = true;
         // Memoized rate vectors were computed under the old partition.
         self.rate_cache.invalidate();
+        self.derived.clear();
         Ok(())
     }
 
@@ -666,22 +1231,42 @@ impl NodeSim {
         self.reset_window_accumulators();
 
         while self.time < end {
+            // Crossing a warm-up boundary changes the cached speeds even
+            // when no event dirtied the rates (see `next_warm_expiry`).
+            if self.time >= self.next_warm_expiry {
+                self.rates_dirty = true;
+                // Warm bits of the packed key flip at the boundary; the
+                // next recompute must rebuild rather than trust the
+                // incrementally patched key.
+                self.warm_stale = true;
+            }
             if self.rates_dirty {
                 self.recompute_rates();
             }
-            let (next, kind) = self.next_event(end);
+            #[cfg(debug_assertions)]
+            self.debug_assert_min_consistency();
+            let (next, kind) = scan_next_event(
+                self.time,
+                end,
+                &self.hot.next_arrival,
+                &self.hot.min_remaining_ms,
+                &self.hot.speed,
+                &self.hot.warmup_until,
+            );
             let dt_ms = next.since(self.time).as_ms();
             if dt_ms > 0.0 {
                 self.advance(dt_ms);
             }
             self.time = next;
             match kind {
-                EventKind::WindowEnd => break,
-                EventKind::Arrival(app) => self.process_arrival(app),
-                EventKind::Completion(app) => self.process_completions(app),
-                EventKind::WarmupExpiry => {
-                    // Speeds change when warm-up ends.
+                ScanEvent::WindowEnd => break,
+                ScanEvent::Arrival(app) => self.process_arrival(app),
+                ScanEvent::Completion(app) => self.process_completions(app),
+                ScanEvent::WarmupExpiry => {
+                    // Speeds change when warm-up ends, and so does the
+                    // key's warm mask.
                     self.rates_dirty = true;
+                    self.warm_stale = true;
                 }
             }
             self.events += 1;
@@ -703,25 +1288,90 @@ impl NodeSim {
     // --- internals ------------------------------------------------------
 
     fn reset_window_accumulators(&mut self) {
-        for app in &mut self.apps {
-            app.window_capacity_integral = 0.0;
-            if let Some(lc) = &mut app.lc {
+        for i in 0..self.apps.len() {
+            self.hot.window_capacity_integral[i] = 0.0;
+            self.hot.window_speed_integral[i] = 0.0;
+            if let Some(lc) = &mut self.apps[i].lc {
                 lc.window_samples.clear();
                 lc.window_arrivals = 0;
                 lc.window_completions = 0;
                 lc.window_drops = 0;
             }
-            if let Some(be) = &mut app.be {
-                be.window_speed_integral = 0.0;
-            }
         }
     }
 
-    fn recompute_rates(&mut self) {
+    /// Rebuilds `packed_key` from scratch: warm bits from the current
+    /// clock, busy fields from the arena, the policy bit. Runs only when
+    /// `warm_stale` is raised (construction, repartitions, policy flips,
+    /// warm-boundary crossings) — between those, the busy fields are
+    /// patched in place at the sites that change them.
+    fn rebuild_packed_key(&mut self) {
+        let n = self.apps.len();
         let mut warm_mask = 0u64;
-        for (i, (d, a)) in self.demands.iter_mut().zip(self.apps.iter()).enumerate() {
-            d.busy = a.busy_threads();
-            if self.time < a.warmup_until {
+        for i in 0..n {
+            if self.time < self.hot.warmup_until[i] {
+                warm_mask |= 1 << i.min(63);
+            }
+        }
+        self.packed_key = self.rate_cache.pack_scan_key(
+            (0..n).map(|i| {
+                if self.hot.is_lc[i] {
+                    self.arena.len(i) as u32
+                } else {
+                    self.hot.static_busy[i]
+                }
+            }),
+            n,
+            warm_mask,
+            self.policy,
+        );
+        self.warm_stale = false;
+    }
+
+    /// Patches app `i`'s busy bit field of `packed_key` after its
+    /// in-service count changed (mask is zero — a no-op — for layouts
+    /// that do not pack).
+    #[inline]
+    fn patch_busy_key(&mut self, i: usize) {
+        if let Some(key) = self.packed_key.as_mut() {
+            *key = (*key & !self.busy_mask[i]) | ((self.arena.len[i] as u64) << self.busy_shift[i]);
+        }
+    }
+
+    #[inline]
+    fn recompute_rates(&mut self) {
+        if self.warm_stale {
+            self.rebuild_packed_key();
+        }
+        // Fast path: the derived memo answers with the final speed and
+        // capacity vectors — no demand-vector update, no rate-cache probe,
+        // no penalty pass. The stored floats are the exact values the slow
+        // path computed the first time this key was seen, so the fast path
+        // is bit-identical to it.
+        if let Some(key) = self.packed_key {
+            #[cfg(debug_assertions)]
+            self.debug_assert_key_consistency(key);
+            if let Some(off) = self.derived.lookup(key) {
+                self.derived_hits += 1;
+                let n = self.apps.len();
+                for i in 0..n {
+                    self.hot.speed[i] = self.derived.vals[off + 2 * i];
+                    self.hot.capacity[i] = self.derived.vals[off + 2 * i + 1];
+                }
+                self.refresh_next_warm_expiry();
+                self.rates_dirty = false;
+                return;
+            }
+        }
+        let key = self.packed_key;
+        let mut warm_mask = 0u64;
+        for (i, d) in self.demands.iter_mut().enumerate() {
+            d.busy = if self.hot.is_lc[i] {
+                self.arena.len(i) as u32
+            } else {
+                self.hot.static_busy[i]
+            };
+            if self.time < self.hot.warmup_until[i] {
                 warm_mask |= 1 << i.min(63);
             }
         }
@@ -734,80 +1384,107 @@ impl NodeSim {
             &self.bw,
             &mut self.rates,
         );
+        // Refresh the cached per-thread speeds — the same arithmetic the
+        // event loop used to run per call (`speed_per_thread`, scaled by
+        // the warm-up penalty while inside the warm-up window) — and the
+        // earliest future warm-up boundary that will invalidate them.
+        let mut next_expiry = SimTime::NEVER;
+        for i in 0..self.rates.len() {
+            let until = self.hot.warmup_until[i];
+            self.hot.speed[i] = if self.time < until {
+                self.rates[i].speed_per_thread * self.overhead.warmup_penalty
+            } else {
+                self.rates[i].speed_per_thread
+            };
+            self.hot.capacity[i] = self.rates[i].core_capacity;
+            if until > self.time && until < next_expiry {
+                next_expiry = until;
+            }
+        }
+        self.next_warm_expiry = next_expiry;
+        if let Some(key) = key {
+            self.derived
+                .insert(key, &self.hot.speed, &self.hot.capacity);
+        }
         self.rates_dirty = false;
     }
 
-    /// The speed at which one running thread of `app` progresses right now,
-    /// including any warm-up penalty.
-    fn thread_speed(&self, app: usize) -> f64 {
-        let mut speed = self.rates[app].speed_per_thread;
-        if self.time < self.apps[app].warmup_until {
-            speed *= self.overhead.warmup_penalty;
-        }
-        speed
-    }
-
-    fn next_event(&self, window_end: SimTime) -> (SimTime, EventKind) {
-        let mut best = (window_end, EventKind::WindowEnd);
-        for (i, app) in self.apps.iter().enumerate() {
-            if let Some(lc) = &app.lc {
-                if lc.next_arrival < best.0 {
-                    best = (lc.next_arrival, EventKind::Arrival(i));
-                }
-                let speed = self.thread_speed(i);
-                if speed > 1e-12 && !lc.in_service.is_empty() {
-                    // The cached minimum replaces a scan over `in_service`;
-                    // it is maintained with the exact arithmetic of the
-                    // per-request updates, so the event time is unchanged.
-                    let min_remaining = lc.min_remaining_ms;
-                    debug_assert_eq!(
-                        min_remaining.to_bits(),
-                        lc.in_service
-                            .iter()
-                            .map(|r| r.remaining_ms)
-                            .fold(f64::INFINITY, f64::min)
-                            .to_bits(),
-                        "cached min-remaining drifted from the in-service set"
-                    );
-                    // Round *up* to the clock's microsecond resolution:
-                    // rounding down would schedule a zero-length step
-                    // that never completes the request (a livelock).
-                    let dt_us = ((min_remaining / speed).max(0.0) * 1_000.0).ceil() as u64;
-                    let t = self.time + SimTime::from_us(dt_us.max(1));
-                    if t < best.0 {
-                        best = (t, EventKind::Completion(i));
-                    }
-                }
-            }
-            if app.warmup_until > self.time && app.warmup_until < best.0 {
-                best = (app.warmup_until, EventKind::WarmupExpiry);
+    /// Recomputes `next_warm_expiry` from the warm-up deadlines — the
+    /// derived-memo fast path needs it without the slow path's fused loop.
+    fn refresh_next_warm_expiry(&mut self) {
+        let mut next_expiry = SimTime::NEVER;
+        for &until in &self.hot.warmup_until {
+            if until > self.time && until < next_expiry {
+                next_expiry = until;
             }
         }
-        // Guarantee forward progress: an event computed for "now" (e.g. a
-        // zero-remaining completion) is processed without advancing time.
-        (best.0.max(self.time), best.1)
+        self.next_warm_expiry = next_expiry;
     }
 
-    fn advance(&mut self, dt_ms: f64) {
+    /// Debug-build check that the incrementally patched packed key still
+    /// equals a fresh pack of the current busy counts, warm mask and
+    /// policy — the invariant that lets `recompute_rates` skip the
+    /// per-call repack.
+    #[cfg(debug_assertions)]
+    fn debug_assert_key_consistency(&self, key: u64) {
+        let n = self.apps.len();
+        let mut warm_mask = 0u64;
+        for i in 0..n {
+            if self.time < self.hot.warmup_until[i] {
+                warm_mask |= 1 << i.min(63);
+            }
+        }
+        let fresh = self.rate_cache.pack_scan_key(
+            (0..n).map(|i| {
+                if self.hot.is_lc[i] {
+                    self.arena.len(i) as u32
+                } else {
+                    self.hot.static_busy[i]
+                }
+            }),
+            n,
+            warm_mask,
+            self.policy,
+        );
+        debug_assert_eq!(
+            Some(key),
+            fresh,
+            "incrementally patched packed key drifted from a fresh pack"
+        );
+    }
+
+    /// Debug-build check that the incrementally maintained minimums still
+    /// equal a fresh fold over each slab — the invariant that lets
+    /// `scan_next_event` and completion batching skip the rescans.
+    #[cfg(debug_assertions)]
+    fn debug_assert_min_consistency(&self) {
         for i in 0..self.apps.len() {
-            let speed = self.thread_speed(i);
-            let capacity = self.rates[i].core_capacity;
-            let app = &mut self.apps[i];
-            app.window_capacity_integral += capacity * dt_ms;
-            if let Some(lc) = &mut app.lc {
-                for req in &mut lc.in_service {
-                    req.remaining_ms = (req.remaining_ms - speed * dt_ms).max(0.0);
-                }
-                // Same subtract-and-clamp as the requests: the cached
-                // minimum is one of the request values, and the update is
-                // monotone, so it tracks the true minimum bit-for-bit.
-                if !lc.in_service.is_empty() {
-                    lc.min_remaining_ms = (lc.min_remaining_ms - speed * dt_ms).max(0.0);
-                }
+            debug_assert_eq!(
+                self.hot.min_remaining_ms[i].to_bits(),
+                self.arena.min_remaining(i).to_bits(),
+                "cached min-remaining drifted from the in-service slab of app {i}"
+            );
+        }
+    }
+
+    #[inline]
+    fn advance(&mut self, dt_ms: f64) {
+        for i in 0..self.hot.speed.len() {
+            let speed = self.hot.speed[i];
+            let step = speed * dt_ms;
+            self.hot.window_capacity_integral[i] += self.hot.capacity[i] * dt_ms;
+            for req in self.arena.slab_mut(i) {
+                req.remaining_ms = (req.remaining_ms - step).max(0.0);
             }
-            if let Some(be) = &mut app.be {
-                be.window_speed_integral += speed * app.spec.threads() as f64 * dt_ms;
-            }
+            // Same subtract-and-clamp as the requests: the cached minimum
+            // is one of the request values and the update is monotone, so
+            // it tracks the true minimum bit-for-bit. Branch-free for the
+            // idle case too: `INFINITY - step` stays `INFINITY` and
+            // `.max(0.0)` keeps it.
+            self.hot.min_remaining_ms[i] = (self.hot.min_remaining_ms[i] - step).max(0.0);
+            // `be_threads` is 0.0 for LC apps, so their integral
+            // accumulates an exact 0.0 — no kind branch needed.
+            self.hot.window_speed_integral[i] += speed * self.hot.be_threads[i] * dt_ms;
         }
     }
 
@@ -816,10 +1493,9 @@ impl NodeSim {
         let next: SimTime;
         {
             let lc = self.apps[app_index].lc.as_ref().expect("arrival on LC app");
-            let lambda = lc.lambda_per_ms;
-            if lambda <= 0.0 {
+            if lc.lambda_per_ms <= 0.0 {
                 // Load was zeroed while an arrival was in flight.
-                self.apps[app_index].lc.as_mut().unwrap().next_arrival = SimTime::NEVER;
+                self.hot.next_arrival[app_index] = SimTime::NEVER;
                 return;
             }
             work = lc.service.sample(&mut self.rng).max(1e-6);
@@ -833,21 +1509,21 @@ impl NodeSim {
             let gap: f64 = exp.sample(&mut self.rng).max(1e-3);
             next = self.time + SimTime::from_ms(gap);
         }
-        let threads = self.apps[app_index].spec.threads() as usize;
         let lc = self.apps[app_index].lc.as_mut().unwrap();
         lc.window_arrivals += 1;
-        lc.next_arrival = next;
+        self.hot.next_arrival[app_index] = next;
         let request = Request {
             arrival: self.time,
             remaining_ms: work,
         };
-        if lc.in_service.len() < threads {
-            lc.in_service.push(request);
-            // `min(work)` equals a fresh fold over `in_service`: the other
+        if self.arena.len(app_index) < self.arena.cap(app_index) {
+            self.arena.push(app_index, request);
+            // `min(work)` equals a fresh fold over the slab: the other
             // entries already fold to the cached value.
-            lc.min_remaining_ms = lc.min_remaining_ms.min(work);
+            self.hot.min_remaining_ms[app_index] = self.hot.min_remaining_ms[app_index].min(work);
             self.rates_dirty = true; // busy count changed
-        } else if lc.in_service.len() + lc.queue.len() < lc.max_outstanding {
+            self.patch_busy_key(app_index);
+        } else if self.arena.len(app_index) + lc.queue.len() < lc.max_outstanding {
             lc.queue.push_back(request);
         } else {
             // The client pool is exhausted: the request is dropped (a
@@ -856,29 +1532,24 @@ impl NodeSim {
         }
     }
 
-    /// Processes the `Completion` event dispatched for `primary`.
+    /// Processes the `Completion` event dispatched for `primary`, batching
+    /// every application whose work finished at the same instant.
     ///
     /// The event carries the owning app, but requests of *other* apps can
     /// reach zero remaining work at the same microsecond (their event is
-    /// still queued for this instant). The old code handled that by
-    /// scanning every in-service request of every app; here the cached
-    /// per-app minimum reduces the sweep to one float compare per app, and
-    /// only due apps pay the completion loop. Apps are visited in index
-    /// order, exactly as before.
+    /// still queued for this instant). The cached per-app minimum reduces
+    /// the due-test to one float compare per app — `min_remaining_ms[i]`
+    /// is `INFINITY` unless app `i` is an LC app with work in service, so
+    /// no kind or emptiness check is needed — and only due apps pay the
+    /// completion loop (one `swap_remove` sweep and one min refresh each).
+    /// Apps are visited in index order, exactly as before.
     fn process_completions(&mut self, primary: usize) {
         debug_assert!(
-            self.apps[primary]
-                .lc
-                .as_ref()
-                .is_some_and(|lc| lc.min_remaining_ms <= COMPLETION_EPS_MS),
+            self.hot.min_remaining_ms[primary] <= COMPLETION_EPS_MS,
             "completion dispatched for an app with no finished request"
         );
         for i in 0..self.apps.len() {
-            let due = i == primary
-                || self.apps[i].lc.as_ref().is_some_and(|lc| {
-                    !lc.in_service.is_empty() && lc.min_remaining_ms <= COMPLETION_EPS_MS
-                });
-            if due {
+            if i == primary || self.hot.min_remaining_ms[i] <= COMPLETION_EPS_MS {
                 self.complete_app(i);
             }
         }
@@ -886,18 +1557,18 @@ impl NodeSim {
 
     /// Retires every finished request of app `i` and promotes queued work
     /// onto the freed threads — byte-for-byte the per-app body of the old
-    /// all-apps completion scan.
+    /// all-apps completion scan, with the slab standing in for the
+    /// per-app `Vec`.
     fn complete_app(&mut self, i: usize) {
-        let threads = self.apps[i].spec.threads() as usize;
         let now = self.time;
         let Some(lc) = self.apps[i].lc.as_mut() else {
             return;
         };
         let mut completed_any = false;
         let mut j = 0;
-        while j < lc.in_service.len() {
-            if lc.in_service[j].remaining_ms <= COMPLETION_EPS_MS {
-                let req = lc.in_service.swap_remove(j);
+        while j < self.arena.len(i) {
+            if self.arena.slab(i)[j].remaining_ms <= COMPLETION_EPS_MS {
+                let req = self.arena.swap_remove(i, j);
                 let latency = now.since(req.arrival).as_ms();
                 lc.tail.record(latency);
                 lc.window_samples.push(latency);
@@ -911,14 +1582,15 @@ impl NodeSim {
             }
         }
         if completed_any {
-            while lc.in_service.len() < threads {
+            while self.arena.len(i) < self.arena.cap(i) {
                 match lc.queue.pop_front() {
-                    Some(req) => lc.in_service.push(req),
+                    Some(req) => self.arena.push(i, req),
                     None => break,
                 }
             }
-            lc.refresh_min_remaining();
+            self.hot.min_remaining_ms[i] = self.arena.min_remaining(i);
             self.rates_dirty = true;
+            self.patch_busy_key(i);
         }
     }
 
@@ -928,8 +1600,8 @@ impl NodeSim {
         let tail_quantile = self.tail_quantile;
         let mut lc_stats = Vec::with_capacity(self.apps.len());
         let mut be_stats = Vec::with_capacity(self.apps.len());
-        for app in &mut self.apps {
-            let mean_capacity = app.window_capacity_integral / window_ms;
+        for (i, app) in self.apps.iter_mut().enumerate() {
+            let mean_capacity = self.hot.window_capacity_integral[i] / window_ms;
             if let Some(lc) = &mut app.lc {
                 // Selection reorders `window_samples` in place; the buffer
                 // is a window-local multiset cleared at the next window
@@ -943,8 +1615,9 @@ impl NodeSim {
                 // work outstanding, a latency monitor would report at least
                 // the age of the oldest outstanding request.
                 if lc.window_completions == 0 {
-                    let oldest = lc
-                        .in_service
+                    let oldest = self
+                        .arena
+                        .slab(i)
                         .iter()
                         .chain(lc.queue.iter())
                         .map(|r| r.arrival)
@@ -963,12 +1636,13 @@ impl NodeSim {
                     arrivals: lc.window_arrivals,
                     completions: lc.window_completions,
                     drops: lc.window_drops,
-                    backlog: lc.in_service.len() + lc.queue.len(),
+                    backlog: self.arena.len(i) + lc.queue.len(),
                     mean_core_capacity: mean_capacity,
                 });
             }
             if let Some(be) = &app.be {
-                let mean_speed = be.window_speed_integral / (window_ms * app.spec.threads() as f64);
+                let mean_speed =
+                    self.hot.window_speed_integral[i] / (window_ms * app.spec.threads() as f64);
                 let ipc_solo = app.spec.ipc_solo().expect("BE app");
                 be_stats.push(BeWindowStats {
                     name: app.spec.name().to_owned(),
@@ -992,16 +1666,6 @@ impl NodeSim {
     pub fn rng_uniform(&mut self) -> f64 {
         self.rng.gen()
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum EventKind {
-    WindowEnd,
-    Arrival(usize),
-    /// A request of the carried app reached zero remaining work; the
-    /// index lets completion processing skip straight to the owner.
-    Completion(usize),
-    WarmupExpiry,
 }
 
 #[cfg(test)]
@@ -1251,5 +1915,129 @@ mod tests {
         let obs = s.run_window();
         assert!((obs.end_ms - obs.start_ms - 250.0).abs() < 1e-6);
         assert!((s.now().as_ms() - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn request_arena_matches_vec_semantics() {
+        let mut arena = RequestArena::new(&[3, 0, 2]);
+        let req = |ms: f64| Request {
+            arrival: SimTime::from_ms(ms),
+            remaining_ms: ms,
+        };
+        let mut shadow: Vec<Request> = Vec::new();
+        for v in [5.0, 1.0, 3.0] {
+            arena.push(0, req(v));
+            shadow.push(req(v));
+        }
+        assert_eq!(arena.len(0), 3);
+        assert_eq!(arena.cap(1), 0);
+        assert_eq!(
+            arena.min_remaining(0).to_bits(),
+            1.0f64.to_bits(),
+            "fold-min over the slab"
+        );
+        assert_eq!(arena.min_remaining(1), f64::INFINITY);
+        // swap_remove mirrors Vec::swap_remove element-for-element.
+        let a = arena.swap_remove(0, 0);
+        let b = shadow.swap_remove(0);
+        assert_eq!(a.remaining_ms.to_bits(), b.remaining_ms.to_bits());
+        let order: Vec<f64> = arena.slab(0).iter().map(|r| r.remaining_ms).collect();
+        let shadow_order: Vec<f64> = shadow.iter().map(|r| r.remaining_ms).collect();
+        assert_eq!(order, shadow_order);
+        // Apps are independent slabs.
+        arena.push(2, req(9.0));
+        assert_eq!(arena.len(0), 2);
+        assert_eq!(arena.len(2), 1);
+    }
+
+    #[test]
+    fn packed_and_wide_cache_paths_agree() {
+        let machine = MachineConfig::paper_xeon();
+        let bw = BandwidthModel::new(machine.membw_gbps);
+        let partition = Partition::all_shared(3);
+        let profile = CacheProfile::balanced();
+        let mut demands: Vec<AppDemand> = (0..3)
+            .map(|i| AppDemand {
+                kind: if i == 2 { AppKind::Be } else { AppKind::Lc },
+                busy: 0,
+                curve: profile.curve(machine.llc_ways),
+                bw_per_thread: profile.bw_gbps_per_thread,
+            })
+            .collect();
+        let mut packed = RateCache::new();
+        packed.set_layout(&[4, 4, 4]);
+        let mut wide = RateCache::new(); // no layout: wide path only
+        let mut out_p = Vec::new();
+        let mut out_w = Vec::new();
+        for step in 0..40u32 {
+            for (j, d) in demands.iter_mut().enumerate() {
+                d.busy = (step + j as u32) % 5;
+            }
+            let warm = u64::from(step % 8);
+            let policy = if step % 2 == 0 {
+                SharingPolicy::Fair
+            } else {
+                SharingPolicy::LcPriority
+            };
+            let hit_p = packed.rates_for(
+                &machine, &partition, &demands, warm, policy, &bw, &mut out_p,
+            );
+            let hit_w = wide.rates_for(
+                &machine, &partition, &demands, warm, policy, &bw, &mut out_w,
+            );
+            assert_eq!(hit_p, hit_w, "hit/miss patterns must agree at step {step}");
+            assert_eq!(
+                out_p.as_slice(),
+                out_w.as_slice(),
+                "rates diverge at {step}"
+            );
+        }
+        assert_eq!(packed.hits(), wide.hits());
+        assert_eq!(packed.entries(), wide.entries());
+        // A busy count overflowing its declared bit field must not alias a
+        // packed entry: it falls back to the wide path and stays correct.
+        demands[0].busy = 31;
+        let direct = compute_rates(&machine, &partition, &demands, SharingPolicy::Fair, &bw);
+        packed.rates_for(
+            &machine,
+            &partition,
+            &demands,
+            0,
+            SharingPolicy::Fair,
+            &bw,
+            &mut out_p,
+        );
+        assert_eq!(out_p.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn cache_layout_packs_large_mixes() {
+        // Fig. 12's shape: 8 apps × 4 threads → 1 + 8 + 8·3 = 33 bits.
+        let mut c = RateCache::new();
+        c.set_layout(&[4; 8]);
+        assert!(c.packable, "8×4-thread mix must pack into u64");
+        // A pathological layout that cannot pack falls back cleanly.
+        c.set_layout(&[u32::MAX; 8]);
+        assert!(!c.packable);
+    }
+
+    #[test]
+    fn warm_boundary_crossing_refreshes_cached_speeds() {
+        // After a repartition the node runs penalised for warmup_ms; the
+        // cached-speed refresh must drop the penalty once the boundary
+        // passes even if no event dirties the rates at that exact tick.
+        let mut s = sim();
+        let mut p = Partition::all_shared(2);
+        p.set_isolated(0.into(), RegionAlloc::new(2, 4));
+        s.set_partition(p).unwrap();
+        // BE-only progress: window 1 overlaps the 50 ms warm-up, later
+        // windows do not; IPC must recover to the steady value.
+        let first = s.run_window().be[0].ipc;
+        s.run_window();
+        let steady = s.run_window().be[0].ipc;
+        assert!(
+            steady > first,
+            "post-warm-up IPC {steady} must exceed the penalised {first}"
+        );
     }
 }

@@ -4,10 +4,102 @@ use crate::app::AppId;
 use crate::error::SimError;
 use crate::resources::MachineConfig;
 
+/// An MBA-style memory-bandwidth *throttle* level: the percentage of peak
+/// bandwidth the region's cores may demand. Intel MBA exposes discrete
+/// levels (10 %, 20 %, … 100 %); 100 % means unthrottled.
+///
+/// This is the delay-based cap side of bandwidth control — the dual of
+/// [`RegionAlloc::membw_pct`], which *reserves* bandwidth for a region.
+/// A reservation guarantees a floor; a throttle imposes a ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MbaLevel(u32);
+
+impl MbaLevel {
+    /// The unthrottled level (100 %).
+    pub const UNTHROTTLED: MbaLevel = MbaLevel(100);
+    /// The granularity of the discrete throttle levels, matching MBA.
+    pub const STEP_PCT: u32 = 10;
+    /// The tightest level hardware exposes.
+    pub const MIN_PCT: u32 = 10;
+
+    /// A throttle level at `pct` percent of peak, rounded down to the
+    /// nearest hardware step and clamped to `[MIN_PCT, 100]`.
+    pub fn new(pct: u32) -> Self {
+        let snapped = (pct / Self::STEP_PCT) * Self::STEP_PCT;
+        MbaLevel(snapped.clamp(Self::MIN_PCT, 100))
+    }
+
+    /// The level as a percentage of peak bandwidth.
+    pub fn pct(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this level imposes no cap at all.
+    pub fn is_unthrottled(self) -> bool {
+        self.0 >= 100
+    }
+
+    /// One step tighter (lower cap), saturating at [`Self::MIN_PCT`].
+    pub fn tighten(self) -> MbaLevel {
+        MbaLevel(self.0.saturating_sub(Self::STEP_PCT).max(Self::MIN_PCT))
+    }
+
+    /// One step looser (higher cap), saturating at unthrottled.
+    pub fn relax(self) -> MbaLevel {
+        MbaLevel((self.0 + Self::STEP_PCT).min(100))
+    }
+
+    /// The bandwidth ceiling as a fraction of peak. Unthrottled maps to
+    /// `f64::INFINITY` so `demand.min(cap)` is bit-identical to `demand`
+    /// when no throttle is set.
+    pub fn cap_fraction(self) -> f64 {
+        if self.is_unthrottled() {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / 100.0
+        }
+    }
+}
+
+impl Default for MbaLevel {
+    /// Defaults to unthrottled — a derived zero would mean "fully
+    /// throttled", which is never what an absent setting should do.
+    fn default() -> Self {
+        Self::UNTHROTTLED
+    }
+}
+
+/// The dimensions of a [`Partition`] a scheduler can negotiate, in the
+/// order ARQ's FSM cycles through them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionDimension {
+    /// Exclusive cores.
+    Cores,
+    /// Exclusive LLC ways.
+    LlcWays,
+    /// Reserved memory bandwidth (floor, percent of peak).
+    MembwReservation,
+    /// MBA throttle level (ceiling, percent of peak).
+    MembwThrottle,
+}
+
+impl PartitionDimension {
+    /// All dimensions, in negotiation order.
+    pub fn all() -> [PartitionDimension; 4] {
+        [
+            PartitionDimension::Cores,
+            PartitionDimension::LlcWays,
+            PartitionDimension::MembwReservation,
+            PartitionDimension::MembwThrottle,
+        ]
+    }
+}
+
 /// The resources held by one isolated region: a number of exclusive cores,
-/// exclusive LLC ways, and a reserved share of the memory bandwidth
+/// exclusive LLC ways, a reserved share of the memory bandwidth
 /// (MBA-style, in percent of the node's peak; 0 means the region draws
-/// from the shared bandwidth pool like everyone else).
+/// from the shared bandwidth pool like everyone else), and an MBA
+/// throttle level capping the bandwidth its cores may demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
 pub struct RegionAlloc {
     /// Exclusive cores.
@@ -16,23 +108,28 @@ pub struct RegionAlloc {
     pub ways: u32,
     /// Reserved memory bandwidth, percent of the node's peak.
     pub membw_pct: u32,
+    /// MBA throttle level (defaults to unthrottled).
+    #[serde(default)]
+    pub mba: MbaLevel,
 }
 
 impl RegionAlloc {
-    /// An empty region (no isolated resources).
+    /// An empty region (no isolated resources, no throttle).
     pub const EMPTY: RegionAlloc = RegionAlloc {
         cores: 0,
         ways: 0,
         membw_pct: 0,
+        mba: MbaLevel::UNTHROTTLED,
     };
 
     /// Creates an allocation of cores and ways with no bandwidth
-    /// reservation.
+    /// reservation and no throttle.
     pub fn new(cores: u32, ways: u32) -> Self {
         RegionAlloc {
             cores,
             ways,
             membw_pct: 0,
+            mba: MbaLevel::UNTHROTTLED,
         }
     }
 
@@ -42,9 +139,32 @@ impl RegionAlloc {
         self
     }
 
-    /// Whether this region holds no resources at all.
+    /// Sets the MBA throttle level.
+    pub fn with_mba(mut self, level: MbaLevel) -> Self {
+        self.mba = level;
+        self
+    }
+
+    /// Whether this region holds no resource settings at all — neither
+    /// isolated resources nor an active throttle.
     pub fn is_empty(&self) -> bool {
-        self.cores == 0 && self.ways == 0 && self.membw_pct == 0
+        self.cores == 0 && self.ways == 0 && self.membw_pct == 0 && self.mba.is_unthrottled()
+    }
+
+    /// Whether this region is bandwidth-throttled.
+    pub fn is_throttled(&self) -> bool {
+        !self.mba.is_unthrottled()
+    }
+
+    /// Reads the setting of one negotiable dimension as a raw count
+    /// (cores, ways) or percentage (reservation, throttle level).
+    pub fn dimension(&self, dim: PartitionDimension) -> u32 {
+        match dim {
+            PartitionDimension::Cores => self.cores,
+            PartitionDimension::LlcWays => self.ways,
+            PartitionDimension::MembwReservation => self.membw_pct,
+            PartitionDimension::MembwThrottle => self.mba.pct(),
+        }
     }
 }
 
@@ -175,7 +295,23 @@ impl Partition {
                 reason: format!("{membw} % reserved memory bandwidth exceeds 100 %"),
             });
         }
+        for (app, alloc) in self.iter() {
+            let pct = alloc.mba.pct();
+            if !(MbaLevel::MIN_PCT..=100).contains(&pct) || pct % MbaLevel::STEP_PCT != 0 {
+                return Err(SimError::InvalidPartition {
+                    reason: format!(
+                        "app {} MBA level {pct} % is not a discrete hardware level",
+                        app.index()
+                    ),
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Whether any application's region carries an active MBA throttle.
+    pub fn has_throttle(&self) -> bool {
+        self.isolated.iter().any(|a| a.is_throttled())
     }
 
     /// The set of applications whose isolated allocation differs between
@@ -263,6 +399,53 @@ mod tests {
         assert!(p.validate(&m).is_ok());
         p.set_isolated(1.into(), RegionAlloc::new(2, 4).with_membw(80));
         assert!(p.validate(&m).is_err(), "110 % reserved must be rejected");
+    }
+
+    #[test]
+    fn mba_levels_are_discrete_and_bounded() {
+        assert_eq!(MbaLevel::default(), MbaLevel::UNTHROTTLED);
+        assert_eq!(MbaLevel::new(47).pct(), 40, "levels snap down to steps");
+        assert_eq!(MbaLevel::new(3).pct(), MbaLevel::MIN_PCT);
+        assert_eq!(MbaLevel::new(250).pct(), 100);
+        assert_eq!(MbaLevel::new(70).tighten().pct(), 60);
+        assert_eq!(MbaLevel::new(10).tighten().pct(), 10, "floor at MIN_PCT");
+        assert_eq!(MbaLevel::new(90).relax().pct(), 100);
+        assert_eq!(MbaLevel::UNTHROTTLED.relax(), MbaLevel::UNTHROTTLED);
+        assert_eq!(MbaLevel::UNTHROTTLED.cap_fraction(), f64::INFINITY);
+        assert_eq!(MbaLevel::new(40).cap_fraction(), 0.4);
+    }
+
+    #[test]
+    fn throttle_participates_in_partition_semantics() {
+        let m = MachineConfig::paper_xeon();
+        let mut p = Partition::all_shared(2);
+        assert!(!p.has_throttle());
+        p.set_isolated(1.into(), RegionAlloc::EMPTY.with_mba(MbaLevel::new(40)));
+        assert!(p.has_throttle());
+        assert!(
+            !p.isolated(1.into()).is_empty(),
+            "an active throttle is a resource setting"
+        );
+        assert!(p.validate(&m).is_ok());
+        // A throttle change alone must register as a changed app (warm-up).
+        let q = Partition::all_shared(2);
+        assert_eq!(q.changed_apps(&p), vec![AppId::from(1)]);
+        // Hand-built invalid levels are rejected by validate.
+        let mut bad = Partition::all_shared(1);
+        bad.set_isolated(0.into(), RegionAlloc::EMPTY.with_mba(MbaLevel(35)));
+        assert!(bad.validate(&m).is_err());
+    }
+
+    #[test]
+    fn dimension_accessor_reads_all_four_knobs() {
+        let a = RegionAlloc::new(3, 6)
+            .with_membw(20)
+            .with_mba(MbaLevel::new(50));
+        let got: Vec<u32> = PartitionDimension::all()
+            .iter()
+            .map(|&d| a.dimension(d))
+            .collect();
+        assert_eq!(got, vec![3, 6, 20, 50]);
     }
 
     #[test]

@@ -106,6 +106,23 @@ impl TailEstimator {
     pub fn clear(&mut self) {
         self.ring.clear();
     }
+
+    /// Re-targets the estimator to a new ring capacity, forgetting all
+    /// samples but keeping the ring and scratch allocations. Behaviourally
+    /// identical to replacing the estimator with `TailEstimator::new(
+    /// capacity)` — the node does this on every `set_load` — without the
+    /// two heap allocations that a fresh construction pays.
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.ring.clear();
+        if self.ring.capacity() < self.capacity {
+            self.ring.reserve(self.capacity);
+        }
+        if self.scratch.capacity() < self.capacity {
+            self.scratch
+                .reserve(self.capacity.saturating_sub(self.scratch.len()));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +245,32 @@ mod tests {
         assert!(!e.is_empty());
         e.clear();
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut reused = TailEstimator::new(8);
+        for v in pseudo_random(20, 3) {
+            reused.record(v);
+        }
+        reused.reset(3);
+        let mut fresh = TailEstimator::new(3);
+        assert!(reused.is_empty());
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            reused.record(v);
+            fresh.record(v);
+        }
+        for p in [0.0, 0.5, 0.95] {
+            assert_eq!(
+                reused.quantile(p).map(f64::to_bits),
+                fresh.quantile(p).map(f64::to_bits)
+            );
+        }
+        // Shrinking then growing again keeps working (capacity floor 1).
+        reused.reset(0);
+        reused.record(5.0);
+        reused.record(6.0);
+        assert_eq!(reused.len(), 1);
     }
 
     #[test]

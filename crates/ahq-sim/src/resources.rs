@@ -37,6 +37,14 @@ impl MachineConfig {
         }
     }
 
+    /// The absolute bandwidth ceiling (GB/s) imposed by an MBA throttle
+    /// level on this machine. Unthrottled maps to `f64::INFINITY`, so
+    /// `demand.min(cap)` is exactly `demand` when no throttle is set —
+    /// the fluid solver stays bit-identical for unthrottled partitions.
+    pub fn mba_cap_gbps(&self, level: crate::partition::MbaLevel) -> f64 {
+        level.cap_fraction() * self.membw_gbps
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -90,6 +98,15 @@ mod tests {
         assert_eq!(m.cores, 6);
         assert_eq!(m.llc_ways, 12);
         assert_eq!(m.membw_gbps, MachineConfig::paper_xeon().membw_gbps);
+    }
+
+    #[test]
+    fn mba_cap_scales_with_peak_bandwidth() {
+        use crate::partition::MbaLevel;
+        let m = MachineConfig::paper_xeon();
+        assert_eq!(m.mba_cap_gbps(MbaLevel::UNTHROTTLED), f64::INFINITY);
+        assert!((m.mba_cap_gbps(MbaLevel::new(50)) - 34.0).abs() < 1e-12);
+        assert!((m.mba_cap_gbps(MbaLevel::new(10)) - 6.8).abs() < 1e-12);
     }
 
     #[test]

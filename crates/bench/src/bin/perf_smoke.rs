@@ -1,0 +1,75 @@
+//! Perf smoke check for CI: re-times the pinned `BENCH_node.json`
+//! scenario with the same methodology the baseline was measured with
+//! (best-of-5 x 200-window timing after 50 warm-up windows) and fails
+//! when the measured ns/window exceeds the pinned figure by more than a
+//! tolerance factor.
+//!
+//! The tolerance absorbs shared-runner noise — the check is meant to
+//! catch an accidental 2x event-path regression, not a 10 % wobble.
+//! Override with `AHQ_PERF_SMOKE_FACTOR` (default 1.5), or skip
+//! entirely with `AHQ_PERF_SMOKE_SKIP=1` on known-noisy hardware.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ahq_bench::paper_pair_sim;
+
+const WARMUP_WINDOWS: usize = 50;
+const TIMED_WINDOWS: usize = 200;
+const REPS: usize = 5;
+
+/// Pulls `"ns_per_window": <integer>` out of the baseline JSON by hand:
+/// the value is the only thing this check needs, and a scanner keeps the
+/// binary free of any JSON-crate dependency.
+fn pinned_ns_per_window(json: &str) -> Option<u64> {
+    let key = "\"ns_per_window\"";
+    let rest = &json[json.find(key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn main() -> ExitCode {
+    if std::env::var("AHQ_PERF_SMOKE_SKIP").is_ok_and(|v| v == "1") {
+        println!("perf-smoke: skipped (AHQ_PERF_SMOKE_SKIP=1)");
+        return ExitCode::SUCCESS;
+    }
+    let factor: f64 = std::env::var("AHQ_PERF_SMOKE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+
+    let baseline = include_str!("../../BENCH_node.json");
+    let Some(pinned) = pinned_ns_per_window(baseline) else {
+        eprintln!("perf-smoke: BENCH_node.json has no ns_per_window field");
+        return ExitCode::FAILURE;
+    };
+
+    let mut best = u64::MAX;
+    for rep in 1..=REPS {
+        let mut sim = paper_pair_sim(7);
+        for _ in 0..WARMUP_WINDOWS {
+            sim.run_window();
+        }
+        let start = Instant::now();
+        for _ in 0..TIMED_WINDOWS {
+            sim.run_window();
+        }
+        let ns = start.elapsed().as_nanos() as u64 / TIMED_WINDOWS as u64;
+        println!("perf-smoke: rep {rep}/{REPS}: {ns} ns/window");
+        best = best.min(ns);
+    }
+
+    let limit = (pinned as f64 * factor) as u64;
+    println!("perf-smoke: best {best} ns/window, pinned {pinned}, limit {limit} ({factor:.2}x)");
+    if best > limit {
+        eprintln!(
+            "perf-smoke: FAIL — run_window_paper_pair regressed past {factor:.2}x of the \
+             BENCH_node.json baseline; rerun on an idle machine and, if real, find the \
+             regression (or re-pin the baseline alongside an intentional model change)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf-smoke: OK");
+    ExitCode::SUCCESS
+}

@@ -39,10 +39,12 @@ mod acquisition;
 mod gp;
 mod kernel;
 mod linalg;
+pub mod online;
 mod optimizer;
 
 pub use acquisition::{expected_improvement, normal_cdf, normal_pdf};
 pub use gp::GaussianProcess;
 pub use kernel::RbfKernel;
 pub use linalg::{cholesky, cholesky_solve, Matrix};
+pub use online::{OnlineTuner, WeightAxis, WeightGrid};
 pub use optimizer::BayesOpt;

@@ -14,6 +14,7 @@ use ahq_sim::{
 use serde::{Deserialize, Serialize};
 
 use crate::churn::{ChurnConfig, ChurnEvent, ChurnStream};
+use crate::control::{AppliedMove, Controller, RoundObservation};
 use crate::fidelity::{FidelityMode, FidelityPolicy};
 use crate::placement::{migratable, NodeView, Placer, PlacerKind};
 use crate::report::{ClusterEntropyReport, ClusterWindowStat, NodeUtilization};
@@ -22,6 +23,12 @@ use crate::report::{ClusterEntropyReport, ClusterWindowStat, NodeUtilization};
 /// default window the HI-FI path simulates with, reused by the LO-FI
 /// surrogate so both fidelities keep the same clock.
 const WINDOW_MS: f64 = 500.0;
+
+/// Cold-start penalty charged to an LC app the controller migrates: the
+/// app runs at the warm-up speed factor for this long on its new node.
+/// Half a monitoring window — an order of magnitude above the 50 ms
+/// repartition refill, reflecting state transfer rather than cache churn.
+pub const MIGRATION_WARMUP_MS: f64 = 250.0;
 
 /// The local (per-node) scheduler running underneath the placer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,6 +112,12 @@ pub struct NodeJob {
     pub model: EntropyModel,
     /// Simulation resolution for the round.
     pub fidelity: JobFidelity,
+    /// Names of apps that migrated onto this node right before the round:
+    /// each is charged [`MIGRATION_WARMUP_MS`] of cold-start warm-up.
+    /// Empty for every job the controller did not touch, which keeps those
+    /// job values — and the engine's memo keys — unchanged.
+    #[serde(default)]
+    pub cold: Vec<String>,
 }
 
 impl NodeJob {
@@ -139,6 +152,12 @@ impl NodeJob {
         for (name, load) in &self.loads {
             sim.set_load(name, *load)
                 .expect("cluster loads target placed LC apps");
+        }
+        // Cold-start charges draw no randomness, so jobs without cold apps
+        // keep a bit-identical event stream.
+        for name in &self.cold {
+            sim.begin_warmup(name, MIGRATION_WARMUP_MS)
+                .expect("cold names target placed apps");
         }
         let mut sched = self.sched.build();
         let mut run = ScheduledRun::new(&mut sim, sched.as_mut(), &self.model);
@@ -326,6 +345,9 @@ struct NodeState {
     /// Shared spec vector handed to every round's job; invalidated by any
     /// churn or migration touching the node.
     spec_cache: Option<Arc<Vec<AppSpec>>>,
+    /// Apps that just migrated here and start the coming round cold.
+    /// Drained into the round's job and cleared once the round has run.
+    cold: Vec<String>,
 }
 
 impl NodeState {
@@ -381,7 +403,7 @@ fn round_is_stable(
     result.adjustments == 0
         && result.violations == 0
         && recent_es.is_some_and(|es| es <= policy.es_threshold)
-        && recent_ret.map_or(true, |ret| ret >= policy.ret_margin)
+        && recent_ret.is_none_or(|ret| ret >= policy.ret_margin)
         && result.partitions.last().is_none_or(|p| !p.has_throttle())
 }
 
@@ -391,6 +413,7 @@ pub struct ClusterSim {
     config: ClusterConfig,
     stream: ChurnStream,
     placer: Box<dyn Placer>,
+    controller: Option<Box<dyn Controller>>,
     nodes: Vec<NodeState>,
     round: usize,
     window_stats: Vec<ClusterWindowStat>,
@@ -399,6 +422,15 @@ pub struct ClusterSim {
     departures: u64,
     load_changes: u64,
     migrations: u64,
+    /// Migrations executed since the last round's stats were sealed
+    /// (placer rebalance + controller moves + rollback restores).
+    round_migrations: u64,
+    /// The controller move committed speculatively for the current round.
+    last_move: Option<AppliedMove>,
+    ctrl_migrations: u64,
+    ctrl_rollbacks: u64,
+    cold_starts: u64,
+    warmup_windows: u64,
     occupancy_sum: Vec<f64>,
     rounds_active: Vec<usize>,
 }
@@ -423,6 +455,7 @@ impl ClusterSim {
             config,
             stream,
             placer,
+            controller: None,
             nodes,
             round: 0,
             window_stats: Vec::new(),
@@ -431,9 +464,22 @@ impl ClusterSim {
             departures: 0,
             load_changes: 0,
             migrations: 0,
+            round_migrations: 0,
+            last_move: None,
+            ctrl_migrations: 0,
+            ctrl_rollbacks: 0,
+            cold_starts: 0,
+            warmup_windows: 0,
             occupancy_sum,
             rounds_active,
         }
+    }
+
+    /// Installs a global controller: from the next round on it proposes at
+    /// most one speculative migration per round and passes verdict on it
+    /// after the round's windows (see [`Controller`]).
+    pub fn set_controller(&mut self, controller: Box<dyn Controller>) {
+        self.controller = Some(controller);
     }
 
     /// Rounds stepped so far.
@@ -548,8 +594,111 @@ impl ClusterSim {
                 self.nodes[from].touch();
                 self.nodes[to].touch();
                 self.migrations += 1;
+                self.round_migrations += 1;
             }
         }
+    }
+
+    /// Asks the controller for this round's move and commits it
+    /// speculatively. The concrete app mirrors [`Self::apply_rebalance`]'s
+    /// rule — the most recently placed app of the requested kind — and an
+    /// LC migrant is marked cold on the recipient so its job charges the
+    /// warm-up penalty. Both touched nodes promote back to HI-FI.
+    fn apply_controller_plan(&mut self) {
+        self.last_move = None;
+        if self.controller.is_none() {
+            return;
+        }
+        let views = self.views();
+        let round = self.round;
+        let proposal = self
+            .controller
+            .as_mut()
+            .expect("checked above")
+            .plan(round, &views);
+        let Some(mv) = proposal else { return };
+        if mv.from >= self.nodes.len() || mv.to >= self.nodes.len() || mv.from == mv.to {
+            return;
+        }
+        let pick = self.nodes[mv.from]
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.spec.kind() == mv.kind)
+            .max_by_key(|(_, a)| a.id)
+            .map(|(i, _)| i);
+        let Some(slot) = pick else { return };
+        let app = self.nodes[mv.from].apps.remove(slot);
+        let applied = AppliedMove {
+            id: app.id,
+            name: app.spec.name().to_owned(),
+            from: mv.from,
+            to: mv.to,
+            kind: mv.kind,
+            from_slot: slot,
+        };
+        self.nodes[mv.to].apps.push(app);
+        self.nodes[mv.from].touch();
+        self.nodes[mv.to].touch();
+        if mv.kind == AppKind::Lc {
+            self.nodes[mv.to].cold.push(applied.name.clone());
+            self.cold_starts += 1;
+            self.warmup_windows += (MIGRATION_WARMUP_MS / WINDOW_MS).ceil() as u64;
+        }
+        self.ctrl_migrations += 1;
+        self.round_migrations += 1;
+        self.last_move = Some(applied);
+    }
+
+    /// Shows the controller the completed round and executes its verdict:
+    /// a rollback restores the migrated app to its pre-move node (and
+    /// slot), blacklisting being the controller's own bookkeeping; a
+    /// weight update lands on the placer (honoured only by tunable ones).
+    fn apply_controller_verdict(&mut self) {
+        let Some(mut controller) = self.controller.take() else {
+            return;
+        };
+        let views = self.views();
+        let windows = self.config.windows_per_round;
+        let start = self.window_stats.len() - windows;
+        let obs = RoundObservation {
+            round: self.round,
+            windows: &self.window_stats[start..],
+            views: &views,
+            applied: self.last_move.as_ref(),
+        };
+        let verdict = controller.observe(&obs);
+        self.controller = Some(controller);
+        if verdict.rollback {
+            self.rollback_last_move();
+        }
+        if let Some(weights) = verdict.weights {
+            self.placer.set_weights(&weights);
+        }
+    }
+
+    /// Restores the speculative move's app to its original node and slot.
+    /// The restore is itself a migration: both nodes promote to HI-FI and
+    /// an LC app pays a second cold start back home.
+    fn rollback_last_move(&mut self) {
+        let Some(mv) = self.last_move.take() else {
+            return;
+        };
+        let Some(i) = self.nodes[mv.to].apps.iter().position(|a| a.id == mv.id) else {
+            return; // departed mid-round: nothing left to restore
+        };
+        let app = self.nodes[mv.to].apps.remove(i);
+        let slot = mv.from_slot.min(self.nodes[mv.from].apps.len());
+        self.nodes[mv.from].apps.insert(slot, app);
+        self.nodes[mv.from].touch();
+        self.nodes[mv.to].touch();
+        if mv.kind == AppKind::Lc {
+            self.nodes[mv.from].cold.push(mv.name);
+            self.cold_starts += 1;
+            self.warmup_windows += (MIGRATION_WARMUP_MS / WINDOW_MS).ceil() as u64;
+        }
+        self.ctrl_rollbacks += 1;
+        self.round_migrations += 1;
     }
 
     /// Builds the round's closed per-node jobs (non-empty nodes only).
@@ -602,17 +751,29 @@ impl ClusterSim {
             seed: derive_seed(derive_seed(self.config.seed, i as u64), self.round as u64),
             model: self.config.model,
             fidelity: JobFidelity::HiFi,
+            // A cold marker can outlive its app: a rollback re-marks the
+            // app at home *after* the round, and next round's churn may
+            // remove it before this job is built. A departed app owes no
+            // warm-up, so only names still placed here are charged.
+            cold: node
+                .cold
+                .iter()
+                .filter(|name| node.apps.iter().any(|a| a.spec.name() == name.as_str()))
+                .cloned()
+                .collect(),
         }
     }
 
-    /// Advances one round: churn, rebalance, run every node for
-    /// `windows_per_round` windows through `runner`, aggregate.
+    /// Advances one round: churn, rebalance, controller move, run every
+    /// node for `windows_per_round` windows through `runner`, aggregate,
+    /// then let the controller judge its move.
     pub fn step_round(&mut self, runner: &dyn NodeBatchRunner) {
         assert!(!self.finished(), "cluster run already finished");
         self.apply_churn();
         if self.round > 0 {
             self.apply_rebalance();
         }
+        self.apply_controller_plan();
 
         // Occupancy accounting for this round's assignment.
         for (i, machine) in self.config.machines.iter().enumerate() {
@@ -651,6 +812,11 @@ impl ClusterSim {
         };
         let results = runner.run_nodes(&jobs);
         assert_eq!(results.len(), jobs.len(), "runner must answer every job");
+        // Cold-start charges apply to exactly one round; the jobs above
+        // already carry them.
+        for node in &mut self.nodes {
+            node.cold.clear();
+        }
 
         let windows = self.config.windows_per_round;
         let total_apps: usize = self.nodes.iter().map(|n| n.apps.len()).sum();
@@ -688,8 +854,12 @@ impl ClusterSim {
                 hifi_nodes: jobs.len(),
                 lofi_nodes: lofi_nodes.len(),
                 apps: total_apps,
+                round_migrations: self.round_migrations,
             });
         }
+        // Sealed into this round's stats; a post-round rollback counts
+        // toward the next round it actually disturbs.
+        self.round_migrations = 0;
 
         // Refresh each node's entropy/tolerance history for the placer.
         for (job, result) in jobs.iter().zip(results.iter()) {
@@ -754,7 +924,7 @@ impl ClusterSim {
                 let (es, ret) = recent_history(&outcome, windows);
                 let calm = outcome.violations == 0
                     && es.is_some_and(|e| e <= policy.es_threshold)
-                    && ret.map_or(true, |r| r >= policy.ret_margin);
+                    && ret.is_none_or(|r| r >= policy.ret_margin);
                 if calm {
                     node.lofi = Some(outcome);
                 } else {
@@ -762,6 +932,8 @@ impl ClusterSim {
                 }
             }
         }
+
+        self.apply_controller_verdict();
 
         self.round += 1;
     }
@@ -780,6 +952,7 @@ impl ClusterSim {
         ClusterEntropyReport {
             placer: self.config.placer.name().to_owned(),
             sched: self.config.sched.name().to_owned(),
+            controller: self.controller.as_ref().map(|c| c.name().to_owned()),
             nodes: self.config.machines.len(),
             rounds: self.round,
             windows_per_round: self.config.windows_per_round,
@@ -790,6 +963,10 @@ impl ClusterSim {
             departures: self.departures,
             load_changes: self.load_changes,
             migrations: self.migrations,
+            ctrl_migrations: self.ctrl_migrations,
+            ctrl_rollbacks: self.ctrl_rollbacks,
+            cold_starts: self.cold_starts,
+            warmup_windows: self.warmup_windows,
             node_utilization: self
                 .occupancy_sum
                 .iter()
@@ -813,6 +990,7 @@ pub fn run_cluster(config: ClusterConfig, runner: &dyn NodeBatchRunner) -> Clust
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::{AppMove, ControlVerdict};
 
     fn tiny_config(placer: PlacerKind) -> ClusterConfig {
         ClusterConfig {
@@ -1008,5 +1186,170 @@ mod tests {
             assert_eq!(kind.build().name(), kind.name());
         }
         assert_eq!(LocalSched::parse("nope"), None);
+    }
+
+    /// A scripted controller: one fixed move at a given round, with a
+    /// predetermined verdict — the mechanism test double for rollback.
+    struct Scripted {
+        at: usize,
+        mv: AppMove,
+        rollback: bool,
+    }
+
+    impl Controller for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+
+        fn plan(&mut self, round: usize, _views: &[NodeView]) -> Option<AppMove> {
+            (round == self.at).then_some(self.mv)
+        }
+
+        fn observe(&mut self, obs: &RoundObservation<'_>) -> ControlVerdict {
+            ControlVerdict {
+                rollback: self.rollback && obs.applied.is_some(),
+                weights: None,
+            }
+        }
+    }
+
+    /// A churn-free config (after the initial population) so placement
+    /// only changes through the controller under test.
+    fn frozen_config() -> ClusterConfig {
+        ClusterConfig {
+            windows_per_round: 2,
+            rounds: 3,
+            seed: 9,
+            churn: ChurnConfig {
+                initial_apps: 6,
+                arrivals_per_round: 0.0,
+                departure_prob: 0.0,
+                load_change_prob: 0.0,
+                be_fraction: 0.5,
+            },
+            ..ClusterConfig::heterogeneous(8, PlacerKind::FirstFit, LocalSched::Unmanaged)
+        }
+    }
+
+    fn placement_snapshot(sim: &ClusterSim) -> Vec<Vec<(u64, String)>> {
+        sim.nodes
+            .iter()
+            .map(|n| {
+                n.apps
+                    .iter()
+                    .map(|a| (a.id, a.spec.name().to_owned()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Finds a `(donor, recipient)` pair where the donor hosts a BE app.
+    fn be_move(sim: &ClusterSim) -> AppMove {
+        let from = (0..sim.nodes.len())
+            .find(|&i| {
+                sim.nodes[i]
+                    .apps
+                    .iter()
+                    .any(|a| a.spec.kind() == AppKind::Be)
+            })
+            .expect("some node hosts a BE app");
+        let to = (0..sim.nodes.len())
+            .find(|&i| i != from)
+            .expect("another node exists");
+        AppMove {
+            from,
+            to,
+            kind: AppKind::Be,
+        }
+    }
+
+    #[test]
+    fn rolled_back_move_restores_the_exact_placement() {
+        let runner = SequentialRunner::default();
+        let mut sim = ClusterSim::new(frozen_config());
+        sim.step_round(&runner); // round 0: initial population, no move
+        let mv = be_move(&sim);
+        sim.set_controller(Box::new(Scripted {
+            at: 1,
+            mv,
+            rollback: true,
+        }));
+        let before = placement_snapshot(&sim);
+        sim.step_round(&runner); // round 1: move applied, then rolled back
+        assert_eq!(
+            placement_snapshot(&sim),
+            before,
+            "rollback must restore the exact pre-move placement, order included"
+        );
+        sim.step_round(&runner);
+        let report = sim.into_report();
+        assert_eq!(report.controller.as_deref(), Some("scripted"));
+        assert_eq!(report.ctrl_migrations, 1);
+        assert_eq!(report.ctrl_rollbacks, 1);
+        assert_eq!(report.cold_starts, 0, "a BE round trip charges no warm-up");
+        // The move and its restore each disturb one round's windows.
+        let disturbed: Vec<usize> = report
+            .window_stats
+            .iter()
+            .filter(|w| w.round_migrations > 0)
+            .map(|w| w.round)
+            .collect();
+        assert!(
+            disturbed.contains(&1) && disturbed.contains(&2),
+            "move disturbs round 1, restore disturbs round 2: {disturbed:?}"
+        );
+    }
+
+    #[test]
+    fn committed_move_lands_on_the_recipient() {
+        let runner = SequentialRunner::default();
+        let mut sim = ClusterSim::new(frozen_config());
+        sim.step_round(&runner);
+        let mv = be_move(&sim);
+        let donor_before = sim.nodes[mv.from].apps.len();
+        let recipient_before = sim.nodes[mv.to].apps.len();
+        sim.set_controller(Box::new(Scripted {
+            at: 1,
+            mv,
+            rollback: false,
+        }));
+        sim.step_round(&runner);
+        assert_eq!(sim.nodes[mv.from].apps.len(), donor_before - 1);
+        assert_eq!(sim.nodes[mv.to].apps.len(), recipient_before + 1);
+        sim.step_round(&runner);
+        let report = sim.into_report();
+        assert_eq!(report.ctrl_migrations, 1);
+        assert_eq!(report.ctrl_rollbacks, 0);
+    }
+
+    #[test]
+    fn lc_controller_move_charges_one_cold_start() {
+        let runner = SequentialRunner::default();
+        let mut config = frozen_config();
+        config.churn.be_fraction = 0.0; // all-LC fleet
+        let mut sim = ClusterSim::new(config);
+        sim.step_round(&runner);
+        let from = (0..sim.nodes.len())
+            .find(|&i| !sim.nodes[i].apps.is_empty())
+            .expect("populated node");
+        let to = (0..sim.nodes.len()).find(|&i| i != from).unwrap();
+        sim.set_controller(Box::new(Scripted {
+            at: 1,
+            mv: AppMove {
+                from,
+                to,
+                kind: AppKind::Lc,
+            },
+            rollback: false,
+        }));
+        sim.step_round(&runner);
+        sim.step_round(&runner);
+        let report = sim.into_report();
+        assert_eq!(report.ctrl_migrations, 1);
+        assert_eq!(report.cold_starts, 1);
+        assert_eq!(
+            report.warmup_windows, 1,
+            "250 ms of warm-up rounds up to one 500 ms window"
+        );
     }
 }

@@ -1,0 +1,108 @@
+//! The cluster-controller hook: a global decision layer above the placer.
+//!
+//! A [`Controller`] runs one decision epoch per cluster round, treating
+//! nodes the way node-level ARQ treats resource regions: it may propose at
+//! most one app migration per round ([`AppMove`]), the cluster commits the
+//! move *speculatively* before the round's windows run, and after the
+//! round the controller sees what happened ([`RoundObservation`]) and
+//! returns a [`ControlVerdict`] — roll the move back (the cluster restores
+//! the exact pre-move placement) and/or install new placement-scoring
+//! weights for the rounds ahead.
+//!
+//! The trait lives in `ahq-cluster` so the concrete controller crate
+//! (`ahq-ctrl`) can depend on the cluster types without a dependency
+//! cycle; [`crate::ClusterSim::set_controller`] accepts any boxed
+//! implementation.
+
+use ahq_sim::AppKind;
+use serde::{Deserialize, Serialize};
+
+use crate::placement::{NodeView, PlacementWeights};
+use crate::report::ClusterWindowStat;
+
+/// A migration the controller proposes: move one app of `kind` from node
+/// `from` to node `to`. The cluster picks the concrete app
+/// deterministically (highest app id of that kind on the donor, matching
+/// the placer's rebalance rule) and ignores the move if the donor hosts
+/// no such app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppMove {
+    /// Donor node index.
+    pub from: usize,
+    /// Recipient node index.
+    pub to: usize,
+    /// Which kind of app to move. BE moves are cheap; LC moves charge the
+    /// migrated app a cold-start warm-up window on the recipient.
+    pub kind: AppKind,
+}
+
+/// The migration the cluster actually executed for a proposed [`AppMove`]:
+/// the concrete app it picked on the donor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedMove {
+    /// Stable placement id of the migrated app.
+    pub id: u64,
+    /// Instance name of the migrated app.
+    pub name: String,
+    /// Donor node index.
+    pub from: usize,
+    /// Recipient node index.
+    pub to: usize,
+    /// The migrated app's kind.
+    pub kind: AppKind,
+    /// The app's position in the donor's placement order before the move,
+    /// so a rollback restores the exact pre-move placement.
+    pub from_slot: usize,
+}
+
+/// Everything the controller sees after a round's windows have run.
+#[derive(Debug)]
+pub struct RoundObservation<'a> {
+    /// The round that just completed (0-based).
+    pub round: usize,
+    /// The completed round's per-window cluster aggregates.
+    pub windows: &'a [ClusterWindowStat],
+    /// Post-round node summaries (entropy/tolerance history refreshed).
+    pub views: &'a [NodeView],
+    /// The move executed this round, if the controller's proposal was
+    /// applicable.
+    pub applied: Option<&'a AppliedMove>,
+}
+
+impl RoundObservation<'_> {
+    /// Mean cluster `E_S` across the observed round's windows.
+    pub fn mean_entropy(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows.iter().map(|w| w.mean_es).sum::<f64>() / self.windows.len() as f64
+    }
+}
+
+/// What the controller wants done after observing a round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControlVerdict {
+    /// Restore the pre-move placement of this round's applied move. The
+    /// cluster executes the restore before the next round's churn, and
+    /// both nodes promote to HI-FI again.
+    pub rollback: bool,
+    /// New placement-scoring weights to install on the placer (honoured
+    /// only by tunable placers; see [`crate::Placer::set_weights`]).
+    pub weights: Option<PlacementWeights>,
+}
+
+/// A global cluster controller: one proposal before each round's windows,
+/// one verdict after them.
+pub trait Controller {
+    /// The controller's display name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Proposes at most one migration for round `round`, given the
+    /// pre-round node summaries (after churn and placer rebalance). The
+    /// views reflect history up to the previous round.
+    fn plan(&mut self, round: usize, views: &[NodeView]) -> Option<AppMove>;
+
+    /// Observes the completed round and decides whether the speculative
+    /// move survives, plus any weight update for the next epoch.
+    fn observe(&mut self, obs: &RoundObservation<'_>) -> ControlVerdict;
+}

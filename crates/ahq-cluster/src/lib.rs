@@ -52,6 +52,7 @@
 
 mod churn;
 mod cluster;
+pub mod control;
 mod fidelity;
 mod placement;
 mod report;
@@ -59,8 +60,12 @@ mod report;
 pub use churn::{AppArrival, ChurnConfig, ChurnEvent, ChurnStream};
 pub use cluster::{
     run_cluster, ClusterConfig, ClusterSim, JobFidelity, LocalSched, NodeBatchRunner, NodeJob,
-    SequentialRunner,
+    SequentialRunner, MIGRATION_WARMUP_MS,
 };
+pub use control::{AppMove, AppliedMove, ControlVerdict, Controller, RoundObservation};
 pub use fidelity::{FidelityMode, FidelityPolicy};
-pub use placement::{EntropyAware, FirstFit, LeastLoaded, Migration, NodeView, Placer, PlacerKind};
+pub use placement::{
+    static_placers, EntropyAware, FirstFit, LeastLoaded, Migration, NodeView, PlacementWeights,
+    Placer, PlacerKind,
+};
 pub use report::{ClusterEntropyReport, ClusterWindowStat, NodeUtilization};

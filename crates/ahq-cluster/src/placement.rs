@@ -60,6 +60,58 @@ pub struct Migration {
     pub to: usize,
 }
 
+/// The coefficients of [`EntropyAware`]'s predicted post-placement score.
+/// Defaults are the hand-tuned constants the placer shipped with; the
+/// cluster controller can learn better ones online (GP + expected
+/// improvement over a [`ahq_bayesopt::WeightGrid`]-style candidate set)
+/// and install them through [`Placer::set_weights`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementWeights {
+    /// Weight of the node's observed recent `E_S`.
+    pub es: f64,
+    /// Weight of the LC fragility term `max(0, 1 - ReT)`.
+    pub fragility: f64,
+    /// Weight of the post-placement thread occupancy.
+    pub occupancy: f64,
+    /// Weight of the oversubscription overflow past the physical cores.
+    pub overflow: f64,
+}
+
+impl Default for PlacementWeights {
+    fn default() -> Self {
+        PlacementWeights {
+            es: 1.0,
+            fragility: 0.25,
+            occupancy: 1.0,
+            overflow: 2.0,
+        }
+    }
+}
+
+impl PlacementWeights {
+    /// The weights as a flat vector `[es, fragility, occupancy, overflow]`
+    /// — the layout the online tuner optimizes over.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![self.es, self.fragility, self.occupancy, self.overflow]
+    }
+
+    /// Rebuilds weights from the tuner's flat layout. Returns `None`
+    /// unless exactly four finite values are given.
+    pub fn from_slice(v: &[f64]) -> Option<Self> {
+        match v {
+            [es, fragility, occupancy, overflow] if v.iter().all(|w| w.is_finite()) => {
+                Some(PlacementWeights {
+                    es: *es,
+                    fragility: *fragility,
+                    occupancy: *occupancy,
+                    overflow: *overflow,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
 /// A placement policy: assigns arriving apps to nodes and optionally
 /// migrates BE apps between rounds.
 pub trait Placer {
@@ -73,6 +125,13 @@ pub trait Placer {
     fn rebalance(&mut self, views: &[NodeView]) -> Vec<Migration> {
         let _ = views;
         Vec::new()
+    }
+
+    /// Installs learned scoring weights. Default: ignored — only policies
+    /// that opted into online tuning (the `learned` placer) accept them,
+    /// so the static baselines stay exactly what their names promise.
+    fn set_weights(&mut self, weights: &PlacementWeights) {
+        let _ = weights;
     }
 }
 
@@ -150,6 +209,12 @@ pub struct EntropyAware {
     pub hot_threshold: f64,
     /// Maximum BE migrations proposed per round.
     pub max_migrations: usize,
+    /// Scoring coefficients (defaults reproduce the original hand-tuned
+    /// constants bit-for-bit).
+    pub weights: PlacementWeights,
+    /// Whether [`Placer::set_weights`] is honoured. `false` for the
+    /// classic `entropy-aware` policy, `true` for the `learned` variant.
+    pub tunable: bool,
 }
 
 impl Default for EntropyAware {
@@ -157,32 +222,51 @@ impl Default for EntropyAware {
         EntropyAware {
             hot_threshold: 0.25,
             max_migrations: 2,
+            weights: PlacementWeights::default(),
+            tunable: false,
         }
     }
 }
 
 impl EntropyAware {
+    /// The `learned` variant: identical scoring shape, but the controller
+    /// may install GP-learned weights at epoch boundaries.
+    pub fn learned() -> Self {
+        EntropyAware {
+            tunable: true,
+            ..EntropyAware::default()
+        }
+    }
+
     /// Predicted post-placement `E_S` of placing `extra` threads on the
     /// node: the observed entropy, plus a fragility term for LC apps that
     /// have already burnt their tolerance (`1 - ReT`), plus the thread
     /// pressure — with oversubscription past the physical cores weighted
-    /// heavily, since that is where the entropy knee lives.
-    fn score(view: &NodeView, extra: u32) -> f64 {
+    /// heavily, since that is where the entropy knee lives. At the default
+    /// weights this is bit-identical to the pre-weight formula (IEEE
+    /// multiplication by exactly 1.0 is the identity, and the addition
+    /// order is unchanged).
+    fn score(&self, view: &NodeView, extra: u32) -> f64 {
         let occupancy = view.occupancy_with(extra);
         let overflow = (occupancy - 1.0).max(0.0);
         let observed = view.recent_es.unwrap_or(0.0);
         let fragility = view.recent_ret.map_or(0.0, |ret| (1.0 - ret).max(0.0));
-        observed + 0.25 * fragility + occupancy + 2.0 * overflow
+        let w = &self.weights;
+        w.es * observed + w.fragility * fragility + w.occupancy * occupancy + w.overflow * overflow
     }
 }
 
 impl Placer for EntropyAware {
     fn name(&self) -> &'static str {
-        "entropy-aware"
+        if self.tunable {
+            "learned"
+        } else {
+            "entropy-aware"
+        }
     }
 
     fn place(&mut self, app: &AppSpec, views: &[NodeView]) -> usize {
-        argmin_by_score(views, |v| Self::score(v, app.threads()))
+        argmin_by_score(views, |v| self.score(v, app.threads()))
     }
 
     fn rebalance(&mut self, views: &[NodeView]) -> Vec<Migration> {
@@ -216,7 +300,7 @@ impl Placer for EntropyAware {
                     be_threads: (view.be_threads as i64 + delta[view.index]).max(0) as u32,
                     ..view.clone()
                 };
-                let s = Self::score(&shifted, assumed_threads);
+                let s = self.score(&shifted, assumed_threads);
                 if best.is_none_or(|(bs, _)| s < bs) {
                     best = Some((s, view.index));
                 }
@@ -236,54 +320,86 @@ impl Placer for EntropyAware {
         }
         moves
     }
+
+    fn set_weights(&mut self, weights: &PlacementWeights) {
+        if self.tunable {
+            self.weights = *weights;
+        }
+    }
 }
 
-/// The named placement policies, as a value type experiment grids can
-/// enumerate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum PlacerKind {
+/// Declares [`PlacerKind`] and every lookup over it from one table, so a
+/// new policy cannot be added without its display name and constructor:
+/// each variant row carries both, and `all`/`name`/`build`/`parse` are
+/// generated as exhaustive matches over the same list.
+macro_rules! placer_registry {
+    (
+        $( $(#[$vdoc:meta])* $variant:ident => $display:literal, $build:expr; )+
+    ) => {
+        /// The named placement policies, as a value type experiment grids
+        /// can enumerate.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        pub enum PlacerKind {
+            $( $(#[$vdoc])* $variant, )+
+        }
+
+        impl PlacerKind {
+            /// Number of registered policies.
+            pub const COUNT: usize = [$(PlacerKind::$variant),+].len();
+
+            /// All policies, in registry order (baselines first).
+            pub fn all() -> [PlacerKind; Self::COUNT] {
+                [$(PlacerKind::$variant),+]
+            }
+
+            /// The policy's display name.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( PlacerKind::$variant => $display, )+
+                }
+            }
+
+            /// Instantiates a fresh placer with default parameters.
+            pub fn build(&self) -> Box<dyn Placer> {
+                match self {
+                    $( PlacerKind::$variant => $build, )+
+                }
+            }
+
+            /// Parses a policy from its display name.
+            pub fn parse(name: &str) -> Option<PlacerKind> {
+                match name.to_ascii_lowercase().as_str() {
+                    $( $display => Some(PlacerKind::$variant), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+placer_registry! {
     /// Slot/bin-packing baseline.
-    FirstFit,
+    FirstFit => "first-fit", Box::new(FirstFit::default());
     /// Occupancy-spreading baseline.
-    LeastLoaded,
-    /// Entropy-score-driven placement and BE migration.
-    EntropyAware,
+    LeastLoaded => "least-loaded", Box::new(LeastLoaded);
+    /// Entropy-score-driven placement and BE migration, fixed hand-tuned
+    /// weights.
+    EntropyAware => "entropy-aware", Box::new(EntropyAware::default());
+    /// Entropy-aware scoring whose weights the cluster controller tunes
+    /// online ([`Placer::set_weights`]).
+    Learned => "learned", Box::new(EntropyAware::learned());
 }
 
-impl PlacerKind {
-    /// All policies, baseline first.
-    pub fn all() -> [PlacerKind; 3] {
-        [
-            PlacerKind::FirstFit,
-            PlacerKind::LeastLoaded,
-            PlacerKind::EntropyAware,
-        ]
-    }
-
-    /// The policy's display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            PlacerKind::FirstFit => "first-fit",
-            PlacerKind::LeastLoaded => "least-loaded",
-            PlacerKind::EntropyAware => "entropy-aware",
-        }
-    }
-
-    /// Instantiates a fresh placer with default parameters.
-    pub fn build(&self) -> Box<dyn Placer> {
-        match self {
-            PlacerKind::FirstFit => Box::new(FirstFit::default()),
-            PlacerKind::LeastLoaded => Box::new(LeastLoaded),
-            PlacerKind::EntropyAware => Box::new(EntropyAware::default()),
-        }
-    }
-
-    /// Parses a policy from its display name.
-    pub fn parse(name: &str) -> Option<PlacerKind> {
-        PlacerKind::all()
-            .into_iter()
-            .find(|k| k.name() == name.to_ascii_lowercase())
-    }
+/// The three static policies PR 3 shipped — the grid the `repro cluster`
+/// family iterates. `Learned` is excluded: without a controller feeding it
+/// weights it is identical to `EntropyAware`, and the cluster tables pin
+/// byte-identical output across releases.
+pub fn static_placers() -> [PlacerKind; 3] {
+    [
+        PlacerKind::FirstFit,
+        PlacerKind::LeastLoaded,
+        PlacerKind::EntropyAware,
+    ]
 }
 
 /// Whether an app of `kind` may migrate (only BE work moves; LC apps pin

@@ -30,6 +30,12 @@ pub struct ClusterWindowStat {
     pub lofi_nodes: usize,
     /// Applications placed cluster-wide this window.
     pub apps: usize,
+    /// Migrations executed entering this window's round (placer rebalance
+    /// plus controller moves and rollback restores). Identical across the
+    /// round's windows — the disturbance is per-round, the stats are
+    /// per-window.
+    #[serde(default)]
+    pub round_migrations: u64,
 }
 
 /// Mean thread occupancy of one node over the run.
@@ -52,6 +58,9 @@ pub struct ClusterEntropyReport {
     pub placer: String,
     /// Local (per-node) scheduler name.
     pub sched: String,
+    /// Global controller name, when one was installed.
+    #[serde(default)]
+    pub controller: Option<String>,
     /// Fleet size.
     pub nodes: usize,
     /// Rounds simulated.
@@ -70,8 +79,21 @@ pub struct ClusterEntropyReport {
     pub departures: u64,
     /// Load-level changes applied.
     pub load_changes: u64,
-    /// BE migrations performed.
+    /// BE migrations performed by the placer's rebalance step.
     pub migrations: u64,
+    /// Migrations the global controller executed (committed moves).
+    #[serde(default)]
+    pub ctrl_migrations: u64,
+    /// Controller moves rolled back after an entropy regression.
+    #[serde(default)]
+    pub ctrl_rollbacks: u64,
+    /// LC cold starts charged (controller moves + rollback returns).
+    #[serde(default)]
+    pub cold_starts: u64,
+    /// Cumulative windows of warm-up penalty charged for those cold
+    /// starts.
+    #[serde(default)]
+    pub warmup_windows: u64,
     /// Per-node mean occupancy.
     pub node_utilization: Vec<NodeUtilization>,
 }
@@ -134,6 +156,7 @@ mod tests {
             hifi_nodes: 1,
             lofi_nodes: 0,
             apps: 1,
+            round_migrations: 0,
         }
     }
 
@@ -142,6 +165,7 @@ mod tests {
         let report = ClusterEntropyReport {
             placer: "first-fit".into(),
             sched: "unmanaged".into(),
+            controller: None,
             nodes: 4,
             rounds: 1,
             windows_per_round: 3,
@@ -152,6 +176,10 @@ mod tests {
             departures: 0,
             load_changes: 0,
             migrations: 0,
+            ctrl_migrations: 0,
+            ctrl_rollbacks: 0,
+            cold_starts: 0,
+            warmup_windows: 0,
             node_utilization: vec![NodeUtilization {
                 node: 0,
                 mean_occupancy: 0.5,

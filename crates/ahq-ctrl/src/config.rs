@@ -1,0 +1,75 @@
+//! Controller and tuner configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the global controller's ARQ loop. The defaults mirror
+/// the node-level ARQ constants translated to cluster time: one round is
+/// the controller's clock tick the way one steady window is the node
+/// scheduler's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtrlConfig {
+    /// Rounds of cluster history required before the controller may plan
+    /// its first move — it needs a pre-move baseline to judge against.
+    pub min_history_rounds: usize,
+    /// Minimum donor-minus-recipient gap in recent mean `E_S` for a move
+    /// to be worth proposing. Below this the fleet is considered balanced
+    /// and the controller stays idle.
+    pub hot_margin: f64,
+    /// A committed move is rolled back when the round's cluster-mean
+    /// `E_S` exceeds the pre-move baseline by more than this epsilon.
+    pub regress_epsilon: f64,
+    /// Rounds a donor node stays blacklisted after one of its moves is
+    /// rolled back — the cluster analogue of node-level ARQ's 60 s region
+    /// blacklist.
+    pub cooldown_rounds: f64,
+    /// Whether LC apps may be migrated. LC moves charge the migrated app
+    /// a cold-start warm-up window on the recipient, so conservative
+    /// deployments restrict the controller to BE moves.
+    pub allow_lc: bool,
+    /// Online weight learning for the cluster's tunable placer; `None`
+    /// runs the pure ARQ migration loop with static weights.
+    pub tune: Option<TuneConfig>,
+}
+
+impl Default for CtrlConfig {
+    fn default() -> Self {
+        CtrlConfig {
+            min_history_rounds: 2,
+            hot_margin: 0.05,
+            regress_epsilon: 0.01,
+            cooldown_rounds: 8.0,
+            allow_lc: true,
+            tune: None,
+        }
+    }
+}
+
+/// Configuration of the epoch-level GP weight tuner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneConfig {
+    /// Rounds per tuning epoch: the tuner observes the mean cluster
+    /// `E_S` over this many rounds as one (noisy) objective sample for
+    /// the weight vector in force.
+    pub epoch_rounds: usize,
+    /// Seed for the tuner's expected-improvement tie-breaking.
+    pub seed: u64,
+    /// Explore/exploit cadence forwarded to
+    /// [`ahq_bayesopt::OnlineTuner::with_explore_every`].
+    pub explore_every: usize,
+    /// After this many completed epochs the tuner freezes: it pins the
+    /// incumbent (best mean objective) and stops exploring. An online
+    /// controller pays live entropy for every exploratory epoch, so the
+    /// search gets a budget and the steady state runs the winner.
+    pub freeze_after_epochs: usize,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            epoch_rounds: 2,
+            seed: 0xC11E,
+            explore_every: 2,
+            freeze_after_epochs: 5,
+        }
+    }
+}

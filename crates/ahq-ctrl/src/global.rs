@@ -1,0 +1,406 @@
+//! The global ARQ controller: nodes as regions, rounds as the clock.
+
+use ahq_bayesopt::{OnlineTuner, WeightAxis, WeightGrid};
+use ahq_cluster::{
+    AppMove, ControlVerdict, Controller, NodeView, PlacementWeights, RoundObservation,
+};
+use ahq_sched::Blacklist;
+use ahq_sim::AppKind;
+
+use crate::config::CtrlConfig;
+
+/// The discrete weight space the tuner searches. Each axis brackets the
+/// hand-tuned default of the corresponding [`PlacementWeights`] field, so
+/// the GP can both confirm the default and move away from it.
+pub fn default_weight_grid() -> WeightGrid {
+    WeightGrid::new(vec![
+        WeightAxis::new("es", vec![0.5, 1.0, 1.5]),
+        WeightAxis::new("fragility", vec![0.0, 0.25, 0.5]),
+        WeightAxis::new("occupancy", vec![0.5, 1.0, 1.5]),
+        WeightAxis::new("overflow", vec![1.0, 2.0, 4.0]),
+    ])
+}
+
+/// A speculative move awaiting its entropy verdict: the donor node it
+/// came from and the pre-move baseline (previous round's cluster-mean
+/// `E_S`) it must not regress past.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    donor: usize,
+    baseline: f64,
+}
+
+/// Cluster-level ARQ: one speculative migration per round, entropy
+/// feedback, rollback with donor blacklist on regression, and optional
+/// epoch-level GP weight learning. See the crate docs for the loop.
+#[derive(Debug)]
+pub struct GlobalArq {
+    config: CtrlConfig,
+    blacklist: Blacklist<usize>,
+    pending: Option<Pending>,
+    prev_mean: Option<f64>,
+    tuner: Option<OnlineTuner>,
+    epoch_means: Vec<f64>,
+}
+
+impl GlobalArq {
+    /// Builds a controller; when `config.tune` is set, an [`OnlineTuner`]
+    /// over [`default_weight_grid`] starts from the default placement
+    /// weights so the first epoch measures the untuned baseline.
+    pub fn new(config: CtrlConfig) -> Self {
+        let tuner = config.tune.as_ref().map(|t| {
+            OnlineTuner::new(
+                &default_weight_grid(),
+                PlacementWeights::default().to_vec(),
+                t.seed,
+            )
+            .with_explore_every(t.explore_every)
+        });
+        GlobalArq {
+            config,
+            blacklist: Blacklist::new(),
+            pending: None,
+            prev_mean: None,
+            tuner,
+            epoch_means: Vec::new(),
+        }
+    }
+
+    /// Donor urgency: observed interference plus LC fragility, the same
+    /// signals the entropy-aware placer scores, minus the occupancy terms
+    /// — a hot donor is hot regardless of how full it is.
+    fn donor_score(view: &NodeView) -> f64 {
+        let observed = view.recent_es.unwrap_or(0.0);
+        let fragility = view.recent_ret.map_or(0.0, |ret| (1.0 - ret).max(0.0));
+        observed + fragility
+    }
+
+    /// Recipient cost: observed interference plus occupancy, so the move
+    /// lands on a node that is both quiet and empty.
+    fn recipient_score(view: &NodeView) -> f64 {
+        view.recent_es.unwrap_or(0.0) + view.occupancy_with(0)
+    }
+
+    /// Whether the node hosts an app the controller is allowed to move.
+    fn migratable(&self, view: &NodeView) -> bool {
+        view.be_apps > 0 || (self.config.allow_lc && view.apps > view.be_apps)
+    }
+}
+
+impl Controller for GlobalArq {
+    fn name(&self) -> &'static str {
+        if self.tuner.is_some() {
+            "global-arq+learned"
+        } else {
+            "global-arq"
+        }
+    }
+
+    fn plan(&mut self, round: usize, views: &[NodeView]) -> Option<AppMove> {
+        // No baseline yet — planning before history exists would leave
+        // the rollback check with nothing to compare against.
+        let baseline = self.prev_mean?;
+        if round < self.config.min_history_rounds {
+            return None;
+        }
+        let now = round as f64;
+
+        // Donor: the hottest non-blacklisted node with something to give.
+        // Strict comparisons keep the lowest index on ties, matching the
+        // placer layer's determinism rule.
+        let mut donor: Option<&NodeView> = None;
+        for v in views {
+            if v.recent_es.is_none() || self.blacklist.active(&v.index, now) {
+                continue;
+            }
+            if !self.migratable(v) {
+                continue;
+            }
+            if donor.is_none_or(|d| Self::donor_score(v) > Self::donor_score(d)) {
+                donor = Some(v);
+            }
+        }
+        let donor = donor?;
+
+        // Recipient: the coolest other node. Blacklisted nodes are
+        // excluded as recipients too — a node whose last adjustment blew
+        // up should cool down entirely, as in node-level ARQ.
+        let mut recipient: Option<&NodeView> = None;
+        for v in views {
+            if v.index == donor.index || self.blacklist.active(&v.index, now) {
+                continue;
+            }
+            if recipient.is_none_or(|r| Self::recipient_score(v) < Self::recipient_score(r)) {
+                recipient = Some(v);
+            }
+        }
+        let recipient = recipient?;
+
+        let gap = donor.recent_es.unwrap_or(0.0) - recipient.recent_es.unwrap_or(0.0);
+        if gap <= self.config.hot_margin {
+            return None;
+        }
+
+        // BE moves are free, so prefer them; fall back to an LC move only
+        // when the donor's pressure is all latency-critical.
+        let kind = if donor.be_apps > 0 {
+            AppKind::Be
+        } else {
+            AppKind::Lc
+        };
+        self.pending = Some(Pending {
+            donor: donor.index,
+            baseline,
+        });
+        Some(AppMove {
+            from: donor.index,
+            to: recipient.index,
+            kind,
+        })
+    }
+
+    fn observe(&mut self, obs: &RoundObservation<'_>) -> ControlVerdict {
+        let mean = obs.mean_entropy();
+        let mut verdict = ControlVerdict::default();
+
+        if let Some(pending) = self.pending.take() {
+            if obs.applied.is_some() && mean > pending.baseline + self.config.regress_epsilon {
+                // The speculative move made the cluster worse: restore the
+                // pre-move placement and put the donor on cooldown so the
+                // controller does not immediately re-propose the same bad
+                // move.
+                verdict.rollback = true;
+                self.blacklist.protect(
+                    pending.donor,
+                    obs.round as f64 + self.config.cooldown_rounds,
+                );
+            }
+        }
+        self.prev_mean = Some(mean);
+
+        if let (Some(tuner), Some(tune)) = (self.tuner.as_mut(), self.config.tune.as_ref()) {
+            self.epoch_means.push(mean);
+            if self.epoch_means.len() >= tune.epoch_rounds.max(1) {
+                // The GP maximizes, the cluster minimizes entropy.
+                let avg: f64 = self.epoch_means.iter().sum::<f64>() / self.epoch_means.len() as f64;
+                let next = if tuner.epochs() < tune.freeze_after_epochs {
+                    tuner.advance(-avg).to_vec()
+                } else {
+                    // Search budget spent: pin the incumbent and stop
+                    // paying live entropy for exploration.
+                    tuner
+                        .best()
+                        .map(|(x, _, _)| x)
+                        .unwrap_or_else(|| tuner.current().to_vec())
+                };
+                self.epoch_means.clear();
+                verdict.weights = PlacementWeights::from_slice(&next);
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TuneConfig;
+    use ahq_cluster::{AppliedMove, ClusterWindowStat};
+    use ahq_sim::MachineConfig;
+
+    fn view(index: usize, es: f64, be_apps: usize, lc_apps: usize) -> NodeView {
+        NodeView {
+            index,
+            machine: MachineConfig::paper_xeon(),
+            lc_threads: 2 * lc_apps as u32,
+            be_threads: 2 * be_apps as u32,
+            apps: be_apps + lc_apps,
+            be_apps,
+            recent_es: Some(es),
+            recent_ret: Some(0.6),
+        }
+    }
+
+    fn window(round: usize, mean_es: f64) -> ClusterWindowStat {
+        ClusterWindowStat {
+            window: round,
+            round,
+            mean_es,
+            p95_es: mean_es,
+            max_es: mean_es,
+            violations: 0,
+            active_nodes: 2,
+            hifi_nodes: 2,
+            lofi_nodes: 0,
+            apps: 2,
+            round_migrations: 0,
+        }
+    }
+
+    fn applied(from: usize, to: usize) -> AppliedMove {
+        AppliedMove {
+            id: 7,
+            name: "be-7".into(),
+            from,
+            to,
+            kind: AppKind::Be,
+            from_slot: 0,
+        }
+    }
+
+    fn observe_round(ctrl: &mut GlobalArq, round: usize, mean: f64) -> ControlVerdict {
+        let windows = [window(round, mean)];
+        let views = [view(0, mean, 1, 1), view(1, mean, 0, 0)];
+        ctrl.observe(&RoundObservation {
+            round,
+            windows: &windows,
+            views: &views,
+            applied: None,
+        })
+    }
+
+    #[test]
+    fn no_plan_before_history() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        let views = [view(0, 0.9, 2, 0), view(1, 0.1, 0, 0)];
+        assert_eq!(ctrl.plan(5, &views), None, "needs a baseline first");
+    }
+
+    #[test]
+    fn plans_hot_to_cool_be_move() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        observe_round(&mut ctrl, 0, 0.5);
+        observe_round(&mut ctrl, 1, 0.5);
+        let views = [view(0, 0.2, 1, 0), view(1, 0.9, 2, 1), view(2, 0.1, 0, 0)];
+        let mv = ctrl.plan(2, &views).expect("gap clears the margin");
+        assert_eq!(
+            mv,
+            AppMove {
+                from: 1,
+                to: 2,
+                kind: AppKind::Be
+            }
+        );
+    }
+
+    #[test]
+    fn balanced_fleet_stays_idle() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        observe_round(&mut ctrl, 0, 0.5);
+        observe_round(&mut ctrl, 1, 0.5);
+        let views = [view(0, 0.50, 1, 0), view(1, 0.52, 1, 0)];
+        assert_eq!(ctrl.plan(2, &views), None, "gap below hot_margin");
+    }
+
+    #[test]
+    fn lc_move_only_when_no_be_and_allowed() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        observe_round(&mut ctrl, 0, 0.5);
+        observe_round(&mut ctrl, 1, 0.5);
+        let views = [view(0, 0.9, 0, 2), view(1, 0.1, 0, 0)];
+        let mv = ctrl.plan(2, &views).expect("LC fallback");
+        assert_eq!(mv.kind, AppKind::Lc);
+
+        let mut strict = GlobalArq::new(CtrlConfig {
+            allow_lc: false,
+            ..CtrlConfig::default()
+        });
+        observe_round(&mut strict, 0, 0.5);
+        observe_round(&mut strict, 1, 0.5);
+        assert_eq!(strict.plan(2, &views), None, "LC moves disabled");
+    }
+
+    #[test]
+    fn injected_regression_rolls_back_and_blacklists_donor() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        observe_round(&mut ctrl, 0, 0.30);
+        observe_round(&mut ctrl, 1, 0.30);
+
+        let views = [view(0, 0.9, 2, 1), view(1, 0.1, 0, 0)];
+        let mv = ctrl.plan(2, &views).expect("hot donor");
+        assert_eq!(mv.from, 0);
+
+        // Inject a regression: the round with the move in force scores far
+        // above the 0.30 baseline.
+        let windows = [window(2, 0.55)];
+        let ap = applied(mv.from, mv.to);
+        let verdict = ctrl.observe(&RoundObservation {
+            round: 2,
+            windows: &windows,
+            views: &views,
+            applied: Some(&ap),
+        });
+        assert!(verdict.rollback, "regression past epsilon must roll back");
+
+        // The donor is on cooldown: the same hot views no longer yield a
+        // plan from node 0...
+        assert_eq!(ctrl.plan(3, &views), None, "donor blacklisted");
+        // ...until cooldown_rounds have elapsed.
+        let later = 2 + CtrlConfig::default().cooldown_rounds as usize + 1;
+        assert!(ctrl.plan(later, &views).is_some(), "cooldown expires");
+    }
+
+    #[test]
+    fn improvement_commits_without_rollback() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        observe_round(&mut ctrl, 0, 0.30);
+        observe_round(&mut ctrl, 1, 0.30);
+        let views = [view(0, 0.9, 2, 1), view(1, 0.1, 0, 0)];
+        let mv = ctrl.plan(2, &views).expect("hot donor");
+        let windows = [window(2, 0.22)];
+        let ap = applied(mv.from, mv.to);
+        let verdict = ctrl.observe(&RoundObservation {
+            round: 2,
+            windows: &windows,
+            views: &views,
+            applied: Some(&ap),
+        });
+        assert!(!verdict.rollback, "improved round keeps the move");
+        assert!(ctrl.plan(3, &views).is_some(), "donor not blacklisted");
+    }
+
+    #[test]
+    fn unapplied_plan_never_rolls_back() {
+        let mut ctrl = GlobalArq::new(CtrlConfig::default());
+        observe_round(&mut ctrl, 0, 0.30);
+        observe_round(&mut ctrl, 1, 0.30);
+        let views = [view(0, 0.9, 2, 1), view(1, 0.1, 0, 0)];
+        ctrl.plan(2, &views).expect("hot donor");
+        // The cluster found no matching app, so nothing was applied; even
+        // a regressed round must not blame (or blacklist) the donor.
+        let windows = [window(2, 0.55)];
+        let verdict = ctrl.observe(&RoundObservation {
+            round: 2,
+            windows: &windows,
+            views: &views,
+            applied: None,
+        });
+        assert!(!verdict.rollback);
+        assert!(ctrl.plan(3, &views).is_some(), "donor stays eligible");
+    }
+
+    #[test]
+    fn tuner_emits_weights_each_epoch() {
+        let mut ctrl = GlobalArq::new(CtrlConfig {
+            tune: Some(TuneConfig {
+                epoch_rounds: 3,
+                ..TuneConfig::default()
+            }),
+            ..CtrlConfig::default()
+        });
+        assert_eq!(ctrl.name(), "global-arq+learned");
+        let mut emitted = 0;
+        for round in 0..12 {
+            let verdict = observe_round(&mut ctrl, round, 0.4 + 0.01 * round as f64);
+            if verdict.weights.is_some() {
+                emitted += 1;
+            } else {
+                assert!(
+                    (round + 1) % 3 != 0,
+                    "epoch boundary must emit weights (round {round})"
+                );
+            }
+        }
+        assert_eq!(emitted, 4, "one weight update per 3-round epoch");
+    }
+}

@@ -27,7 +27,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ahq_cluster::FidelityMode;
-use ahq_experiments::{all_experiments, ClusterOpts, ExpConfig, ExpContext, Metric};
+use ahq_experiments::{
+    all_experiments, extra_experiments, ClusterOpts, ExpConfig, ExpContext, Metric,
+};
 use serde::Serialize;
 
 /// One experiment's wall-clock entry in the `--timings` report.
@@ -114,6 +116,9 @@ fn main() -> ExitCode {
                 for (id, title, _) in all_experiments() {
                     println!("{id:<10} {title}");
                 }
+                for (id, title, _) in extra_experiments() {
+                    println!("{id:<10} {title} [not in 'all']");
+                }
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => return usage(""),
@@ -122,18 +127,22 @@ fn main() -> ExitCode {
         }
     }
 
+    // `all` regenerates the pinned paper set; families in
+    // `extra_experiments` (e.g. `gctrl`) run only when picked by id, so
+    // the byte-pinned `repro all` output never moves when one lands.
     let experiments = all_experiments();
     let selected: Vec<_> = if picks.is_empty() || picks.iter().any(|p| p == "all") {
         experiments
     } else {
-        let known: Vec<&str> = experiments.iter().map(|(id, _, _)| *id).collect();
+        let mut pool = experiments;
+        pool.extend(extra_experiments());
+        let known: Vec<&str> = pool.iter().map(|(id, _, _)| *id).collect();
         for p in &picks {
             if !known.contains(&p.as_str()) {
                 return usage(&format!("unknown experiment {p:?}; try --list"));
             }
         }
-        experiments
-            .into_iter()
+        pool.into_iter()
             .filter(|(id, _, _)| picks.iter().any(|p| p == id))
             .collect()
     };

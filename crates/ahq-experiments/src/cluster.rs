@@ -11,8 +11,8 @@
 //! `repro cluster --jobs N` is byte-identical for any `N`.
 
 use ahq_cluster::{
-    run_cluster, ChurnConfig, ClusterConfig, ClusterEntropyReport, FidelityMode, JobFidelity,
-    LocalSched, NodeBatchRunner, NodeJob, PlacerKind,
+    run_cluster, static_placers, ChurnConfig, ClusterConfig, ClusterEntropyReport, FidelityMode,
+    JobFidelity, LocalSched, NodeBatchRunner, NodeJob, PlacerKind, MIGRATION_WARMUP_MS,
 };
 use ahq_sched::RunResult;
 use ahq_sim::SimPerfStats;
@@ -56,6 +56,11 @@ fn job_spec(job: &NodeJob) -> RunSpec {
         window_ms: None,
         model: job.model,
         schedule: Vec::new(),
+        cold: job
+            .cold
+            .iter()
+            .map(|name| (name.clone(), MIGRATION_WARMUP_MS))
+            .collect(),
     }
 }
 
@@ -259,7 +264,9 @@ pub fn run(cfg: &ExpContext) -> ExperimentReport {
     let mut steady: Vec<(usize, PlacerKind, LocalSched, f64)> = Vec::new();
     let mut fidelity_split = (0usize, 0usize);
     for nodes in node_counts(cfg) {
-        for placer in PlacerKind::all() {
+        // The learned placer only differs under a controller; this family
+        // pins the static-policy tables, so it iterates the static trio.
+        for placer in static_placers() {
             for sched in LocalSched::all() {
                 let mut config = scenario(cfg, nodes, placer, sched);
                 config.fidelity = cfg.cluster.fidelity;

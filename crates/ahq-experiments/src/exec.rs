@@ -108,6 +108,12 @@ pub struct RunSpec {
     /// before each window — Fig. 13's trace replay, precomputed so the
     /// job stays a closed value.
     pub schedule: Vec<(usize, String, f64)>,
+    /// Apps starting this run cold: `(name, warmup ms)` pairs applied via
+    /// [`ahq_sim::NodeSim::begin_warmup`] before the first window — how a
+    /// controller-migrated LC app's cold-start cost reaches the engine.
+    /// Applying a warm-up draws no RNG, so specs with an empty list are
+    /// unaffected.
+    pub cold: Vec<(String, f64)>,
 }
 
 impl RunSpec {
@@ -130,6 +136,7 @@ impl RunSpec {
             window_ms: None,
             model: cfg.model(),
             schedule: Vec::new(),
+            cold: Vec::new(),
         }
     }
 
@@ -152,6 +159,10 @@ impl RunSpec {
         let mut sim = build_sim(self.machine, &self.mix, &loads, self.seed);
         if let Some(ms) = self.window_ms {
             sim.set_window_ms(ms);
+        }
+        for (name, ms) in &self.cold {
+            sim.begin_warmup(name, *ms)
+                .expect("cold names target placed apps");
         }
         let mut sched = self.sched.build();
         let schedule = &self.schedule;

@@ -23,6 +23,7 @@
 //! | [`membw`] | extra: memory-bandwidth (MBA) throttling as a third resource dimension |
 //! | [`baselines`] | extra: six-strategy comparison incl. a Heracles-style controller |
 //! | [`cluster`] | extra: multi-node placement policies under churn (`ahq-cluster`) |
+//! | [`gctrl`] | extra: hierarchical cluster-level ARQ control plane (`ahq-ctrl`) |
 //!
 //! The `repro` binary runs any subset and renders aligned text tables plus
 //! CSV files. Every experiment is deterministic (seeded) and offers a
@@ -53,6 +54,7 @@ pub mod fig56;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gctrl;
 pub mod headline;
 pub mod membw;
 pub mod report;
@@ -135,4 +137,15 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
             cluster::run,
         ),
     ]
+}
+
+/// Experiments outside the pinned `repro all` set: runnable by explicit
+/// id (and listed by `--list`), but excluded from `all` so its
+/// byte-pinned output never changes when a new family lands.
+pub fn extra_experiments() -> Vec<ExperimentEntry> {
+    vec![(
+        "gctrl",
+        "Global controller: cluster ARQ control plane",
+        gctrl::run as fn(&ExpContext) -> ExperimentReport,
+    )]
 }

@@ -1,9 +1,8 @@
-use std::collections::HashMap;
-
 use ahq_sim::{AppKind, AppSpec, MachineConfig, MbaLevel, Partition, SharingPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::parties::{ResourceKind, MEMBW_UNIT_PCT};
+use crate::rollback::{Blacklist, SpeculativeMove};
 use crate::{SchedContext, Scheduler};
 
 /// A resource region in ARQ's model: one LC application's isolated region,
@@ -85,8 +84,8 @@ pub struct Arq {
     config: ArqConfig,
     is_adjust: bool,
     prev_entropy: f64,
-    last: Option<(Partition, Region)>,
-    blacklist: HashMap<Region, f64>,
+    last: Option<SpeculativeMove<Partition, Region>>,
+    blacklist: Blacklist<Region>,
     fsm: ResourceKind,
     recent_entropy: Vec<f64>,
 }
@@ -104,7 +103,7 @@ impl Arq {
             is_adjust: false,
             prev_entropy: 1.0, // Algorithm 1 line 2
             last: None,
-            blacklist: HashMap::new(),
+            blacklist: Blacklist::new(),
             fsm: ResourceKind::Cores,
             recent_entropy: Vec::new(),
         }
@@ -124,9 +123,7 @@ impl Arq {
     }
 
     fn blacklisted(&self, region: Region, now_s: f64) -> bool {
-        self.blacklist
-            .get(&region)
-            .is_some_and(|&until| now_s < until)
+        self.blacklist.active(&region, now_s)
     }
 
     /// The remaining-tolerance array: `(global app index, ReT)` per LC
@@ -337,7 +334,7 @@ impl Arq {
     ) -> Option<Partition> {
         if self.config.throttle_be {
             if let Some((p, touched)) = self.throttle_step(ctx, ret, ctx.now_s) {
-                self.last = Some((ctx.partition.clone(), touched));
+                self.last = Some(SpeculativeMove::new(ctx.partition.clone(), touched));
                 self.is_adjust = true;
                 return Some(p);
             }
@@ -387,10 +384,10 @@ impl Scheduler for Arq {
             // local optimum": the cancelled move's resource type did not
             // work; turn the FSM to the next type.
             self.fsm = self.fsm.next();
-            if let Some((before, victim)) = self.last.take() {
+            if let Some(m) = self.last.take() {
                 self.blacklist
-                    .insert(victim, ctx.now_s + self.config.blacklist_secs);
-                return Some(before);
+                    .protect(m.touched, ctx.now_s + self.config.blacklist_secs);
+                return Some(m.before);
             }
             return None;
         }
@@ -417,7 +414,7 @@ impl Scheduler for Arq {
             }
             if let Some(p) = Self::try_move(ctx, victim, beneficiary, kind) {
                 self.fsm = kind;
-                self.last = Some((ctx.partition.clone(), victim));
+                self.last = Some(SpeculativeMove::new(ctx.partition.clone(), victim));
                 self.is_adjust = true;
                 return Some(p);
             }
@@ -582,7 +579,7 @@ mod tests {
     fn blacklist_expires() {
         let mut arq = Arq::new();
         let region = Region::Isolated(1);
-        arq.blacklist.insert(region, 60.0);
+        arq.blacklist.protect(region, 60.0);
         assert!(arq.blacklisted(region, 30.0));
         assert!(!arq.blacklisted(region, 61.0));
     }
@@ -668,9 +665,9 @@ mod tests {
         // the blacklist to force the throttle path instead: both the
         // shared region and every LC region are blacklisted.
         let p = Partition::all_shared(3);
-        arq.blacklist.insert(Region::Shared, 100.0);
-        arq.blacklist.insert(Region::Isolated(0), 100.0);
-        arq.blacklist.insert(Region::Isolated(1), 100.0);
+        arq.blacklist.protect(Region::Shared, 100.0);
+        arq.blacklist.protect(Region::Isolated(0), 100.0);
+        arq.blacklist.protect(Region::Isolated(1), 100.0);
         let e1 = make_entropy(6.0, 2.2);
         let p1 = arq.decide(&fx.ctx(&p, &e1, 0.5)).expect("tightens BE");
         assert_eq!(p1.isolated(2.into()).mba.pct(), 90);

@@ -50,6 +50,7 @@ mod heracles;
 mod lcfirst;
 pub mod observe;
 mod parties;
+pub mod rollback;
 pub mod runner;
 mod unmanaged;
 
@@ -58,6 +59,7 @@ pub use clite::{Clite, CliteConfig};
 pub use heracles::{Heracles, HeraclesConfig};
 pub use lcfirst::LcFirst;
 pub use parties::{Parties, PartiesConfig};
+pub use rollback::{Blacklist, SpeculativeMove};
 pub use runner::{run, run_with_hook, RunResult, ScheduledRun};
 pub use unmanaged::Unmanaged;
 

@@ -1,0 +1,106 @@
+//! Shared rollback / blacklist machinery for entropy-feedback control
+//! loops.
+//!
+//! ARQ's Algorithm 1 pairs every speculative adjustment with two pieces of
+//! bookkeeping: the state to restore if the system entropy regresses, and
+//! a cooldown ledger protecting the penalized region from being picked
+//! again right away. The cluster-level controller (`ahq-ctrl`) runs the
+//! same protocol one layer up — nodes instead of regions, rounds instead
+//! of seconds — so both layers share these types.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A cooldown ledger: keys (regions, node indices, …) protected until a
+/// caller-defined instant on a monotone clock (seconds, rounds, epochs).
+///
+/// Expired entries are harmless — [`Blacklist::active`] compares against
+/// `now` — and are dropped lazily the next time the same key is protected.
+#[derive(Debug, Clone, Default)]
+pub struct Blacklist<K> {
+    until: HashMap<K, f64>,
+}
+
+impl<K: Eq + Hash> Blacklist<K> {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Blacklist {
+            until: HashMap::new(),
+        }
+    }
+
+    /// Protects `key` until the clock reaches `until` (exclusive). A later
+    /// deadline replaces an earlier one; an earlier deadline is ignored.
+    pub fn protect(&mut self, key: K, until: f64) {
+        let slot = self.until.entry(key).or_insert(f64::NEG_INFINITY);
+        if until > *slot {
+            *slot = until;
+        }
+    }
+
+    /// Whether `key` is still protected at time `now`.
+    pub fn active(&self, key: &K, now: f64) -> bool {
+        self.until.get(key).is_some_and(|&until| now < until)
+    }
+
+    /// Number of entries in the ledger, expired ones included.
+    pub fn len(&self) -> usize {
+        self.until.len()
+    }
+
+    /// Whether the ledger holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.until.is_empty()
+    }
+}
+
+/// A speculatively committed adjustment: the state to restore on rollback
+/// plus the entity that was penalized (and must be blacklisted if the
+/// rollback fires).
+#[derive(Debug, Clone)]
+pub struct SpeculativeMove<S, K> {
+    /// The state in force before the adjustment.
+    pub before: S,
+    /// The penalized entity (ARQ: donor region; ahq-ctrl: donor node).
+    pub touched: K,
+}
+
+impl<S, K> SpeculativeMove<S, K> {
+    /// Records `before` as the rollback target and `touched` as the entity
+    /// to protect if the move is cancelled.
+    pub fn new(before: S, touched: K) -> Self {
+        SpeculativeMove { before, touched }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_is_active_until_the_deadline() {
+        let mut b = Blacklist::new();
+        b.protect(7usize, 60.0);
+        assert!(b.active(&7, 0.0));
+        assert!(b.active(&7, 59.9));
+        assert!(!b.active(&7, 60.0), "deadline itself is expired");
+        assert!(!b.active(&3, 0.0), "unknown keys are never protected");
+    }
+
+    #[test]
+    fn later_deadline_wins_earlier_is_ignored() {
+        let mut b = Blacklist::new();
+        b.protect("node", 10.0);
+        b.protect("node", 5.0);
+        assert!(b.active(&"node", 7.0), "shortening is ignored");
+        b.protect("node", 20.0);
+        assert!(b.active(&"node", 15.0), "extension sticks");
+    }
+
+    #[test]
+    fn speculative_move_carries_state_and_culprit() {
+        let m = SpeculativeMove::new(vec![1, 2, 3], 9usize);
+        assert_eq!(m.before, vec![1, 2, 3]);
+        assert_eq!(m.touched, 9);
+    }
+}

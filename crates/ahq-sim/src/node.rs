@@ -1223,6 +1223,29 @@ impl NodeSim {
         Ok(())
     }
 
+    /// Charges one application a cold-start penalty of `ms` milliseconds
+    /// without touching the partition: until the deadline passes, its
+    /// threads run at the warm-up speed factor, exactly as after a
+    /// repartition. This is the cost model for an application that just
+    /// migrated onto this node — its working set arrives cold, which is
+    /// typically far more expensive than the cache refill after a local
+    /// allocation change, so callers pass a duration rather than reusing
+    /// [`OverheadModel::warmup_ms`] implicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] for unregistered names.
+    pub fn begin_warmup(&mut self, name: &str, ms: f64) -> Result<(), SimError> {
+        let id = self.app_id(name)?;
+        self.hot.warmup_until[id.index()] = self.time + SimTime::from_ms(ms.max(0.0));
+        self.rates_dirty = true;
+        // The warm mask is part of the packed scan key, so memoized rate /
+        // derived entries stay valid under their own keys; only the mask
+        // needs repacking.
+        self.warm_stale = true;
+        Ok(())
+    }
+
     /// Advances the simulation by one monitoring window and reports what a
     /// scheduler would observe.
     pub fn run_window(&mut self) -> WindowObservation {

@@ -1,0 +1,97 @@
+//! Benchmarks of the cluster control plane: one round step at 64 nodes
+//! with no controller, the global ARQ controller, and the controller with
+//! GP weight learning, pinned in `BENCH_ctrl.json`. The interesting
+//! number is the *overhead* of the controller's epoch — aggregation,
+//! donor/recipient scoring, speculative move bookkeeping and (for the
+//! learned arm) the per-epoch GP update — over the plain cluster round.
+
+use ahq_cluster::{
+    ChurnConfig, ClusterConfig, ClusterSim, Controller, LocalSched, PlacerKind, SequentialRunner,
+};
+use ahq_ctrl::{CtrlConfig, GlobalArq, TuneConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// The `repro gctrl` scenario shape at `nodes` nodes: heterogeneous
+/// fleet, ~1 app per node, ARQ local scheduler. `rounds` is set far
+/// beyond what Criterion will step so one warmed simulation serves every
+/// iteration.
+fn bench_config(nodes: usize, placer: PlacerKind) -> ClusterConfig {
+    let mut config = ClusterConfig::heterogeneous(nodes, placer, LocalSched::Arq);
+    config.windows_per_round = 2;
+    config.seed = 7;
+    config.rounds = 50_000;
+    config.churn = ChurnConfig {
+        initial_apps: nodes,
+        arrivals_per_round: nodes as f64 / 4.0,
+        departure_prob: 0.05,
+        load_change_prob: 0.15,
+        be_fraction: 0.4,
+    };
+    config
+}
+
+/// One benchmark arm: display name, placer, and an optional controller
+/// factory (a fresh controller per warmed simulation).
+type Arm = (
+    &'static str,
+    PlacerKind,
+    Option<fn() -> Box<dyn Controller>>,
+);
+
+fn bench_ctrl_round_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctrl_round_step");
+    group.sample_size(10);
+    let arms: [Arm; 3] = [
+        ("none", PlacerKind::EntropyAware, None),
+        (
+            "ctrl",
+            PlacerKind::EntropyAware,
+            Some(|| Box::new(GlobalArq::new(CtrlConfig::default()))),
+        ),
+        (
+            "ctrl_learned",
+            PlacerKind::Learned,
+            Some(|| {
+                Box::new(GlobalArq::new(CtrlConfig {
+                    tune: Some(TuneConfig::default()),
+                    ..CtrlConfig::default()
+                }))
+            }),
+        ),
+    ];
+    for (name, placer, make_ctrl) in arms {
+        group.bench_function(format!("64_nodes_{name}"), |b| {
+            // Warm past the controller's history requirement and first
+            // tuning epochs, so iterations measure the steady decision
+            // loop rather than the idle warm-up rounds.
+            let runner = SequentialRunner::default();
+            let mut sim = ClusterSim::new(bench_config(64, placer));
+            if let Some(make) = make_ctrl {
+                sim.set_controller(make());
+            }
+            for _ in 0..8 {
+                sim.step_round(&runner);
+            }
+            b.iter(|| {
+                sim.step_round(&runner);
+                black_box(sim.round())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A time-boxed Criterion configuration, matching the other benches in
+/// the suite.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_ctrl_round_step);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ahq_bayesopt-34da6f5665319f50.d: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+/root/repo/target/debug/deps/libahq_bayesopt-34da6f5665319f50.rlib: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+/root/repo/target/debug/deps/libahq_bayesopt-34da6f5665319f50.rmeta: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+crates/ahq-bayesopt/src/lib.rs:
+crates/ahq-bayesopt/src/acquisition.rs:
+crates/ahq-bayesopt/src/gp.rs:
+crates/ahq-bayesopt/src/kernel.rs:
+crates/ahq-bayesopt/src/linalg.rs:
+crates/ahq-bayesopt/src/online.rs:
+crates/ahq-bayesopt/src/optimizer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ahq_bayesopt-8cc3f252da4ef5d9.d: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_bayesopt-8cc3f252da4ef5d9.rmeta: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs Cargo.toml
+
+crates/ahq-bayesopt/src/lib.rs:
+crates/ahq-bayesopt/src/acquisition.rs:
+crates/ahq-bayesopt/src/gp.rs:
+crates/ahq-bayesopt/src/kernel.rs:
+crates/ahq-bayesopt/src/linalg.rs:
+crates/ahq-bayesopt/src/online.rs:
+crates/ahq-bayesopt/src/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

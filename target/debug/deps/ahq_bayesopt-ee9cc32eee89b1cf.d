@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ahq_bayesopt-ee9cc32eee89b1cf.d: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+/root/repo/target/debug/deps/ahq_bayesopt-ee9cc32eee89b1cf: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+crates/ahq-bayesopt/src/lib.rs:
+crates/ahq-bayesopt/src/acquisition.rs:
+crates/ahq-bayesopt/src/gp.rs:
+crates/ahq-bayesopt/src/kernel.rs:
+crates/ahq-bayesopt/src/linalg.rs:
+crates/ahq-bayesopt/src/online.rs:
+crates/ahq-bayesopt/src/optimizer.rs:

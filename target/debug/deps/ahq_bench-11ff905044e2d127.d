@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ahq_bench-11ff905044e2d127.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_bench-11ff905044e2d127.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

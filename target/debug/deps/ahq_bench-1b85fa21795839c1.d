@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ahq_bench-1b85fa21795839c1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-1b85fa21795839c1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-1b85fa21795839c1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

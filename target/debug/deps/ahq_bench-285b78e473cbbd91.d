@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ahq_bench-285b78e473cbbd91.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ahq_bench-285b78e473cbbd91: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

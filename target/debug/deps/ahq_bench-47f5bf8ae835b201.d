@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ahq_bench-47f5bf8ae835b201.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-47f5bf8ae835b201.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-47f5bf8ae835b201.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ahq_bench-9092c97dbf2a95ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ahq_bench-9092c97dbf2a95ed: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ahq_bench-c520dcc87f03fdf3.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_bench-c520dcc87f03fdf3.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ahq_ctrl-4201122b31c1c15b.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/debug/deps/ahq_ctrl-4201122b31c1c15b: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:

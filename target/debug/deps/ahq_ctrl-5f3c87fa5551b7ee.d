@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ahq_ctrl-5f3c87fa5551b7ee.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_ctrl-5f3c87fa5551b7ee.rmeta: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs Cargo.toml
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ahq_ctrl-b571a4c7459a9d87.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_ctrl-b571a4c7459a9d87.rmeta: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs Cargo.toml
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

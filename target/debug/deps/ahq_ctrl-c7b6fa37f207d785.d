@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ahq_ctrl-c7b6fa37f207d785.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/debug/deps/libahq_ctrl-c7b6fa37f207d785.rlib: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/debug/deps/libahq_ctrl-c7b6fa37f207d785.rmeta: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:

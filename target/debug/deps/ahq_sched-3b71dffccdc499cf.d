@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ahq_sched-3b71dffccdc499cf.d: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_sched-3b71dffccdc499cf.rmeta: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs Cargo.toml
+
+crates/ahq-sched/src/lib.rs:
+crates/ahq-sched/src/arq.rs:
+crates/ahq-sched/src/clite.rs:
+crates/ahq-sched/src/heracles.rs:
+crates/ahq-sched/src/lcfirst.rs:
+crates/ahq-sched/src/observe.rs:
+crates/ahq-sched/src/parties.rs:
+crates/ahq-sched/src/rollback.rs:
+crates/ahq-sched/src/runner.rs:
+crates/ahq-sched/src/unmanaged.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

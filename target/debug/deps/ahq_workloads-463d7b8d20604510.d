@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ahq_workloads-463d7b8d20604510.d: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/ahq_workloads-463d7b8d20604510: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+crates/ahq-workloads/src/lib.rs:
+crates/ahq-workloads/src/load.rs:
+crates/ahq-workloads/src/mixes.rs:
+crates/ahq-workloads/src/profiles.rs:
+crates/ahq-workloads/src/zipf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ahq_workloads-90ca3c71b7e0bbaa.d: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_workloads-90ca3c71b7e0bbaa.rmeta: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs Cargo.toml
+
+crates/ahq-workloads/src/lib.rs:
+crates/ahq-workloads/src/load.rs:
+crates/ahq-workloads/src/mixes.rs:
+crates/ahq-workloads/src/profiles.rs:
+crates/ahq-workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bayesopt-0c8ad3acfe8f20c9.d: crates/bench/benches/bayesopt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbayesopt-0c8ad3acfe8f20c9.rmeta: crates/bench/benches/bayesopt.rs Cargo.toml
+
+crates/bench/benches/bayesopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-309ce9a51f5969e2.d: crates/ahq-experiments/../../tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-309ce9a51f5969e2: crates/ahq-experiments/../../tests/cluster.rs
+
+crates/ahq-experiments/../../tests/cluster.rs:

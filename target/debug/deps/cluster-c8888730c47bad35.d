@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-c8888730c47bad35.d: crates/ahq-experiments/../../tests/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-c8888730c47bad35.rmeta: crates/ahq-experiments/../../tests/cluster.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

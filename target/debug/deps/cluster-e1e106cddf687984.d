@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-e1e106cddf687984.d: crates/ahq-experiments/../../tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-e1e106cddf687984: crates/ahq-experiments/../../tests/cluster.rs
+
+crates/ahq-experiments/../../tests/cluster.rs:

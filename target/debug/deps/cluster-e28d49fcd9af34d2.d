@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-e28d49fcd9af34d2.d: crates/bench/benches/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-e28d49fcd9af34d2.rmeta: crates/bench/benches/cluster.rs Cargo.toml
+
+crates/bench/benches/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c3a69cffc15c5061.d: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c3a69cffc15c5061.rmeta: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/tmp/ahq-verify/stubs/criterion/src/lib.rs:

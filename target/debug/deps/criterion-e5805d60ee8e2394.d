@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e5805d60ee8e2394.d: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e5805d60ee8e2394.rlib: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e5805d60ee8e2394.rmeta: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/tmp/ahq-verify/stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctrl-dd5ea4beb0b259fa.d: crates/bench/benches/ctrl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctrl-dd5ea4beb0b259fa.rmeta: crates/bench/benches/ctrl.rs Cargo.toml
+
+crates/bench/benches/ctrl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

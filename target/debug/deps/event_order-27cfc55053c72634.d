@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_order-27cfc55053c72634.d: crates/ahq-sim/tests/event_order.rs
+
+/root/repo/target/debug/deps/event_order-27cfc55053c72634: crates/ahq-sim/tests/event_order.rs
+
+crates/ahq-sim/tests/event_order.rs:

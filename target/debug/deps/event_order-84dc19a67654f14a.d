@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_order-84dc19a67654f14a.d: crates/ahq-sim/tests/event_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_order-84dc19a67654f14a.rmeta: crates/ahq-sim/tests/event_order.rs Cargo.toml
+
+crates/ahq-sim/tests/event_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

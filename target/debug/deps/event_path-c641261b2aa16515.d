@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/event_path-c641261b2aa16515.d: crates/ahq-sim/tests/event_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_path-c641261b2aa16515.rmeta: crates/ahq-sim/tests/event_path.rs Cargo.toml
+
+crates/ahq-sim/tests/event_path.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ahq-sim
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/event_path-f55a54737feba76f.d: crates/ahq-sim/tests/event_path.rs
+
+/root/repo/target/debug/deps/event_path-f55a54737feba76f: crates/ahq-sim/tests/event_path.rs
+
+crates/ahq-sim/tests/event_path.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ahq-sim

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-24580d81e35a1aec.d: crates/ahq-experiments/../../tests/executor.rs
+
+/root/repo/target/debug/deps/executor-24580d81e35a1aec: crates/ahq-experiments/../../tests/executor.rs
+
+crates/ahq-experiments/../../tests/executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-3a21063b8f572424.d: crates/ahq-experiments/../../tests/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-3a21063b8f572424.rmeta: crates/ahq-experiments/../../tests/executor.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-41c84965e2bf0843.d: crates/bench/benches/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-41c84965e2bf0843.rmeta: crates/bench/benches/executor.rs Cargo.toml
+
+crates/bench/benches/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

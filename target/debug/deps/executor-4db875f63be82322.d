@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-4db875f63be82322.d: crates/ahq-experiments/../../tests/executor.rs
+
+/root/repo/target/debug/deps/executor-4db875f63be82322: crates/ahq-experiments/../../tests/executor.rs
+
+crates/ahq-experiments/../../tests/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gctrl-2d1915493b4fa3a4.d: crates/ahq-experiments/../../tests/gctrl.rs
+
+/root/repo/target/debug/deps/gctrl-2d1915493b4fa3a4: crates/ahq-experiments/../../tests/gctrl.rs
+
+crates/ahq-experiments/../../tests/gctrl.rs:

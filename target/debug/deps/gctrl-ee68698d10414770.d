@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gctrl-ee68698d10414770.d: crates/ahq-experiments/../../tests/gctrl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgctrl-ee68698d10414770.rmeta: crates/ahq-experiments/../../tests/gctrl.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/gctrl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

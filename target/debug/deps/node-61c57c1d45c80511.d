@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/node-61c57c1d45c80511.d: crates/bench/benches/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnode-61c57c1d45c80511.rmeta: crates/bench/benches/node.rs Cargo.toml
+
+crates/bench/benches/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

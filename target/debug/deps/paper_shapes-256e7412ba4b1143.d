@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-256e7412ba4b1143.d: crates/ahq-experiments/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-256e7412ba4b1143: crates/ahq-experiments/../../tests/paper_shapes.rs
+
+crates/ahq-experiments/../../tests/paper_shapes.rs:

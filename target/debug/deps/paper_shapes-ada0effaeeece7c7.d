@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-ada0effaeeece7c7.d: crates/ahq-experiments/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-ada0effaeeece7c7: crates/ahq-experiments/../../tests/paper_shapes.rs
+
+crates/ahq-experiments/../../tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-e325c179b7d9a894.d: crates/ahq-experiments/../../tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-e325c179b7d9a894.rmeta: crates/ahq-experiments/../../tests/paper_shapes.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

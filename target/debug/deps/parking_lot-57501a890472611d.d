@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-57501a890472611d.d: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-57501a890472611d.rlib: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-57501a890472611d.rmeta: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/tmp/ahq-verify/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d1550c188c767232.d: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d1550c188c767232.rmeta: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/tmp/ahq-verify/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perf_smoke-040b6f3bc5f9fc73.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+/root/repo/target/debug/deps/libperf_smoke-040b6f3bc5f9fc73.rmeta: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

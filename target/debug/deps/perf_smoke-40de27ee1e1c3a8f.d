@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/perf_smoke-40de27ee1e1c3a8f.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+/root/repo/target/debug/deps/perf_smoke-40de27ee1e1c3a8f: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perf_smoke-4d417af6e399241c.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+/root/repo/target/debug/deps/libperf_smoke-4d417af6e399241c.rmeta: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

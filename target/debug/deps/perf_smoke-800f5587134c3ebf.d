@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/perf_smoke-800f5587134c3ebf.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+/root/repo/target/debug/deps/perf_smoke-800f5587134c3ebf: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-560c1048da68db75.d: crates/ahq-experiments/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-560c1048da68db75: crates/ahq-experiments/../../tests/pipeline.rs
+
+crates/ahq-experiments/../../tests/pipeline.rs:

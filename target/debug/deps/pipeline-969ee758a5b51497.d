@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-969ee758a5b51497.d: crates/ahq-experiments/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-969ee758a5b51497.rmeta: crates/ahq-experiments/../../tests/pipeline.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

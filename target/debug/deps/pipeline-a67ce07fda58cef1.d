@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-a67ce07fda58cef1.d: crates/ahq-experiments/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-a67ce07fda58cef1: crates/ahq-experiments/../../tests/pipeline.rs
+
+crates/ahq-experiments/../../tests/pipeline.rs:

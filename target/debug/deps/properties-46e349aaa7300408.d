@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-46e349aaa7300408.d: crates/ahq-sched/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-46e349aaa7300408.rmeta: crates/ahq-sched/tests/properties.rs Cargo.toml
+
+crates/ahq-sched/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4e3ab603b19278d8.d: crates/ahq-core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4e3ab603b19278d8: crates/ahq-core/tests/properties.rs
+
+crates/ahq-core/tests/properties.rs:

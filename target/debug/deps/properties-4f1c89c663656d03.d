@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4f1c89c663656d03.d: crates/ahq-sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4f1c89c663656d03: crates/ahq-sched/tests/properties.rs
+
+crates/ahq-sched/tests/properties.rs:

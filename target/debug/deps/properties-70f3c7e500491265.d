@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-70f3c7e500491265.d: crates/ahq-bayesopt/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-70f3c7e500491265.rmeta: crates/ahq-bayesopt/tests/properties.rs Cargo.toml
+
+crates/ahq-bayesopt/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

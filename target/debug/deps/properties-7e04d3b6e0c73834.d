@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7e04d3b6e0c73834.d: crates/ahq-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7e04d3b6e0c73834.rmeta: crates/ahq-sim/tests/properties.rs Cargo.toml
+
+crates/ahq-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-87b4578e0e437201.d: crates/ahq-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-87b4578e0e437201: crates/ahq-sim/tests/properties.rs
+
+crates/ahq-sim/tests/properties.rs:

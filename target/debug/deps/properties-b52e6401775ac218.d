@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b52e6401775ac218.d: crates/ahq-core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b52e6401775ac218.rmeta: crates/ahq-core/tests/properties.rs Cargo.toml
+
+crates/ahq-core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c741e009a33405fa.d: crates/ahq-bayesopt/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c741e009a33405fa: crates/ahq-bayesopt/tests/properties.rs
+
+crates/ahq-bayesopt/tests/properties.rs:

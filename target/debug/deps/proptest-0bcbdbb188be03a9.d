@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0bcbdbb188be03a9.d: /tmp/ahq-verify/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0bcbdbb188be03a9.rlib: /tmp/ahq-verify/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0bcbdbb188be03a9.rmeta: /tmp/ahq-verify/stubs/proptest/src/lib.rs
+
+/tmp/ahq-verify/stubs/proptest/src/lib.rs:

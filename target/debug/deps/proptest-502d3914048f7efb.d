@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-502d3914048f7efb.d: /tmp/ahq-verify/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-502d3914048f7efb.rmeta: /tmp/ahq-verify/stubs/proptest/src/lib.rs
+
+/tmp/ahq-verify/stubs/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantile-936f480e9131703c.d: crates/bench/benches/quantile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantile-936f480e9131703c.rmeta: crates/bench/benches/quantile.rs Cargo.toml
+
+crates/bench/benches/quantile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b18a85a6126bf5e6.d: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b18a85a6126bf5e6.rlib: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b18a85a6126bf5e6.rmeta: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/tmp/ahq-verify/stubs/rand/src/lib.rs:

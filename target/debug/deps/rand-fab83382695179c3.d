@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-fab83382695179c3.d: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fab83382695179c3.rmeta: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/tmp/ahq-verify/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-2065662882bc92b9.d: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-2065662882bc92b9.rlib: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-2065662882bc92b9.rmeta: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/tmp/ahq-verify/stubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-c4db50cc34afa2b3.d: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-c4db50cc34afa2b3.rmeta: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/tmp/ahq-verify/stubs/rand_distr/src/lib.rs:

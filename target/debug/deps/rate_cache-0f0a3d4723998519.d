@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rate_cache-0f0a3d4723998519.d: crates/ahq-sim/tests/rate_cache.rs
+
+/root/repo/target/debug/deps/rate_cache-0f0a3d4723998519: crates/ahq-sim/tests/rate_cache.rs
+
+crates/ahq-sim/tests/rate_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rate_cache-5bfee91bcbc113ab.d: crates/ahq-sim/tests/rate_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/librate_cache-5bfee91bcbc113ab.rmeta: crates/ahq-sim/tests/rate_cache.rs Cargo.toml
+
+crates/ahq-sim/tests/rate_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-069bfd3f4a1527df.d: crates/ahq-experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-069bfd3f4a1527df.rmeta: crates/ahq-experiments/src/bin/repro.rs Cargo.toml
+
+crates/ahq-experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-629f99e8561ebaf3.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-629f99e8561ebaf3: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9332a1a717463996.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9332a1a717463996: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

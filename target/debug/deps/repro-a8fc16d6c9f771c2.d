@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a8fc16d6c9f771c2.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a8fc16d6c9f771c2: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-b5b168625046f239.d: crates/ahq-experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-b5b168625046f239.rmeta: crates/ahq-experiments/src/bin/repro.rs Cargo.toml
+
+crates/ahq-experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

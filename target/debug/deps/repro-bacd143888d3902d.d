@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-bacd143888d3902d.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-bacd143888d3902d: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulers-bf7edb357a54a0a4.d: crates/bench/benches/schedulers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulers-bf7edb357a54a0a4.rmeta: crates/bench/benches/schedulers.rs Cargo.toml
+
+crates/bench/benches/schedulers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-721488abc8e6b5b7.d: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-721488abc8e6b5b7.rlib: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-721488abc8e6b5b7.rmeta: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde/src/lib.rs:

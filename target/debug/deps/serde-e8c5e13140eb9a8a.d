@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e8c5e13140eb9a8a.d: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e8c5e13140eb9a8a.rmeta: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-89f07c0a44d389b5.d: /tmp/ahq-verify/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-89f07c0a44d389b5.so: /tmp/ahq-verify/stubs/serde_derive/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde_derive/src/lib.rs:

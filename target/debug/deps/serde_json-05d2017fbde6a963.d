@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-05d2017fbde6a963.d: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-05d2017fbde6a963.rlib: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-05d2017fbde6a963.rmeta: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde_json/src/lib.rs:

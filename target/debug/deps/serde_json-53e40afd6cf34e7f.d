@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-53e40afd6cf34e7f.d: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-53e40afd6cf34e7f.rmeta: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surrogate-b19f96392b19f5d6.d: crates/ahq-experiments/../../tests/surrogate.rs
+
+/root/repo/target/debug/deps/surrogate-b19f96392b19f5d6: crates/ahq-experiments/../../tests/surrogate.rs
+
+crates/ahq-experiments/../../tests/surrogate.rs:

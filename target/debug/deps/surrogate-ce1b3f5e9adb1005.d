@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/surrogate-ce1b3f5e9adb1005.d: crates/ahq-experiments/../../tests/surrogate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsurrogate-ce1b3f5e9adb1005.rmeta: crates/ahq-experiments/../../tests/surrogate.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/surrogate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surrogate-f90d681414e2fb3a.d: crates/ahq-experiments/../../tests/surrogate.rs
+
+/root/repo/target/debug/deps/surrogate-f90d681414e2fb3a: crates/ahq-experiments/../../tests/surrogate.rs
+
+crates/ahq-experiments/../../tests/surrogate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory-bbc906442f8447d2.d: crates/bench/benches/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-bbc906442f8447d2.rmeta: crates/bench/benches/theory.rs Cargo.toml
+
+crates/bench/benches/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

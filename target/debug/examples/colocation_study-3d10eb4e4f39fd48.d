@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation_study-3d10eb4e4f39fd48.d: crates/ahq-experiments/../../examples/colocation_study.rs
+
+/root/repo/target/debug/examples/colocation_study-3d10eb4e4f39fd48: crates/ahq-experiments/../../examples/colocation_study.rs
+
+crates/ahq-experiments/../../examples/colocation_study.rs:

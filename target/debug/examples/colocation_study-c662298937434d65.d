@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation_study-c662298937434d65.d: crates/ahq-experiments/../../examples/colocation_study.rs
+
+/root/repo/target/debug/examples/colocation_study-c662298937434d65: crates/ahq-experiments/../../examples/colocation_study.rs
+
+crates/ahq-experiments/../../examples/colocation_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocation_study-d65af73aff60c8f5.d: crates/ahq-experiments/../../examples/colocation_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocation_study-d65af73aff60c8f5.rmeta: crates/ahq-experiments/../../examples/colocation_study.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/colocation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

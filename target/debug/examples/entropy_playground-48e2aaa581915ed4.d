@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/entropy_playground-48e2aaa581915ed4.d: crates/ahq-experiments/../../examples/entropy_playground.rs
+
+/root/repo/target/debug/examples/entropy_playground-48e2aaa581915ed4: crates/ahq-experiments/../../examples/entropy_playground.rs
+
+crates/ahq-experiments/../../examples/entropy_playground.rs:

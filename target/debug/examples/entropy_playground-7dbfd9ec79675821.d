@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/entropy_playground-7dbfd9ec79675821.d: crates/ahq-experiments/../../examples/entropy_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libentropy_playground-7dbfd9ec79675821.rmeta: crates/ahq-experiments/../../examples/entropy_playground.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/entropy_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/entropy_playground-cd6fdd63028c9547.d: crates/ahq-experiments/../../examples/entropy_playground.rs
+
+/root/repo/target/debug/examples/entropy_playground-cd6fdd63028c9547: crates/ahq-experiments/../../examples/entropy_playground.rs
+
+crates/ahq-experiments/../../examples/entropy_playground.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fluctuating_load-4241992673bc43df.d: crates/ahq-experiments/../../examples/fluctuating_load.rs
+
+/root/repo/target/debug/examples/fluctuating_load-4241992673bc43df: crates/ahq-experiments/../../examples/fluctuating_load.rs
+
+crates/ahq-experiments/../../examples/fluctuating_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fluctuating_load-7619ae88ef236048.d: crates/ahq-experiments/../../examples/fluctuating_load.rs
+
+/root/repo/target/debug/examples/fluctuating_load-7619ae88ef236048: crates/ahq-experiments/../../examples/fluctuating_load.rs
+
+crates/ahq-experiments/../../examples/fluctuating_load.rs:

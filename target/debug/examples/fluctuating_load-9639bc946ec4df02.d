@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fluctuating_load-9639bc946ec4df02.d: crates/ahq-experiments/../../examples/fluctuating_load.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfluctuating_load-9639bc946ec4df02.rmeta: crates/ahq-experiments/../../examples/fluctuating_load.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/fluctuating_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-32162157dcc7ef59.d: crates/ahq-experiments/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-32162157dcc7ef59: crates/ahq-experiments/../../examples/quickstart.rs
+
+crates/ahq-experiments/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e29730340d3543be.d: crates/ahq-experiments/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e29730340d3543be: crates/ahq-experiments/../../examples/quickstart.rs
+
+crates/ahq-experiments/../../examples/quickstart.rs:

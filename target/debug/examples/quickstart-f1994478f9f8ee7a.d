@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-f1994478f9f8ee7a.d: crates/ahq-experiments/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-f1994478f9f8ee7a.rmeta: crates/ahq-experiments/../../examples/quickstart.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_equivalence-0be1069f199468da.d: crates/ahq-experiments/../../examples/resource_equivalence.rs
+
+/root/repo/target/debug/examples/resource_equivalence-0be1069f199468da: crates/ahq-experiments/../../examples/resource_equivalence.rs
+
+crates/ahq-experiments/../../examples/resource_equivalence.rs:

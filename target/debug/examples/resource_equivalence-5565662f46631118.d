@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_equivalence-5565662f46631118.d: crates/ahq-experiments/../../examples/resource_equivalence.rs
+
+/root/repo/target/debug/examples/resource_equivalence-5565662f46631118: crates/ahq-experiments/../../examples/resource_equivalence.rs
+
+crates/ahq-experiments/../../examples/resource_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resource_equivalence-70cda45cb908da51.d: crates/ahq-experiments/../../examples/resource_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresource_equivalence-70cda45cb908da51.rmeta: crates/ahq-experiments/../../examples/resource_equivalence.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/resource_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

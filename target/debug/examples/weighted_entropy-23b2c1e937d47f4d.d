@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_entropy-23b2c1e937d47f4d.d: crates/ahq-experiments/../../examples/weighted_entropy.rs
+
+/root/repo/target/debug/examples/weighted_entropy-23b2c1e937d47f4d: crates/ahq-experiments/../../examples/weighted_entropy.rs
+
+crates/ahq-experiments/../../examples/weighted_entropy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_entropy-2e0eacecc351dc44.d: crates/ahq-experiments/../../examples/weighted_entropy.rs
+
+/root/repo/target/debug/examples/weighted_entropy-2e0eacecc351dc44: crates/ahq-experiments/../../examples/weighted_entropy.rs
+
+crates/ahq-experiments/../../examples/weighted_entropy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weighted_entropy-3e9dc7df29779b6b.d: crates/ahq-experiments/../../examples/weighted_entropy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweighted_entropy-3e9dc7df29779b6b.rmeta: crates/ahq-experiments/../../examples/weighted_entropy.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/weighted_entropy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ahq_bayesopt-e92ebffe3aa99550.d: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+/root/repo/target/release/deps/libahq_bayesopt-e92ebffe3aa99550.rlib: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+/root/repo/target/release/deps/libahq_bayesopt-e92ebffe3aa99550.rmeta: crates/ahq-bayesopt/src/lib.rs crates/ahq-bayesopt/src/acquisition.rs crates/ahq-bayesopt/src/gp.rs crates/ahq-bayesopt/src/kernel.rs crates/ahq-bayesopt/src/linalg.rs crates/ahq-bayesopt/src/online.rs crates/ahq-bayesopt/src/optimizer.rs
+
+crates/ahq-bayesopt/src/lib.rs:
+crates/ahq-bayesopt/src/acquisition.rs:
+crates/ahq-bayesopt/src/gp.rs:
+crates/ahq-bayesopt/src/kernel.rs:
+crates/ahq-bayesopt/src/linalg.rs:
+crates/ahq-bayesopt/src/online.rs:
+crates/ahq-bayesopt/src/optimizer.rs:

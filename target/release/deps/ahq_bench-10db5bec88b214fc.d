@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ahq_bench-10db5bec88b214fc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-10db5bec88b214fc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-10db5bec88b214fc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ahq_bench-9312f1a00e308d4d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-9312f1a00e308d4d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-9312f1a00e308d4d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

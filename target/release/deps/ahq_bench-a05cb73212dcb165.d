@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ahq_bench-a05cb73212dcb165.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-a05cb73212dcb165.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-a05cb73212dcb165.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

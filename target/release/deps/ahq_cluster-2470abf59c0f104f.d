@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ahq_cluster-2470abf59c0f104f.d: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/release/deps/libahq_cluster-2470abf59c0f104f.rlib: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/release/deps/libahq_cluster-2470abf59c0f104f.rmeta: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+crates/ahq-cluster/src/lib.rs:
+crates/ahq-cluster/src/churn.rs:
+crates/ahq-cluster/src/cluster.rs:
+crates/ahq-cluster/src/control.rs:
+crates/ahq-cluster/src/fidelity.rs:
+crates/ahq-cluster/src/placement.rs:
+crates/ahq-cluster/src/report.rs:

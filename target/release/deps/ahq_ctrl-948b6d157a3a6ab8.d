@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ahq_ctrl-948b6d157a3a6ab8.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/release/deps/libahq_ctrl-948b6d157a3a6ab8.rlib: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/release/deps/libahq_ctrl-948b6d157a3a6ab8.rmeta: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:

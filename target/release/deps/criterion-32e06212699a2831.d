@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-32e06212699a2831.d: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-32e06212699a2831.rlib: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-32e06212699a2831.rmeta: /tmp/ahq-verify/stubs/criterion/src/lib.rs
+
+/tmp/ahq-verify/stubs/criterion/src/lib.rs:

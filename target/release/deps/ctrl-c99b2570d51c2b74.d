@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ctrl-c99b2570d51c2b74.d: crates/bench/benches/ctrl.rs
+
+/root/repo/target/release/deps/ctrl-c99b2570d51c2b74: crates/bench/benches/ctrl.rs
+
+crates/bench/benches/ctrl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e2b4a5daa0511636.d: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e2b4a5daa0511636.rlib: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e2b4a5daa0511636.rmeta: /tmp/ahq-verify/stubs/parking_lot/src/lib.rs
+
+/tmp/ahq-verify/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/perf_smoke-34e44a7fb760eb9e.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+/root/repo/target/release/deps/perf_smoke-34e44a7fb760eb9e: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c26f06791879cd1e.d: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c26f06791879cd1e.rlib: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c26f06791879cd1e.rmeta: /tmp/ahq-verify/stubs/rand/src/lib.rs
+
+/tmp/ahq-verify/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-fef85f60d2cb227c.d: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-fef85f60d2cb227c.rlib: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-fef85f60d2cb227c.rmeta: /tmp/ahq-verify/stubs/rand_distr/src/lib.rs
+
+/tmp/ahq-verify/stubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-4277a27db1c05fb6.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-4277a27db1c05fb6: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-7cecb6001f9c8dfa.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-7cecb6001f9c8dfa: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

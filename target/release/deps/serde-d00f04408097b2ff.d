@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d00f04408097b2ff.d: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d00f04408097b2ff.rlib: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d00f04408097b2ff.rmeta: /tmp/ahq-verify/stubs/serde/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-894f6b7335f33043.d: /tmp/ahq-verify/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-894f6b7335f33043.so: /tmp/ahq-verify/stubs/serde_derive/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-305d76cf018e1c47.d: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-305d76cf018e1c47.rlib: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-305d76cf018e1c47.rmeta: /tmp/ahq-verify/stubs/serde_json/src/lib.rs
+
+/tmp/ahq-verify/stubs/serde_json/src/lib.rs:

@@ -6,7 +6,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use ahq_core::{derive_seed, EntropyModel};
-use ahq_sched::{observe, RunResult, ScheduledRun, Scheduler};
+use ahq_sched::{observe, ArqConfig, RunResult, ScheduledRun, Scheduler};
 use ahq_sim::{
     percentile, AppKind, AppSpec, MachineConfig, NodeSim, SimPerfStats, SteadyCalibration,
     Surrogate,
@@ -118,6 +118,11 @@ pub struct NodeJob {
     /// job values — and the engine's memo keys — unchanged.
     #[serde(default)]
     pub cold: Vec<String>,
+    /// Tuned ARQ knobs for this job; `None` runs [`LocalSched::build`]'s
+    /// defaults. Only meaningful with [`LocalSched::Arq`] — trained
+    /// policies route their searched thresholds through here.
+    #[serde(default)]
+    pub arq: Option<ArqConfig>,
 }
 
 impl NodeJob {
@@ -141,6 +146,15 @@ impl NodeJob {
         }
     }
 
+    /// Builds the job's local scheduler, honouring a tuned ARQ config
+    /// when one rides along.
+    fn build_sched(&self) -> Box<dyn Scheduler> {
+        match (self.sched, self.arq) {
+            (LocalSched::Arq, Some(config)) => Box::new(ahq_sched::Arq::with_config(config)),
+            _ => self.sched.build(),
+        }
+    }
+
     fn execute_hifi(&self) -> (RunResult, SimPerfStats) {
         let mut sim = NodeSim::with_reference(
             self.machine,
@@ -159,7 +173,7 @@ impl NodeJob {
             sim.begin_warmup(name, MIGRATION_WARMUP_MS)
                 .expect("cold names target placed apps");
         }
-        let mut sched = self.sched.build();
+        let mut sched = self.build_sched();
         let mut run = ScheduledRun::new(&mut sim, sched.as_mut(), &self.model);
         while run.windows_run() < self.windows {
             run.step();
@@ -175,7 +189,7 @@ impl NodeJob {
     /// round), and the surrogate stamps out every window from one
     /// steady-state solve. Seed-independent by construction.
     fn execute_lofi(&self, calibration: &SteadyCalibration) -> RunResult {
-        let sched = self.sched.build();
+        let sched = self.build_sched();
         let partition = sched.initial_partition(&self.machine, &self.apps);
         let surrogate = Surrogate::new(
             self.machine,
@@ -285,6 +299,11 @@ pub struct ClusterConfig {
     /// Ladder promotion/demotion thresholds (ignored under
     /// [`FidelityMode::Full`]).
     pub fidelity_policy: FidelityPolicy,
+    /// Tuned ARQ knobs applied to every LC-hosting node when `sched` is
+    /// [`LocalSched::Arq`]; `None` keeps the paper's Algorithm 1 defaults
+    /// (and the historical job values byte-for-byte).
+    #[serde(default)]
+    pub arq: Option<ArqConfig>,
 }
 
 impl ClusterConfig {
@@ -303,6 +322,7 @@ impl ClusterConfig {
             churn: ChurnConfig::default(),
             fidelity: FidelityMode::default(),
             fidelity_policy: FidelityPolicy::default(),
+            arq: None,
         }
     }
 
@@ -480,6 +500,14 @@ impl ClusterSim {
     /// after the round's windows (see [`Controller`]).
     pub fn set_controller(&mut self, controller: Box<dyn Controller>) {
         self.controller = Some(controller);
+    }
+
+    /// Replaces the placer built from [`ClusterConfig::placer`] with a
+    /// custom instance — how trained policies install their searched
+    /// entropy-aware scoring weights. Call before the first round; the
+    /// report still carries the configured [`PlacerKind`]'s name.
+    pub fn set_placer(&mut self, placer: Box<dyn Placer>) {
+        self.placer = placer;
     }
 
     /// Rounds stepped so far.
@@ -751,6 +779,7 @@ impl ClusterSim {
             seed: derive_seed(derive_seed(self.config.seed, i as u64), self.round as u64),
             model: self.config.model,
             fidelity: JobFidelity::HiFi,
+            arq: if has_lc { self.config.arq } else { None },
             // A cold marker can outlive its app: a rollback re-marks the
             // app at home *after* the round, and next round's churn may
             // remove it before this job is built. A departed app owes no

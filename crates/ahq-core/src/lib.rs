@@ -62,6 +62,7 @@
 mod entropy;
 mod equivalence;
 mod error;
+pub mod json;
 mod measurement;
 mod seed;
 mod series;

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE]
 //!       [--timings FILE] [--nodes N] [--rounds N] [--fidelity MODE]
+//!       [--pop N] [--gens N] [--train-out FILE] [--artifact FILE]
 //!       [all | <ids>...]
 //! repro --list
 //! ```
@@ -19,6 +20,10 @@
 //! to one scaled scenario at `N` nodes (`--rounds` rounds, default 1000);
 //! `--fidelity ladder` enables the HI-FI/LO-FI fidelity ladder
 //! (DESIGN.md §8), which is what makes `--nodes 10000` tractable.
+//!
+//! `--pop N` / `--gens N` size the `train` experiment's search budget;
+//! `--train-out FILE` saves the trained policy artifact, and
+//! `--artifact FILE` is what the `replay` experiment loads back.
 
 use std::env;
 use std::fs;
@@ -27,24 +32,49 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ahq_cluster::FidelityMode;
+use ahq_core::json::{JsonValue, ToJson};
 use ahq_experiments::{
-    all_experiments, extra_experiments, ClusterOpts, ExpConfig, ExpContext, Metric,
+    all_experiments, extra_experiments, ClusterOpts, ExpConfig, ExpContext, Metric, TrainOpts,
 };
-use serde::Serialize;
 
 /// One experiment's wall-clock entry in the `--timings` report.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct ExperimentTiming {
     id: String,
     seconds: f64,
     /// Deterministic scalar metrics the experiment exported (e.g. the
     /// cluster experiment's HI-FI/LO-FI node-window split).
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     metrics: Vec<Metric>,
 }
 
+impl ToJson for ExperimentTiming {
+    fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("id", self.id.to_json()),
+            ("seconds", self.seconds.to_json()),
+        ];
+        if !self.metrics.is_empty() {
+            fields.push((
+                "metrics",
+                JsonValue::Array(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            JsonValue::object(vec![
+                                ("name", m.name.to_json()),
+                                ("value", m.value.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        JsonValue::object(fields)
+    }
+}
+
 /// The `--timings FILE` document.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct TimingsReport {
     jobs: usize,
     quick: bool,
@@ -67,6 +97,26 @@ struct TimingsReport {
     experiments: Vec<ExperimentTiming>,
 }
 
+impl ToJson for TimingsReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("jobs", self.jobs.to_json()),
+            ("quick", self.quick.to_json()),
+            ("seed", self.seed.to_json()),
+            ("total_seconds", self.total_seconds.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("cache_hit_rate", self.cache_hit_rate.to_json()),
+            ("simulated_events", self.simulated_events.to_json()),
+            ("events_per_second", self.events_per_second.to_json()),
+            ("rate_cache_hits", self.rate_cache_hits.to_json()),
+            ("rate_cache_misses", self.rate_cache_misses.to_json()),
+            ("rate_cache_hit_rate", self.rate_cache_hit_rate.to_json()),
+            ("experiments", self.experiments.to_json()),
+        ])
+    }
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut seed = 42u64;
@@ -75,6 +125,7 @@ fn main() -> ExitCode {
     let mut json: Option<PathBuf> = None;
     let mut timings: Option<PathBuf> = None;
     let mut cluster = ClusterOpts::default();
+    let mut train = TrainOpts::default();
     let mut picks: Vec<String> = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -111,6 +162,22 @@ fn main() -> ExitCode {
             "--timings" => match args.next() {
                 Some(file) => timings = Some(PathBuf::from(file)),
                 None => return usage("--timings needs a file path"),
+            },
+            "--pop" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 2 => train.population = Some(n),
+                _ => return usage("--pop needs an integer >= 2"),
+            },
+            "--gens" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => train.generations = Some(n),
+                _ => return usage("--gens needs a positive integer"),
+            },
+            "--train-out" => match args.next() {
+                Some(file) => train.out = Some(PathBuf::from(file)),
+                None => return usage("--train-out needs a file path"),
+            },
+            "--artifact" => match args.next() {
+                Some(file) => train.artifact = Some(PathBuf::from(file)),
+                None => return usage("--artifact needs a file path"),
             },
             "--list" => {
                 for (id, title, _) in all_experiments() {
@@ -152,6 +219,7 @@ fn main() -> ExitCode {
     // headline, fig3 reuses fig2's budget points, and so on.
     let mut cfg = ExpContext::with_jobs(ExpConfig { quick, seed }, jobs);
     cfg.cluster = cluster;
+    cfg.train = train;
     if let Some(dir) = &out {
         if let Err(e) = fs::create_dir_all(dir) {
             eprintln!("cannot create {dir:?}: {e}");
@@ -243,17 +311,9 @@ fn main() -> ExitCode {
             rate_cache_hit_rate: rate_hit_rate,
             experiments: experiment_timings,
         };
-        match serde_json::to_string_pretty(&doc) {
-            Ok(body) => {
-                if let Err(e) = fs::write(file, body) {
-                    eprintln!("cannot write {file:?}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            Err(e) => {
-                eprintln!("cannot serialize timings: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(e) = fs::write(file, ahq_core::json::to_string_pretty(&doc) + "\n") {
+            eprintln!("cannot write {file:?}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
@@ -266,6 +326,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE] \
          [--timings FILE] [--nodes N] [--rounds N] [--fidelity full|ladder] \
+         [--pop N] [--gens N] [--train-out FILE] [--artifact FILE] \
          [all | <ids>...]"
     );
     eprintln!("       repro --list");

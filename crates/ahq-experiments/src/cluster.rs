@@ -47,10 +47,14 @@ fn job_spec(job: &NodeJob) -> RunSpec {
             apps: (*job.apps).clone(),
         },
         loads: job.loads.clone(),
-        sched: SchedSpec::Kind(match job.sched {
-            LocalSched::Unmanaged => StrategyKind::Unmanaged,
-            LocalSched::Arq => StrategyKind::Arq,
-        }),
+        sched: match (job.sched, job.arq) {
+            // A tuned job carries its explicit ARQ configuration into the
+            // cache key; untuned jobs keep the original `Kind` keys so
+            // existing memoized entries stay shared.
+            (LocalSched::Arq, Some(config)) => SchedSpec::Arq(config),
+            (LocalSched::Arq, None) => SchedSpec::Kind(StrategyKind::Arq),
+            (LocalSched::Unmanaged, _) => SchedSpec::Kind(StrategyKind::Unmanaged),
+        },
         windows: job.windows,
         seed: job.seed,
         window_ms: None,

@@ -371,6 +371,9 @@ pub struct ExpContext {
     /// Command-line overrides for the cluster experiment
     /// (`repro cluster --nodes/--rounds/--fidelity`).
     pub cluster: crate::cluster::ClusterOpts,
+    /// Command-line overrides for the train/replay experiments
+    /// (`repro train --pop/--gens/--train-out/--artifact`).
+    pub train: crate::train::TrainOpts,
     engine: Engine,
 }
 
@@ -385,6 +388,7 @@ impl ExpContext {
         ExpContext {
             cfg,
             cluster: crate::cluster::ClusterOpts::default(),
+            train: crate::train::TrainOpts::default(),
             engine: Engine::new(jobs),
         }
     }

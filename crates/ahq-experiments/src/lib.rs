@@ -24,6 +24,7 @@
 //! | [`baselines`] | extra: six-strategy comparison incl. a Heracles-style controller |
 //! | [`cluster`] | extra: multi-node placement policies under churn (`ahq-cluster`) |
 //! | [`gctrl`] | extra: hierarchical cluster-level ARQ control plane (`ahq-ctrl`) |
+//! | [`train`] | extra: offline policy search + artifact replay (`ahq-train`) |
 //!
 //! The `repro` binary runs any subset and renders aligned text tables plus
 //! CSV files. Every experiment is deterministic (seeded) and offers a
@@ -62,6 +63,7 @@ pub mod runs;
 pub mod strategy;
 pub mod table2;
 pub mod table4;
+pub mod train;
 
 pub use cluster::{ClusterOpts, EngineRunner};
 pub use error::{classify_reachability, ExperimentError, Reachability};
@@ -69,6 +71,7 @@ pub use exec::{CacheStats, Engine, ExpContext, RunKey, RunSpec, SchedSpec};
 pub use report::{ExperimentReport, Metric, TextTable};
 pub use runs::ExpConfig;
 pub use strategy::StrategyKind;
+pub use train::TrainOpts;
 
 /// One registry entry: `(id, title, runner)`.
 pub type ExperimentEntry = (
@@ -143,9 +146,21 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
 /// id (and listed by `--list`), but excluded from `all` so its
 /// byte-pinned output never changes when a new family lands.
 pub fn extra_experiments() -> Vec<ExperimentEntry> {
-    vec![(
-        "gctrl",
-        "Global controller: cluster ARQ control plane",
-        gctrl::run as fn(&ExpContext) -> ExperimentReport,
-    )]
+    vec![
+        (
+            "gctrl",
+            "Global controller: cluster ARQ control plane",
+            gctrl::run as fn(&ExpContext) -> ExperimentReport,
+        ),
+        (
+            "train",
+            "Offline policy search over placement/ARQ knobs",
+            train::run,
+        ),
+        (
+            "replay",
+            "Replay a trained policy artifact vs the incumbent",
+            train::run_replay,
+        ),
+    ]
 }

@@ -8,6 +8,7 @@
 //! window clock. Both produce byte-identical [`RunResult`]s for the same
 //! inputs: the batch helpers are thin wrappers over the stepper.
 
+use ahq_core::json::{FromJson, JsonError, JsonValue, ToJson};
 use ahq_core::{EntropyModel, EntropyReport};
 use ahq_sim::{NodeSim, Partition, WindowObservation};
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,32 @@ pub struct RunResult {
     pub violations: u64,
     /// Number of partition adjustments the scheduler made.
     pub adjustments: u64,
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("strategy", self.strategy.to_json()),
+            ("observations", self.observations.to_json()),
+            ("entropy", self.entropy.to_json()),
+            ("partitions", self.partitions.to_json()),
+            ("violations", self.violations.to_json()),
+            ("adjustments", self.adjustments.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunResult {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            strategy: value.req("strategy")?,
+            observations: value.req("observations")?,
+            entropy: value.req("entropy")?,
+            partitions: value.req("partitions")?,
+            violations: value.req("violations")?,
+            adjustments: value.req("adjustments")?,
+        })
+    }
 }
 
 impl RunResult {

@@ -1,0 +1,224 @@
+//! JSON conversions for the simulator's observation and partition types,
+//! so run artifacts built from them round-trip through `ahq_core::json`.
+
+use ahq_core::json::{FromJson, JsonError, JsonValue, ToJson};
+
+use crate::observation::{BeWindowStats, LcWindowStats, WindowObservation};
+use crate::partition::{MbaLevel, Partition, RegionAlloc};
+
+impl ToJson for MbaLevel {
+    fn to_json(&self) -> JsonValue {
+        self.pct().to_json()
+    }
+}
+
+impl FromJson for MbaLevel {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let pct: u32 = u32::from_json(value)?;
+        let level = MbaLevel::new(pct);
+        if level.pct() != pct {
+            return Err(JsonError::extract(format!(
+                "{pct} % is not a discrete MBA level"
+            )));
+        }
+        Ok(level)
+    }
+}
+
+impl ToJson for RegionAlloc {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("cores", self.cores.to_json()),
+            ("ways", self.ways.to_json()),
+            ("membw_pct", self.membw_pct.to_json()),
+            ("mba", self.mba.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RegionAlloc {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            cores: value.req("cores")?,
+            ways: value.req("ways")?,
+            membw_pct: value.req("membw_pct")?,
+            mba: value.req("mba")?,
+        })
+    }
+}
+
+impl ToJson for Partition {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![(
+            "isolated",
+            JsonValue::Array(self.iter().map(|(_, alloc)| alloc.to_json()).collect()),
+        )])
+    }
+}
+
+impl FromJson for Partition {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Partition::strict(value.req("isolated")?))
+    }
+}
+
+impl ToJson for LcWindowStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", self.name.to_json()),
+            ("p95_ms", self.p95_ms.to_json()),
+            ("ideal_ms", self.ideal_ms.to_json()),
+            ("qos_ms", self.qos_ms.to_json()),
+            ("load", self.load.to_json()),
+            ("arrivals", self.arrivals.to_json()),
+            ("completions", self.completions.to_json()),
+            ("drops", self.drops.to_json()),
+            ("backlog", self.backlog.to_json()),
+            ("mean_core_capacity", self.mean_core_capacity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LcWindowStats {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: value.req("name")?,
+            p95_ms: value.opt("p95_ms")?,
+            ideal_ms: value.req("ideal_ms")?,
+            qos_ms: value.req("qos_ms")?,
+            load: value.req("load")?,
+            arrivals: value.req("arrivals")?,
+            completions: value.req("completions")?,
+            drops: value.req("drops")?,
+            backlog: value.req("backlog")?,
+            mean_core_capacity: value.req("mean_core_capacity")?,
+        })
+    }
+}
+
+impl ToJson for BeWindowStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("name", self.name.to_json()),
+            ("ipc", self.ipc.to_json()),
+            ("ipc_solo", self.ipc_solo.to_json()),
+            ("mean_core_capacity", self.mean_core_capacity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BeWindowStats {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: value.req("name")?,
+            ipc: value.req("ipc")?,
+            ipc_solo: value.req("ipc_solo")?,
+            mean_core_capacity: value.req("mean_core_capacity")?,
+        })
+    }
+}
+
+impl ToJson for WindowObservation {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("window_index", self.window_index.to_json()),
+            ("start_ms", self.start_ms.to_json()),
+            ("end_ms", self.end_ms.to_json()),
+            ("lc", self.lc.to_json()),
+            ("be", self.be.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WindowObservation {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            window_index: value.req("window_index")?,
+            start_ms: value.req("start_ms")?,
+            end_ms: value.req("end_ms")?,
+            lc: value.req("lc")?,
+            be: value.req("be")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahq_core::json;
+    use proptest::prelude::*;
+
+    fn sample_observation(p95: Option<f64>) -> WindowObservation {
+        WindowObservation {
+            window_index: 3,
+            start_ms: 1500.0,
+            end_ms: 2000.0,
+            lc: vec![LcWindowStats {
+                name: "xapian".into(),
+                p95_ms: p95,
+                ideal_ms: 2.77,
+                qos_ms: 4.22,
+                load: 0.5,
+                arrivals: 412,
+                completions: 409,
+                drops: 1,
+                backlog: 2,
+                mean_core_capacity: 3.25,
+            }],
+            be: vec![BeWindowStats {
+                name: "fluidanimate".into(),
+                ipc: 1.1,
+                ipc_solo: 1.6,
+                mean_core_capacity: 4.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn observation_round_trips_including_missing_p95() {
+        for p95 in [Some(3.875), None] {
+            let obs = sample_observation(p95);
+            let back: WindowObservation = json::from_str(&json::to_string(&obs)).unwrap();
+            assert_eq!(back, obs);
+        }
+    }
+
+    #[test]
+    fn partition_round_trips() {
+        let p = Partition::strict(vec![
+            RegionAlloc::new(3, 6)
+                .with_membw(20)
+                .with_mba(MbaLevel::new(40)),
+            RegionAlloc::EMPTY,
+        ]);
+        let back: Partition = json::from_str(&json::to_string(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn non_discrete_mba_level_is_rejected() {
+        assert!(json::from_str::<MbaLevel>("35").is_err());
+        assert_eq!(json::from_str::<MbaLevel>("40").unwrap(), MbaLevel::new(40));
+    }
+
+    proptest! {
+        /// Window observations with arbitrary in-range payloads survive
+        /// the text round-trip exactly — the artifact-type leg of the
+        /// parse ∘ serialize ≡ identity property.
+        #[test]
+        fn observation_round_trip_property(
+            (p95, load, arrivals) in (0.001f64..1e4, 0.0f64..1.5, 0u64..1_000_000),
+            (ipc, cores) in (0.0f64..8.0, 0.0f64..16.0),
+            has_p95 in any::<bool>(),
+        ) {
+            let mut obs = sample_observation(has_p95.then_some(p95));
+            obs.lc[0].load = load;
+            obs.lc[0].arrivals = arrivals;
+            obs.be[0].ipc = ipc;
+            obs.be[0].mean_core_capacity = cores;
+            let back: WindowObservation =
+                json::from_str(&json::to_string(&obs)).unwrap();
+            prop_assert_eq!(back, obs);
+        }
+    }
+}

@@ -73,6 +73,7 @@ mod bandwidth;
 mod cache;
 mod contention;
 mod error;
+mod jsonio;
 mod node;
 mod observation;
 mod partition;

@@ -270,7 +270,7 @@ impl Surrogate {
                 .map(|(i, s)| AppDemand {
                     kind: s.kind(),
                     busy: busy[i],
-                    curve: curves[i].clone(),
+                    curve: curves[i],
                     bw_per_thread: s.cache_profile().bw_gbps_per_thread,
                 })
                 .collect();
@@ -321,7 +321,7 @@ impl Surrogate {
                         &[AppDemand {
                             kind: AppKind::Be,
                             busy: spec.threads(),
-                            curve: curves[i].clone(),
+                            curve: curves[i],
                             bw_per_thread: spec.cache_profile().bw_gbps_per_thread,
                         }],
                         SharingPolicy::Fair,

@@ -1,0 +1,205 @@
+//! The on-disk policy artifact: the trained genome plus enough
+//! provenance (seed, budget, portfolio, training curve, baseline) to
+//! reproduce or audit the search. Serialized with `ahq_core::json` so
+//! artifacts written by `repro train` load back bit-exactly.
+
+use std::fmt;
+use std::path::Path;
+
+use ahq_core::json::{self, FromJson, JsonError, JsonValue, ToJson};
+
+use crate::evaluate::Fitness;
+use crate::genome::Genome;
+use crate::trainer::GenerationStat;
+
+/// A trained policy with its provenance. See [`PolicyArtifact::save`]
+/// / [`PolicyArtifact::load`] for the disk round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyArtifact {
+    /// Artifact format version ([`PolicyArtifact::FORMAT_VERSION`]).
+    pub version: u32,
+    /// Master seed the search ran under.
+    pub seed: u64,
+    /// GA population size.
+    pub population: usize,
+    /// GA generation count.
+    pub generations: usize,
+    /// Whether the GP/EI refinement pass ran after the GA.
+    pub refined: bool,
+    /// Names of the portfolio scenarios the policy was scored on.
+    pub portfolio: Vec<String>,
+    /// The trained policy.
+    pub genome: Genome,
+    /// The trained policy's fitness on the portfolio.
+    pub fitness: Fitness,
+    /// The incumbent hand-tuned policy's fitness on the same portfolio.
+    pub baseline: Fitness,
+    /// Per-generation training curve (refinement appends one entry).
+    pub history: Vec<GenerationStat>,
+}
+
+impl PolicyArtifact {
+    /// Current artifact format version.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Render as pretty JSON — the exact bytes [`PolicyArtifact::save`]
+    /// writes, exposed so determinism tests can compare artifacts
+    /// without touching the filesystem.
+    pub fn to_json_string(&self) -> String {
+        json::to_string_pretty(self)
+    }
+
+    /// Write the artifact to `path` as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_json_string() + "\n")
+            .map_err(|e| ArtifactError::Io(path.display().to_string(), e.to_string()))
+    }
+
+    /// Load an artifact from `path`, rejecting unknown format versions.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArtifactError::Io(path.display().to_string(), e.to_string()))?;
+        let artifact: PolicyArtifact = json::from_str(&text).map_err(ArtifactError::Json)?;
+        if artifact.version != Self::FORMAT_VERSION {
+            return Err(ArtifactError::Version(artifact.version));
+        }
+        Ok(artifact)
+    }
+}
+
+impl ToJson for PolicyArtifact {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("version", self.version.to_json()),
+            ("seed", self.seed.to_json()),
+            ("population", self.population.to_json()),
+            ("generations", self.generations.to_json()),
+            ("refined", self.refined.to_json()),
+            ("portfolio", self.portfolio.to_json()),
+            ("genome", self.genome.to_json()),
+            ("fitness", self.fitness.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("history", self.history.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PolicyArtifact {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(PolicyArtifact {
+            version: value.req("version")?,
+            seed: value.req("seed")?,
+            population: value.req("population")?,
+            generations: value.req("generations")?,
+            refined: value.req("refined")?,
+            portfolio: value.req("portfolio")?,
+            genome: value.req("genome")?,
+            fitness: value.req("fitness")?,
+            baseline: value.req("baseline")?,
+            history: value.req("history")?,
+        })
+    }
+}
+
+/// Why saving or loading a policy artifact failed.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem error (path, OS message).
+    Io(String, String),
+    /// The file is not valid artifact JSON.
+    Json(JsonError),
+    /// The file's format version is not supported.
+    Version(u32),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(path, err) => write!(f, "{path}: {err}"),
+            ArtifactError::Json(err) => write!(f, "invalid policy artifact: {err}"),
+            ArtifactError::Version(v) => write!(
+                f,
+                "unsupported policy artifact version {v} (supported: {})",
+                PolicyArtifact::FORMAT_VERSION
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PolicyArtifact {
+        PolicyArtifact {
+            version: PolicyArtifact::FORMAT_VERSION,
+            seed: 42,
+            population: 8,
+            generations: 4,
+            refined: true,
+            portfolio: vec!["churn-16n-8r@2a".into()],
+            genome: Genome::default(),
+            fitness: Fitness {
+                mean_es: 0.11,
+                p95_es: 0.3,
+                violations: 0.02,
+                migration_cost: 1.25,
+            },
+            baseline: Fitness {
+                mean_es: 0.14,
+                p95_es: 0.35,
+                violations: 0.03,
+                migration_cost: 1.0,
+            },
+            history: vec![
+                GenerationStat {
+                    generation: 0,
+                    best: 0.3,
+                    mean: 0.5,
+                },
+                GenerationStat {
+                    generation: 1,
+                    best: 0.27,
+                    mean: 0.4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = sample();
+        let back: PolicyArtifact = json::from_str(&a.to_json_string()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn disk_round_trip_and_version_gate() {
+        let dir = std::env::temp_dir().join("ahq-train-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        let a = sample();
+        a.save(&path).unwrap();
+        assert_eq!(PolicyArtifact::load(&path).unwrap(), a);
+
+        let mut wrong = a;
+        wrong.version = 99;
+        wrong.save(&path).unwrap();
+        match PolicyArtifact::load(&path) {
+            Err(ArtifactError::Version(99)) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let missing = Path::new("/nonexistent/ahq-train/policy.json");
+        assert!(matches!(
+            PolicyArtifact::load(missing),
+            Err(ArtifactError::Io(..))
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! Scoring a candidate genome: run it over the whole portfolio and fold
+//! the cluster reports into one multi-objective [`Fitness`] tuple.
+
+use ahq_cluster::{ClusterSim, NodeBatchRunner};
+use ahq_core::json::{FromJson, JsonError, JsonValue, ToJson};
+
+use crate::genome::Genome;
+use crate::portfolio::Scenario;
+
+/// The multi-objective score of one genome over the portfolio — all
+/// components averaged across scenarios, lower is better for every
+/// component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fitness {
+    /// Steady-state mean system entropy E_S (last half of each run).
+    pub mean_es: f64,
+    /// Steady-state p95 system entropy — the tail the paper optimizes.
+    pub p95_es: f64,
+    /// SLO violations per window.
+    pub violations: f64,
+    /// Placement plus control-plane migrations per round — the cost a
+    /// migration-happy policy pays for its entropy gains.
+    pub migration_cost: f64,
+}
+
+impl Fitness {
+    /// Weight of the p95 tail relative to the steady-state mean.
+    pub const W_P95: f64 = 0.5;
+    /// Penalty per SLO violation per window.
+    pub const W_VIOLATIONS: f64 = 0.05;
+    /// Penalty per migration per round.
+    pub const W_MIGRATIONS: f64 = 0.01;
+
+    /// Scalarization the search minimizes: steady-state mean E_S, plus
+    /// the p95 tail at half weight, plus small penalties for SLO
+    /// violations and migration churn. The entropy terms dominate (they
+    /// are the paper's objective); the penalties only break ties
+    /// between policies with indistinguishable entropy.
+    pub fn scalar(&self) -> f64 {
+        self.mean_es
+            + Self::W_P95 * self.p95_es
+            + Self::W_VIOLATIONS * self.violations
+            + Self::W_MIGRATIONS * self.migration_cost
+    }
+
+    /// Total order used for selection: scalar first, then each
+    /// component in declaration order as a deterministic tie-break.
+    pub fn cmp_key(&self, other: &Fitness) -> std::cmp::Ordering {
+        self.scalar()
+            .total_cmp(&other.scalar())
+            .then(self.mean_es.total_cmp(&other.mean_es))
+            .then(self.p95_es.total_cmp(&other.p95_es))
+            .then(self.violations.total_cmp(&other.violations))
+            .then(self.migration_cost.total_cmp(&other.migration_cost))
+    }
+}
+
+impl ToJson for Fitness {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("mean_es", self.mean_es.to_json()),
+            ("p95_es", self.p95_es.to_json()),
+            ("violations", self.violations.to_json()),
+            ("migration_cost", self.migration_cost.to_json()),
+            ("scalar", self.scalar().to_json()),
+        ])
+    }
+}
+
+impl FromJson for Fitness {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Fitness {
+            mean_es: value.req("mean_es")?,
+            p95_es: value.req("p95_es")?,
+            violations: value.req("violations")?,
+            migration_cost: value.req("migration_cost")?,
+        })
+    }
+}
+
+/// Evaluate one genome over the portfolio: each scenario runs with the
+/// genome's placer and ARQ configuration swapped in, then the per-run
+/// steady-state statistics are averaged. Runs execute through `runner`,
+/// so a memoizing engine dedupes node jobs shared between candidates.
+pub fn evaluate(genome: &Genome, portfolio: &[Scenario], runner: &dyn NodeBatchRunner) -> Fitness {
+    assert!(!portfolio.is_empty(), "portfolio must not be empty");
+    let mut total = Fitness {
+        mean_es: 0.0,
+        p95_es: 0.0,
+        violations: 0.0,
+        migration_cost: 0.0,
+    };
+    for scenario in portfolio {
+        let mut config = scenario.config.clone();
+        config.arq = Some(genome.arq_config());
+        let mut sim = ClusterSim::new(config);
+        sim.set_placer(Box::new(genome.placer()));
+        let report = sim.run(runner);
+        let steady = (report.rounds * report.windows_per_round) / 2;
+        total.mean_es += report.steady_mean_entropy(steady);
+        total.p95_es += report.steady_p95_entropy(steady);
+        total.violations += report.violations as f64 / report.windows().max(1) as f64;
+        total.migration_cost +=
+            (report.migrations + report.ctrl_migrations) as f64 / report.rounds.max(1) as f64;
+    }
+    let n = portfolio.len() as f64;
+    Fitness {
+        mean_es: total.mean_es / n,
+        p95_es: total.p95_es / n,
+        violations: total.violations / n,
+        migration_cost: total.migration_cost / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portfolio::churned;
+    use ahq_cluster::SequentialRunner;
+
+    #[test]
+    fn scalar_weights_the_components() {
+        let f = Fitness {
+            mean_es: 0.2,
+            p95_es: 0.4,
+            violations: 2.0,
+            migration_cost: 3.0,
+        };
+        assert!((f.scalar() - (0.2 + 0.2 + 0.1 + 0.03)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmp_key_orders_by_scalar_then_components() {
+        let a = Fitness {
+            mean_es: 0.1,
+            p95_es: 0.2,
+            violations: 0.0,
+            migration_cost: 0.0,
+        };
+        let mut b = a;
+        b.mean_es = 0.2;
+        assert_eq!(a.cmp_key(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.cmp_key(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn fitness_json_round_trips() {
+        let f = Fitness {
+            mean_es: 0.123456789,
+            p95_es: 0.4,
+            violations: 0.25,
+            migration_cost: 1.5,
+        };
+        let back: Fitness = ahq_core::json::from_str(&ahq_core::json::to_string(&f)).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_finite() {
+        let portfolio = vec![churned(8, 3, 2, 11)];
+        let runner = SequentialRunner::new();
+        let g = Genome::default();
+        let a = evaluate(&g, &portfolio, &runner);
+        let b = evaluate(&g, &portfolio, &runner);
+        assert_eq!(a, b);
+        assert!(a.mean_es.is_finite() && a.p95_es.is_finite());
+        assert!(a.mean_es >= 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The scenario portfolio candidate genomes are scored on: a small set
+//! of deterministic churned-cluster configurations. Every candidate
+//! sees the same scenarios with the same seeds, so fitness differences
+//! come from the policy alone, and identical node jobs across
+//! candidates hit the shared run cache.
+
+use ahq_cluster::{ChurnConfig, ClusterConfig, LocalSched, PlacerKind};
+use ahq_core::derive_seed;
+
+/// One member of the training portfolio: a named, fully closed cluster
+/// configuration (the placer/ARQ knobs are overridden per candidate at
+/// evaluation time).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable display name, recorded in the policy artifact.
+    pub name: String,
+    /// The closed cluster configuration.
+    pub config: ClusterConfig,
+}
+
+/// The standard churned scenario at `nodes` nodes — same fleet and churn
+/// pressure as the `repro cluster` experiment family: roughly one app
+/// per node initially, arrivals scaled to fleet size, 40 % best-effort.
+pub fn churned(nodes: usize, rounds: usize, windows_per_round: usize, seed: u64) -> Scenario {
+    let mut config = ClusterConfig::heterogeneous(nodes, PlacerKind::EntropyAware, LocalSched::Arq);
+    config.seed = seed;
+    config.rounds = rounds;
+    config.windows_per_round = windows_per_round;
+    config.churn = ChurnConfig {
+        initial_apps: nodes,
+        arrivals_per_round: nodes as f64 / 4.0,
+        departure_prob: 0.05,
+        load_change_prob: 0.15,
+        be_fraction: 0.4,
+    };
+    Scenario {
+        name: format!("churn-{nodes}n-{rounds}r@{seed:x}"),
+        config,
+    }
+}
+
+/// The default training portfolio. Quick mode trains on two small
+/// seeds (16 nodes); full mode adds scale diversity up to 64 nodes so
+/// the learned policy transfers to the 256-node replay instead of
+/// overfitting one fleet size. Seeds are derived from `seed` with
+/// distinct streams so scenarios never share churn traces.
+pub fn default_portfolio(seed: u64, quick: bool) -> Vec<Scenario> {
+    if quick {
+        vec![
+            churned(16, 4, 2, derive_seed(seed, 0x7261_494e)),
+            churned(16, 4, 2, derive_seed(seed, 0x7261_494f)),
+        ]
+    } else {
+        vec![
+            churned(16, 8, 3, derive_seed(seed, 0x7261_494e)),
+            churned(32, 8, 3, derive_seed(seed, 0x7261_494f)),
+            churned(64, 8, 3, derive_seed(seed, 0x7261_4950)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portfolio_scenarios_are_distinct_and_deterministic() {
+        let a = default_portfolio(42, false);
+        let b = default_portfolio(42, false);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.config.seed, y.config.seed);
+        }
+        let seeds: Vec<u64> = a.iter().map(|s| s.config.seed).collect();
+        assert!(seeds[0] != seeds[1] && seeds[1] != seeds[2]);
+        let quick = default_portfolio(42, true);
+        assert_eq!(quick.len(), 2);
+        assert!(quick.iter().all(|s| s.config.rounds == 4));
+    }
+}

@@ -11,5 +11,5 @@ crates/ahq-bayesopt/src/online.rs:
 crates/ahq-bayesopt/src/optimizer.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ahq_bench-4d732b23a1943e49.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_bench-4d732b23a1943e49.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ahq_bench-bd3f95fcb7c652ec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ahq_bench-bd3f95fcb7c652ec: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

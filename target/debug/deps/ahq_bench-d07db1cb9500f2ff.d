@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ahq_bench-d07db1cb9500f2ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-d07db1cb9500f2ff.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-d07db1cb9500f2ff.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ahq_bench-f282c97cc19614da.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-f282c97cc19614da.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libahq_bench-f282c97cc19614da.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

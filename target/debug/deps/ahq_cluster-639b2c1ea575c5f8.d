@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ahq_cluster-639b2c1ea575c5f8.d: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/debug/deps/ahq_cluster-639b2c1ea575c5f8: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+crates/ahq-cluster/src/lib.rs:
+crates/ahq-cluster/src/churn.rs:
+crates/ahq-cluster/src/cluster.rs:
+crates/ahq-cluster/src/control.rs:
+crates/ahq-cluster/src/fidelity.rs:
+crates/ahq-cluster/src/placement.rs:
+crates/ahq-cluster/src/report.rs:

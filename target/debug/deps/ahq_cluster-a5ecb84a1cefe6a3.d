@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ahq_cluster-a5ecb84a1cefe6a3.d: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/debug/deps/libahq_cluster-a5ecb84a1cefe6a3.rlib: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/debug/deps/libahq_cluster-a5ecb84a1cefe6a3.rmeta: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+crates/ahq-cluster/src/lib.rs:
+crates/ahq-cluster/src/churn.rs:
+crates/ahq-cluster/src/cluster.rs:
+crates/ahq-cluster/src/control.rs:
+crates/ahq-cluster/src/fidelity.rs:
+crates/ahq-cluster/src/placement.rs:
+crates/ahq-cluster/src/report.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ahq_cluster-b5ad49a5512898b3.d: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_cluster-b5ad49a5512898b3.rmeta: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs Cargo.toml
+
+crates/ahq-cluster/src/lib.rs:
+crates/ahq-cluster/src/churn.rs:
+crates/ahq-cluster/src/cluster.rs:
+crates/ahq-cluster/src/control.rs:
+crates/ahq-cluster/src/fidelity.rs:
+crates/ahq-cluster/src/placement.rs:
+crates/ahq-cluster/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

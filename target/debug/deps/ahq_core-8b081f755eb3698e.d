@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ahq_core-8b081f755eb3698e.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/debug/deps/ahq_core-8b081f755eb3698e.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
-/root/repo/target/debug/deps/ahq_core-8b081f755eb3698e: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/debug/deps/ahq_core-8b081f755eb3698e: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
 crates/ahq-core/src/lib.rs:
 crates/ahq-core/src/entropy.rs:
 crates/ahq-core/src/equivalence.rs:
 crates/ahq-core/src/error.rs:
+crates/ahq-core/src/json.rs:
 crates/ahq-core/src/measurement.rs:
 crates/ahq-core/src/seed.rs:
 crates/ahq-core/src/series.rs:

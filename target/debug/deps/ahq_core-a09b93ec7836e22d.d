@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/ahq_core-a09b93ec7836e22d.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/debug/deps/ahq_core-a09b93ec7836e22d.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
-/root/repo/target/debug/deps/libahq_core-a09b93ec7836e22d.rlib: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/debug/deps/libahq_core-a09b93ec7836e22d.rlib: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
-/root/repo/target/debug/deps/libahq_core-a09b93ec7836e22d.rmeta: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/debug/deps/libahq_core-a09b93ec7836e22d.rmeta: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
 crates/ahq-core/src/lib.rs:
 crates/ahq-core/src/entropy.rs:
 crates/ahq-core/src/equivalence.rs:
 crates/ahq-core/src/error.rs:
+crates/ahq-core/src/json.rs:
 crates/ahq-core/src/measurement.rs:
 crates/ahq-core/src/seed.rs:
 crates/ahq-core/src/series.rs:

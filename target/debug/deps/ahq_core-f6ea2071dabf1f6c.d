@@ -1,16 +1,17 @@
-/root/repo/target/debug/deps/ahq_core-f6ea2071dabf1f6c.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs Cargo.toml
+/root/repo/target/debug/deps/ahq_core-f6ea2071dabf1f6c.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs Cargo.toml
 
-/root/repo/target/debug/deps/libahq_core-f6ea2071dabf1f6c.rmeta: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs Cargo.toml
+/root/repo/target/debug/deps/libahq_core-f6ea2071dabf1f6c.rmeta: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs Cargo.toml
 
 crates/ahq-core/src/lib.rs:
 crates/ahq-core/src/entropy.rs:
 crates/ahq-core/src/equivalence.rs:
 crates/ahq-core/src/error.rs:
+crates/ahq-core/src/json.rs:
 crates/ahq-core/src/measurement.rs:
 crates/ahq-core/src/seed.rs:
 crates/ahq-core/src/series.rs:
 crates/ahq-core/src/weighted.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

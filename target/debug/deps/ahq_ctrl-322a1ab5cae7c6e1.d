@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ahq_ctrl-322a1ab5cae7c6e1.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/debug/deps/libahq_ctrl-322a1ab5cae7c6e1.rlib: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/debug/deps/libahq_ctrl-322a1ab5cae7c6e1.rmeta: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:

@@ -1,0 +1,35 @@
+/root/repo/target/debug/deps/ahq_experiments-2922da403cff2aad.d: crates/ahq-experiments/src/lib.rs crates/ahq-experiments/src/ablations.rs crates/ahq-experiments/src/baselines.rs crates/ahq-experiments/src/cluster.rs crates/ahq-experiments/src/error.rs crates/ahq-experiments/src/exec.rs crates/ahq-experiments/src/fig1.rs crates/ahq-experiments/src/fig10.rs crates/ahq-experiments/src/fig11.rs crates/ahq-experiments/src/fig12.rs crates/ahq-experiments/src/fig13.rs crates/ahq-experiments/src/fig2.rs crates/ahq-experiments/src/fig3.rs crates/ahq-experiments/src/fig4.rs crates/ahq-experiments/src/fig56.rs crates/ahq-experiments/src/fig7.rs crates/ahq-experiments/src/fig8.rs crates/ahq-experiments/src/fig9.rs crates/ahq-experiments/src/gctrl.rs crates/ahq-experiments/src/headline.rs crates/ahq-experiments/src/membw.rs crates/ahq-experiments/src/report.rs crates/ahq-experiments/src/runs.rs crates/ahq-experiments/src/strategy.rs crates/ahq-experiments/src/table2.rs crates/ahq-experiments/src/table4.rs crates/ahq-experiments/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_experiments-2922da403cff2aad.rmeta: crates/ahq-experiments/src/lib.rs crates/ahq-experiments/src/ablations.rs crates/ahq-experiments/src/baselines.rs crates/ahq-experiments/src/cluster.rs crates/ahq-experiments/src/error.rs crates/ahq-experiments/src/exec.rs crates/ahq-experiments/src/fig1.rs crates/ahq-experiments/src/fig10.rs crates/ahq-experiments/src/fig11.rs crates/ahq-experiments/src/fig12.rs crates/ahq-experiments/src/fig13.rs crates/ahq-experiments/src/fig2.rs crates/ahq-experiments/src/fig3.rs crates/ahq-experiments/src/fig4.rs crates/ahq-experiments/src/fig56.rs crates/ahq-experiments/src/fig7.rs crates/ahq-experiments/src/fig8.rs crates/ahq-experiments/src/fig9.rs crates/ahq-experiments/src/gctrl.rs crates/ahq-experiments/src/headline.rs crates/ahq-experiments/src/membw.rs crates/ahq-experiments/src/report.rs crates/ahq-experiments/src/runs.rs crates/ahq-experiments/src/strategy.rs crates/ahq-experiments/src/table2.rs crates/ahq-experiments/src/table4.rs crates/ahq-experiments/src/train.rs Cargo.toml
+
+crates/ahq-experiments/src/lib.rs:
+crates/ahq-experiments/src/ablations.rs:
+crates/ahq-experiments/src/baselines.rs:
+crates/ahq-experiments/src/cluster.rs:
+crates/ahq-experiments/src/error.rs:
+crates/ahq-experiments/src/exec.rs:
+crates/ahq-experiments/src/fig1.rs:
+crates/ahq-experiments/src/fig10.rs:
+crates/ahq-experiments/src/fig11.rs:
+crates/ahq-experiments/src/fig12.rs:
+crates/ahq-experiments/src/fig13.rs:
+crates/ahq-experiments/src/fig2.rs:
+crates/ahq-experiments/src/fig3.rs:
+crates/ahq-experiments/src/fig4.rs:
+crates/ahq-experiments/src/fig56.rs:
+crates/ahq-experiments/src/fig7.rs:
+crates/ahq-experiments/src/fig8.rs:
+crates/ahq-experiments/src/fig9.rs:
+crates/ahq-experiments/src/gctrl.rs:
+crates/ahq-experiments/src/headline.rs:
+crates/ahq-experiments/src/membw.rs:
+crates/ahq-experiments/src/report.rs:
+crates/ahq-experiments/src/runs.rs:
+crates/ahq-experiments/src/strategy.rs:
+crates/ahq-experiments/src/table2.rs:
+crates/ahq-experiments/src/table4.rs:
+crates/ahq-experiments/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

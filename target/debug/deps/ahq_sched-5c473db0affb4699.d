@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ahq_sched-5c473db0affb4699.d: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+/root/repo/target/debug/deps/libahq_sched-5c473db0affb4699.rlib: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+/root/repo/target/debug/deps/libahq_sched-5c473db0affb4699.rmeta: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+crates/ahq-sched/src/lib.rs:
+crates/ahq-sched/src/arq.rs:
+crates/ahq-sched/src/clite.rs:
+crates/ahq-sched/src/heracles.rs:
+crates/ahq-sched/src/lcfirst.rs:
+crates/ahq-sched/src/observe.rs:
+crates/ahq-sched/src/parties.rs:
+crates/ahq-sched/src/rollback.rs:
+crates/ahq-sched/src/runner.rs:
+crates/ahq-sched/src/unmanaged.rs:

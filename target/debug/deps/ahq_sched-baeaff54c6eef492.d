@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ahq_sched-baeaff54c6eef492.d: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_sched-baeaff54c6eef492.rmeta: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs Cargo.toml
+
+crates/ahq-sched/src/lib.rs:
+crates/ahq-sched/src/arq.rs:
+crates/ahq-sched/src/clite.rs:
+crates/ahq-sched/src/heracles.rs:
+crates/ahq-sched/src/lcfirst.rs:
+crates/ahq-sched/src/observe.rs:
+crates/ahq-sched/src/parties.rs:
+crates/ahq-sched/src/rollback.rs:
+crates/ahq-sched/src/runner.rs:
+crates/ahq-sched/src/unmanaged.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ahq_sched-f103c692eb133f03.d: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+/root/repo/target/debug/deps/ahq_sched-f103c692eb133f03: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+crates/ahq-sched/src/lib.rs:
+crates/ahq-sched/src/arq.rs:
+crates/ahq-sched/src/clite.rs:
+crates/ahq-sched/src/heracles.rs:
+crates/ahq-sched/src/lcfirst.rs:
+crates/ahq-sched/src/observe.rs:
+crates/ahq-sched/src/parties.rs:
+crates/ahq-sched/src/rollback.rs:
+crates/ahq-sched/src/runner.rs:
+crates/ahq-sched/src/unmanaged.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ahq_sim-08a2b5115cc10de6.d: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs
+
+/root/repo/target/debug/deps/ahq_sim-08a2b5115cc10de6: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs
+
+crates/ahq-sim/src/lib.rs:
+crates/ahq-sim/src/app.rs:
+crates/ahq-sim/src/bandwidth.rs:
+crates/ahq-sim/src/cache.rs:
+crates/ahq-sim/src/contention.rs:
+crates/ahq-sim/src/error.rs:
+crates/ahq-sim/src/jsonio.rs:
+crates/ahq-sim/src/node.rs:
+crates/ahq-sim/src/observation.rs:
+crates/ahq-sim/src/partition.rs:
+crates/ahq-sim/src/quantile.rs:
+crates/ahq-sim/src/resources.rs:
+crates/ahq-sim/src/spacetime.rs:
+crates/ahq-sim/src/surrogate.rs:
+crates/ahq-sim/src/time.rs:
+crates/ahq-sim/src/trace.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/ahq_sim-c8ef49303981d1b8.d: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_sim-c8ef49303981d1b8.rmeta: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs Cargo.toml
+
+crates/ahq-sim/src/lib.rs:
+crates/ahq-sim/src/app.rs:
+crates/ahq-sim/src/bandwidth.rs:
+crates/ahq-sim/src/cache.rs:
+crates/ahq-sim/src/contention.rs:
+crates/ahq-sim/src/error.rs:
+crates/ahq-sim/src/jsonio.rs:
+crates/ahq-sim/src/node.rs:
+crates/ahq-sim/src/observation.rs:
+crates/ahq-sim/src/partition.rs:
+crates/ahq-sim/src/quantile.rs:
+crates/ahq-sim/src/resources.rs:
+crates/ahq-sim/src/spacetime.rs:
+crates/ahq-sim/src/surrogate.rs:
+crates/ahq-sim/src/time.rs:
+crates/ahq-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

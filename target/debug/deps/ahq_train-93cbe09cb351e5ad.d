@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ahq_train-93cbe09cb351e5ad.d: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+/root/repo/target/debug/deps/ahq_train-93cbe09cb351e5ad: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+crates/ahq-train/src/lib.rs:
+crates/ahq-train/src/artifact.rs:
+crates/ahq-train/src/evaluate.rs:
+crates/ahq-train/src/genome.rs:
+crates/ahq-train/src/portfolio.rs:
+crates/ahq-train/src/trainer.rs:

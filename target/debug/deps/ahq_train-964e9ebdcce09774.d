@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ahq_train-964e9ebdcce09774.d: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+/root/repo/target/debug/deps/libahq_train-964e9ebdcce09774.rlib: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+/root/repo/target/debug/deps/libahq_train-964e9ebdcce09774.rmeta: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+crates/ahq-train/src/lib.rs:
+crates/ahq-train/src/artifact.rs:
+crates/ahq-train/src/evaluate.rs:
+crates/ahq-train/src/genome.rs:
+crates/ahq-train/src/portfolio.rs:
+crates/ahq-train/src/trainer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ahq_train-b109703dfffdff93.d: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_train-b109703dfffdff93.rmeta: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs Cargo.toml
+
+crates/ahq-train/src/lib.rs:
+crates/ahq-train/src/artifact.rs:
+crates/ahq-train/src/evaluate.rs:
+crates/ahq-train/src/genome.rs:
+crates/ahq-train/src/portfolio.rs:
+crates/ahq-train/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

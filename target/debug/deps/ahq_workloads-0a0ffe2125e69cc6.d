@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ahq_workloads-0a0ffe2125e69cc6.d: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libahq_workloads-0a0ffe2125e69cc6.rmeta: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs Cargo.toml
+
+crates/ahq-workloads/src/lib.rs:
+crates/ahq-workloads/src/load.rs:
+crates/ahq-workloads/src/mixes.rs:
+crates/ahq-workloads/src/profiles.rs:
+crates/ahq-workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ahq_workloads-d1994c8a86c6c739.d: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libahq_workloads-d1994c8a86c6c739.rlib: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libahq_workloads-d1994c8a86c6c739.rmeta: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+crates/ahq-workloads/src/lib.rs:
+crates/ahq-workloads/src/load.rs:
+crates/ahq-workloads/src/mixes.rs:
+crates/ahq-workloads/src/profiles.rs:
+crates/ahq-workloads/src/zipf.rs:

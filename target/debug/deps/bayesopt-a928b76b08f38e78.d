@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bayesopt-a928b76b08f38e78.d: crates/bench/benches/bayesopt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbayesopt-a928b76b08f38e78.rmeta: crates/bench/benches/bayesopt.rs Cargo.toml
+
+crates/bench/benches/bayesopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bayesopt-c15e146053dd7807.d: crates/bench/benches/bayesopt.rs
+
+/root/repo/target/debug/deps/bayesopt-c15e146053dd7807: crates/bench/benches/bayesopt.rs
+
+crates/bench/benches/bayesopt.rs:

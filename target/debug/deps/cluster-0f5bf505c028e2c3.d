@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-0f5bf505c028e2c3.d: crates/ahq-experiments/../../tests/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-0f5bf505c028e2c3.rmeta: crates/ahq-experiments/../../tests/cluster.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

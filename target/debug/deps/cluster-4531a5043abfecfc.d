@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-4531a5043abfecfc.d: crates/ahq-experiments/../../tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-4531a5043abfecfc: crates/ahq-experiments/../../tests/cluster.rs
+
+crates/ahq-experiments/../../tests/cluster.rs:

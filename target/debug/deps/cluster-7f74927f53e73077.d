@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-7f74927f53e73077.d: crates/bench/benches/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-7f74927f53e73077.rmeta: crates/bench/benches/cluster.rs Cargo.toml
+
+crates/bench/benches/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-d6e18eb0cc667872.d: crates/bench/benches/cluster.rs
+
+/root/repo/target/debug/deps/cluster-d6e18eb0cc667872: crates/bench/benches/cluster.rs
+
+crates/bench/benches/cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctrl-0c5abb8f5c5455c5.d: crates/bench/benches/ctrl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctrl-0c5abb8f5c5455c5.rmeta: crates/bench/benches/ctrl.rs Cargo.toml
+
+crates/bench/benches/ctrl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctrl-0e495bb172355b04.d: crates/bench/benches/ctrl.rs
+
+/root/repo/target/debug/deps/ctrl-0e495bb172355b04: crates/bench/benches/ctrl.rs
+
+crates/bench/benches/ctrl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_order-726041f1a37cd2b1.d: crates/ahq-sim/tests/event_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_order-726041f1a37cd2b1.rmeta: crates/ahq-sim/tests/event_order.rs Cargo.toml
+
+crates/ahq-sim/tests/event_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

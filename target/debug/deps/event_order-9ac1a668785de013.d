@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_order-9ac1a668785de013.d: crates/ahq-sim/tests/event_order.rs
+
+/root/repo/target/debug/deps/event_order-9ac1a668785de013: crates/ahq-sim/tests/event_order.rs
+
+crates/ahq-sim/tests/event_order.rs:

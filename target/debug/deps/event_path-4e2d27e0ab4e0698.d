@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/event_path-4e2d27e0ab4e0698.d: crates/ahq-sim/tests/event_path.rs
+
+/root/repo/target/debug/deps/event_path-4e2d27e0ab4e0698: crates/ahq-sim/tests/event_path.rs
+
+crates/ahq-sim/tests/event_path.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ahq-sim

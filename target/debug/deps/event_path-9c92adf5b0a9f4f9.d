@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/event_path-9c92adf5b0a9f4f9.d: crates/ahq-sim/tests/event_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_path-9c92adf5b0a9f4f9.rmeta: crates/ahq-sim/tests/event_path.rs Cargo.toml
+
+crates/ahq-sim/tests/event_path.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ahq-sim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

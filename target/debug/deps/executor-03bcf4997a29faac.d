@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-03bcf4997a29faac.d: crates/bench/benches/executor.rs
+
+/root/repo/target/debug/deps/executor-03bcf4997a29faac: crates/bench/benches/executor.rs
+
+crates/bench/benches/executor.rs:

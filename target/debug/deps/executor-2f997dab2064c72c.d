@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-2f997dab2064c72c.d: crates/bench/benches/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-2f997dab2064c72c.rmeta: crates/bench/benches/executor.rs Cargo.toml
+
+crates/bench/benches/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

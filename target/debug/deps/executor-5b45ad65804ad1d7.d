@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-5b45ad65804ad1d7.d: crates/ahq-experiments/../../tests/executor.rs
+
+/root/repo/target/debug/deps/executor-5b45ad65804ad1d7: crates/ahq-experiments/../../tests/executor.rs
+
+crates/ahq-experiments/../../tests/executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-dd2777a6525ae841.d: crates/ahq-experiments/../../tests/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-dd2777a6525ae841.rmeta: crates/ahq-experiments/../../tests/executor.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0a7c9962e1e9e32b.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-0a7c9962e1e9e32b: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gctrl-b332810402d96d34.d: crates/ahq-experiments/../../tests/gctrl.rs
+
+/root/repo/target/debug/deps/gctrl-b332810402d96d34: crates/ahq-experiments/../../tests/gctrl.rs
+
+crates/ahq-experiments/../../tests/gctrl.rs:

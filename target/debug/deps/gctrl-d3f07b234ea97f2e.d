@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gctrl-d3f07b234ea97f2e.d: crates/ahq-experiments/../../tests/gctrl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgctrl-d3f07b234ea97f2e.rmeta: crates/ahq-experiments/../../tests/gctrl.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/gctrl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/node-1d3ac2a3e0eb6965.d: crates/bench/benches/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnode-1d3ac2a3e0eb6965.rmeta: crates/bench/benches/node.rs Cargo.toml
+
+crates/bench/benches/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/node-4371f90eb821d9cd.d: crates/bench/benches/node.rs
+
+/root/repo/target/debug/deps/node-4371f90eb821d9cd: crates/bench/benches/node.rs
+
+crates/bench/benches/node.rs:

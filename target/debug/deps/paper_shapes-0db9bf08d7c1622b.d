@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-0db9bf08d7c1622b.d: crates/ahq-experiments/../../tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-0db9bf08d7c1622b.rmeta: crates/ahq-experiments/../../tests/paper_shapes.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

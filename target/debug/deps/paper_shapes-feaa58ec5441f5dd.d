@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-feaa58ec5441f5dd.d: crates/ahq-experiments/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-feaa58ec5441f5dd: crates/ahq-experiments/../../tests/paper_shapes.rs
+
+crates/ahq-experiments/../../tests/paper_shapes.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perf_smoke-3e74019432f5c871.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+/root/repo/target/debug/deps/libperf_smoke-3e74019432f5c871.rmeta: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perf_smoke-55d501da6c2250ef.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+/root/repo/target/debug/deps/libperf_smoke-55d501da6c2250ef.rmeta: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json Cargo.toml
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/perf_smoke-981d758a70f85015.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+/root/repo/target/debug/deps/perf_smoke-981d758a70f85015: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:

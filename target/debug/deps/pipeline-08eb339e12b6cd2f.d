@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-08eb339e12b6cd2f.d: crates/ahq-experiments/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-08eb339e12b6cd2f.rmeta: crates/ahq-experiments/../../tests/pipeline.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-9c0eb79c6ee01469.d: crates/ahq-experiments/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-9c0eb79c6ee01469: crates/ahq-experiments/../../tests/pipeline.rs
+
+crates/ahq-experiments/../../tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-dcd4201d41fce562.d: crates/ahq-experiments/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-dcd4201d41fce562: crates/ahq-experiments/../../tests/pipeline.rs
+
+crates/ahq-experiments/../../tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-010b5463e87154a8.d: crates/ahq-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-010b5463e87154a8: crates/ahq-sim/tests/properties.rs
+
+crates/ahq-sim/tests/properties.rs:

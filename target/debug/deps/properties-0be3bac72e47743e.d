@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0be3bac72e47743e.d: crates/ahq-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0be3bac72e47743e.rmeta: crates/ahq-sim/tests/properties.rs Cargo.toml
+
+crates/ahq-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

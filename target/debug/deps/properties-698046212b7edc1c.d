@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-698046212b7edc1c.d: crates/ahq-sched/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-698046212b7edc1c.rmeta: crates/ahq-sched/tests/properties.rs Cargo.toml
+
+crates/ahq-sched/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ae582cfc9c47a1f5.d: crates/ahq-sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ae582cfc9c47a1f5: crates/ahq-sched/tests/properties.rs
+
+crates/ahq-sched/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantile-015e66cfe7a4983a.d: crates/bench/benches/quantile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantile-015e66cfe7a4983a.rmeta: crates/bench/benches/quantile.rs Cargo.toml
+
+crates/bench/benches/quantile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantile-52c4497903e25525.d: crates/bench/benches/quantile.rs
+
+/root/repo/target/debug/deps/quantile-52c4497903e25525: crates/bench/benches/quantile.rs
+
+crates/bench/benches/quantile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rate_cache-86edf5d4124e01e9.d: crates/ahq-sim/tests/rate_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/librate_cache-86edf5d4124e01e9.rmeta: crates/ahq-sim/tests/rate_cache.rs Cargo.toml
+
+crates/ahq-sim/tests/rate_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rate_cache-eeb53e712e5f6d48.d: crates/ahq-sim/tests/rate_cache.rs
+
+/root/repo/target/debug/deps/rate_cache-eeb53e712e5f6d48: crates/ahq-sim/tests/rate_cache.rs
+
+crates/ahq-sim/tests/rate_cache.rs:

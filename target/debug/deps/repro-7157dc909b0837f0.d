@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7157dc909b0837f0.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7157dc909b0837f0: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

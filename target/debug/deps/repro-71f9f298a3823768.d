@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-71f9f298a3823768.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-71f9f298a3823768: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-a938830c02e31fd4.d: crates/ahq-experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-a938830c02e31fd4.rmeta: crates/ahq-experiments/src/bin/repro.rs Cargo.toml
+
+crates/ahq-experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fd3dffb784781f05.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-fd3dffb784781f05: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

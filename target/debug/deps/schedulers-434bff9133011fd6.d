@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers-434bff9133011fd6.d: crates/bench/benches/schedulers.rs
+
+/root/repo/target/debug/deps/schedulers-434bff9133011fd6: crates/bench/benches/schedulers.rs
+
+crates/bench/benches/schedulers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulers-fdf33ecc1935c47c.d: crates/bench/benches/schedulers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulers-fdf33ecc1935c47c.rmeta: crates/bench/benches/schedulers.rs Cargo.toml
+
+crates/bench/benches/schedulers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

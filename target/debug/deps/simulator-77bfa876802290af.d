@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-77bfa876802290af.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-77bfa876802290af: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

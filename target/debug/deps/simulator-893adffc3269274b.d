@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-893adffc3269274b.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-893adffc3269274b.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/surrogate-b6952596a253ff77.d: crates/ahq-experiments/../../tests/surrogate.rs
+
+/root/repo/target/debug/deps/surrogate-b6952596a253ff77: crates/ahq-experiments/../../tests/surrogate.rs
+
+crates/ahq-experiments/../../tests/surrogate.rs:

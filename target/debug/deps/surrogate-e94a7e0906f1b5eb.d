@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/surrogate-e94a7e0906f1b5eb.d: crates/ahq-experiments/../../tests/surrogate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsurrogate-e94a7e0906f1b5eb.rmeta: crates/ahq-experiments/../../tests/surrogate.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/surrogate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

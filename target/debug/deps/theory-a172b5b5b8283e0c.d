@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-a172b5b5b8283e0c.d: crates/bench/benches/theory.rs
+
+/root/repo/target/debug/deps/theory-a172b5b5b8283e0c: crates/bench/benches/theory.rs
+
+crates/bench/benches/theory.rs:

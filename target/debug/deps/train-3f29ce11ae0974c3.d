@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/train-3f29ce11ae0974c3.d: crates/ahq-experiments/../../tests/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain-3f29ce11ae0974c3.rmeta: crates/ahq-experiments/../../tests/train.rs Cargo.toml
+
+crates/ahq-experiments/../../tests/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

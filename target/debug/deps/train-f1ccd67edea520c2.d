@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/train-f1ccd67edea520c2.d: crates/ahq-experiments/../../tests/train.rs
+
+/root/repo/target/debug/deps/train-f1ccd67edea520c2: crates/ahq-experiments/../../tests/train.rs
+
+crates/ahq-experiments/../../tests/train.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocation_study-d6d4941f54df55a9.d: crates/ahq-experiments/../../examples/colocation_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocation_study-d6d4941f54df55a9.rmeta: crates/ahq-experiments/../../examples/colocation_study.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/colocation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation_study-fe3d89ec7730819e.d: crates/ahq-experiments/../../examples/colocation_study.rs
+
+/root/repo/target/debug/examples/colocation_study-fe3d89ec7730819e: crates/ahq-experiments/../../examples/colocation_study.rs
+
+crates/ahq-experiments/../../examples/colocation_study.rs:

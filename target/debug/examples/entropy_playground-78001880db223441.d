@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/entropy_playground-78001880db223441.d: crates/ahq-experiments/../../examples/entropy_playground.rs
+
+/root/repo/target/debug/examples/entropy_playground-78001880db223441: crates/ahq-experiments/../../examples/entropy_playground.rs
+
+crates/ahq-experiments/../../examples/entropy_playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/entropy_playground-ec0f78314be02c7a.d: crates/ahq-experiments/../../examples/entropy_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libentropy_playground-ec0f78314be02c7a.rmeta: crates/ahq-experiments/../../examples/entropy_playground.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/entropy_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fluctuating_load-203841291f378743.d: crates/ahq-experiments/../../examples/fluctuating_load.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfluctuating_load-203841291f378743.rmeta: crates/ahq-experiments/../../examples/fluctuating_load.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/fluctuating_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fluctuating_load-d53beaf1084e8d1d.d: crates/ahq-experiments/../../examples/fluctuating_load.rs
+
+/root/repo/target/debug/examples/fluctuating_load-d53beaf1084e8d1d: crates/ahq-experiments/../../examples/fluctuating_load.rs
+
+crates/ahq-experiments/../../examples/fluctuating_load.rs:

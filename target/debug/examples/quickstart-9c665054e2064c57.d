@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-9c665054e2064c57.d: crates/ahq-experiments/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-9c665054e2064c57.rmeta: crates/ahq-experiments/../../examples/quickstart.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

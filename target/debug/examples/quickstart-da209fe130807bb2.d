@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-da209fe130807bb2.d: crates/ahq-experiments/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-da209fe130807bb2: crates/ahq-experiments/../../examples/quickstart.rs
+
+crates/ahq-experiments/../../examples/quickstart.rs:

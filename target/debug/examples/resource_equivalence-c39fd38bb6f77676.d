@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_equivalence-c39fd38bb6f77676.d: crates/ahq-experiments/../../examples/resource_equivalence.rs
+
+/root/repo/target/debug/examples/resource_equivalence-c39fd38bb6f77676: crates/ahq-experiments/../../examples/resource_equivalence.rs
+
+crates/ahq-experiments/../../examples/resource_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resource_equivalence-dbf426672c1c6a11.d: crates/ahq-experiments/../../examples/resource_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresource_equivalence-dbf426672c1c6a11.rmeta: crates/ahq-experiments/../../examples/resource_equivalence.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/resource_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_entropy-99c02e04aca42aec.d: crates/ahq-experiments/../../examples/weighted_entropy.rs
+
+/root/repo/target/debug/examples/weighted_entropy-99c02e04aca42aec: crates/ahq-experiments/../../examples/weighted_entropy.rs
+
+crates/ahq-experiments/../../examples/weighted_entropy.rs:

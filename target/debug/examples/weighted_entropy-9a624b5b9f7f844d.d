@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weighted_entropy-9a624b5b9f7f844d.d: crates/ahq-experiments/../../examples/weighted_entropy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweighted_entropy-9a624b5b9f7f844d.rmeta: crates/ahq-experiments/../../examples/weighted_entropy.rs Cargo.toml
+
+crates/ahq-experiments/../../examples/weighted_entropy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

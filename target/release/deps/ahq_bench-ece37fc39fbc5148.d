@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ahq_bench-ece37fc39fbc5148.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-ece37fc39fbc5148.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libahq_bench-ece37fc39fbc5148.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ahq_cluster-120c0142361e27fb.d: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/release/deps/libahq_cluster-120c0142361e27fb.rlib: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+/root/repo/target/release/deps/libahq_cluster-120c0142361e27fb.rmeta: crates/ahq-cluster/src/lib.rs crates/ahq-cluster/src/churn.rs crates/ahq-cluster/src/cluster.rs crates/ahq-cluster/src/control.rs crates/ahq-cluster/src/fidelity.rs crates/ahq-cluster/src/placement.rs crates/ahq-cluster/src/report.rs
+
+crates/ahq-cluster/src/lib.rs:
+crates/ahq-cluster/src/churn.rs:
+crates/ahq-cluster/src/cluster.rs:
+crates/ahq-cluster/src/control.rs:
+crates/ahq-cluster/src/fidelity.rs:
+crates/ahq-cluster/src/placement.rs:
+crates/ahq-cluster/src/report.rs:

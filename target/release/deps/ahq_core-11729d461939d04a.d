@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/ahq_core-11729d461939d04a.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/release/deps/ahq_core-11729d461939d04a.d: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
-/root/repo/target/release/deps/libahq_core-11729d461939d04a.rlib: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/release/deps/libahq_core-11729d461939d04a.rlib: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
-/root/repo/target/release/deps/libahq_core-11729d461939d04a.rmeta: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
+/root/repo/target/release/deps/libahq_core-11729d461939d04a.rmeta: crates/ahq-core/src/lib.rs crates/ahq-core/src/entropy.rs crates/ahq-core/src/equivalence.rs crates/ahq-core/src/error.rs crates/ahq-core/src/json.rs crates/ahq-core/src/measurement.rs crates/ahq-core/src/seed.rs crates/ahq-core/src/series.rs crates/ahq-core/src/weighted.rs
 
 crates/ahq-core/src/lib.rs:
 crates/ahq-core/src/entropy.rs:
 crates/ahq-core/src/equivalence.rs:
 crates/ahq-core/src/error.rs:
+crates/ahq-core/src/json.rs:
 crates/ahq-core/src/measurement.rs:
 crates/ahq-core/src/seed.rs:
 crates/ahq-core/src/series.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ahq_ctrl-955636ff3cdece26.d: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/release/deps/libahq_ctrl-955636ff3cdece26.rlib: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+/root/repo/target/release/deps/libahq_ctrl-955636ff3cdece26.rmeta: crates/ahq-ctrl/src/lib.rs crates/ahq-ctrl/src/config.rs crates/ahq-ctrl/src/global.rs
+
+crates/ahq-ctrl/src/lib.rs:
+crates/ahq-ctrl/src/config.rs:
+crates/ahq-ctrl/src/global.rs:

@@ -1,0 +1,33 @@
+/root/repo/target/release/deps/ahq_experiments-dcdf8a6441579140.d: crates/ahq-experiments/src/lib.rs crates/ahq-experiments/src/ablations.rs crates/ahq-experiments/src/baselines.rs crates/ahq-experiments/src/cluster.rs crates/ahq-experiments/src/error.rs crates/ahq-experiments/src/exec.rs crates/ahq-experiments/src/fig1.rs crates/ahq-experiments/src/fig10.rs crates/ahq-experiments/src/fig11.rs crates/ahq-experiments/src/fig12.rs crates/ahq-experiments/src/fig13.rs crates/ahq-experiments/src/fig2.rs crates/ahq-experiments/src/fig3.rs crates/ahq-experiments/src/fig4.rs crates/ahq-experiments/src/fig56.rs crates/ahq-experiments/src/fig7.rs crates/ahq-experiments/src/fig8.rs crates/ahq-experiments/src/fig9.rs crates/ahq-experiments/src/gctrl.rs crates/ahq-experiments/src/headline.rs crates/ahq-experiments/src/membw.rs crates/ahq-experiments/src/report.rs crates/ahq-experiments/src/runs.rs crates/ahq-experiments/src/strategy.rs crates/ahq-experiments/src/table2.rs crates/ahq-experiments/src/table4.rs crates/ahq-experiments/src/train.rs
+
+/root/repo/target/release/deps/libahq_experiments-dcdf8a6441579140.rlib: crates/ahq-experiments/src/lib.rs crates/ahq-experiments/src/ablations.rs crates/ahq-experiments/src/baselines.rs crates/ahq-experiments/src/cluster.rs crates/ahq-experiments/src/error.rs crates/ahq-experiments/src/exec.rs crates/ahq-experiments/src/fig1.rs crates/ahq-experiments/src/fig10.rs crates/ahq-experiments/src/fig11.rs crates/ahq-experiments/src/fig12.rs crates/ahq-experiments/src/fig13.rs crates/ahq-experiments/src/fig2.rs crates/ahq-experiments/src/fig3.rs crates/ahq-experiments/src/fig4.rs crates/ahq-experiments/src/fig56.rs crates/ahq-experiments/src/fig7.rs crates/ahq-experiments/src/fig8.rs crates/ahq-experiments/src/fig9.rs crates/ahq-experiments/src/gctrl.rs crates/ahq-experiments/src/headline.rs crates/ahq-experiments/src/membw.rs crates/ahq-experiments/src/report.rs crates/ahq-experiments/src/runs.rs crates/ahq-experiments/src/strategy.rs crates/ahq-experiments/src/table2.rs crates/ahq-experiments/src/table4.rs crates/ahq-experiments/src/train.rs
+
+/root/repo/target/release/deps/libahq_experiments-dcdf8a6441579140.rmeta: crates/ahq-experiments/src/lib.rs crates/ahq-experiments/src/ablations.rs crates/ahq-experiments/src/baselines.rs crates/ahq-experiments/src/cluster.rs crates/ahq-experiments/src/error.rs crates/ahq-experiments/src/exec.rs crates/ahq-experiments/src/fig1.rs crates/ahq-experiments/src/fig10.rs crates/ahq-experiments/src/fig11.rs crates/ahq-experiments/src/fig12.rs crates/ahq-experiments/src/fig13.rs crates/ahq-experiments/src/fig2.rs crates/ahq-experiments/src/fig3.rs crates/ahq-experiments/src/fig4.rs crates/ahq-experiments/src/fig56.rs crates/ahq-experiments/src/fig7.rs crates/ahq-experiments/src/fig8.rs crates/ahq-experiments/src/fig9.rs crates/ahq-experiments/src/gctrl.rs crates/ahq-experiments/src/headline.rs crates/ahq-experiments/src/membw.rs crates/ahq-experiments/src/report.rs crates/ahq-experiments/src/runs.rs crates/ahq-experiments/src/strategy.rs crates/ahq-experiments/src/table2.rs crates/ahq-experiments/src/table4.rs crates/ahq-experiments/src/train.rs
+
+crates/ahq-experiments/src/lib.rs:
+crates/ahq-experiments/src/ablations.rs:
+crates/ahq-experiments/src/baselines.rs:
+crates/ahq-experiments/src/cluster.rs:
+crates/ahq-experiments/src/error.rs:
+crates/ahq-experiments/src/exec.rs:
+crates/ahq-experiments/src/fig1.rs:
+crates/ahq-experiments/src/fig10.rs:
+crates/ahq-experiments/src/fig11.rs:
+crates/ahq-experiments/src/fig12.rs:
+crates/ahq-experiments/src/fig13.rs:
+crates/ahq-experiments/src/fig2.rs:
+crates/ahq-experiments/src/fig3.rs:
+crates/ahq-experiments/src/fig4.rs:
+crates/ahq-experiments/src/fig56.rs:
+crates/ahq-experiments/src/fig7.rs:
+crates/ahq-experiments/src/fig8.rs:
+crates/ahq-experiments/src/fig9.rs:
+crates/ahq-experiments/src/gctrl.rs:
+crates/ahq-experiments/src/headline.rs:
+crates/ahq-experiments/src/membw.rs:
+crates/ahq-experiments/src/report.rs:
+crates/ahq-experiments/src/runs.rs:
+crates/ahq-experiments/src/strategy.rs:
+crates/ahq-experiments/src/table2.rs:
+crates/ahq-experiments/src/table4.rs:
+crates/ahq-experiments/src/train.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ahq_sched-d62b0f0ad531a6ac.d: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+/root/repo/target/release/deps/libahq_sched-d62b0f0ad531a6ac.rlib: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+/root/repo/target/release/deps/libahq_sched-d62b0f0ad531a6ac.rmeta: crates/ahq-sched/src/lib.rs crates/ahq-sched/src/arq.rs crates/ahq-sched/src/clite.rs crates/ahq-sched/src/heracles.rs crates/ahq-sched/src/lcfirst.rs crates/ahq-sched/src/observe.rs crates/ahq-sched/src/parties.rs crates/ahq-sched/src/rollback.rs crates/ahq-sched/src/runner.rs crates/ahq-sched/src/unmanaged.rs
+
+crates/ahq-sched/src/lib.rs:
+crates/ahq-sched/src/arq.rs:
+crates/ahq-sched/src/clite.rs:
+crates/ahq-sched/src/heracles.rs:
+crates/ahq-sched/src/lcfirst.rs:
+crates/ahq-sched/src/observe.rs:
+crates/ahq-sched/src/parties.rs:
+crates/ahq-sched/src/rollback.rs:
+crates/ahq-sched/src/runner.rs:
+crates/ahq-sched/src/unmanaged.rs:

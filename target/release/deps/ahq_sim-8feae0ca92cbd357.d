@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/ahq_sim-8feae0ca92cbd357.d: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs
+
+/root/repo/target/release/deps/libahq_sim-8feae0ca92cbd357.rlib: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs
+
+/root/repo/target/release/deps/libahq_sim-8feae0ca92cbd357.rmeta: crates/ahq-sim/src/lib.rs crates/ahq-sim/src/app.rs crates/ahq-sim/src/bandwidth.rs crates/ahq-sim/src/cache.rs crates/ahq-sim/src/contention.rs crates/ahq-sim/src/error.rs crates/ahq-sim/src/jsonio.rs crates/ahq-sim/src/node.rs crates/ahq-sim/src/observation.rs crates/ahq-sim/src/partition.rs crates/ahq-sim/src/quantile.rs crates/ahq-sim/src/resources.rs crates/ahq-sim/src/spacetime.rs crates/ahq-sim/src/surrogate.rs crates/ahq-sim/src/time.rs crates/ahq-sim/src/trace.rs
+
+crates/ahq-sim/src/lib.rs:
+crates/ahq-sim/src/app.rs:
+crates/ahq-sim/src/bandwidth.rs:
+crates/ahq-sim/src/cache.rs:
+crates/ahq-sim/src/contention.rs:
+crates/ahq-sim/src/error.rs:
+crates/ahq-sim/src/jsonio.rs:
+crates/ahq-sim/src/node.rs:
+crates/ahq-sim/src/observation.rs:
+crates/ahq-sim/src/partition.rs:
+crates/ahq-sim/src/quantile.rs:
+crates/ahq-sim/src/resources.rs:
+crates/ahq-sim/src/spacetime.rs:
+crates/ahq-sim/src/surrogate.rs:
+crates/ahq-sim/src/time.rs:
+crates/ahq-sim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ahq_train-cecb4f3bbb9fb74b.d: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+/root/repo/target/release/deps/libahq_train-cecb4f3bbb9fb74b.rlib: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+/root/repo/target/release/deps/libahq_train-cecb4f3bbb9fb74b.rmeta: crates/ahq-train/src/lib.rs crates/ahq-train/src/artifact.rs crates/ahq-train/src/evaluate.rs crates/ahq-train/src/genome.rs crates/ahq-train/src/portfolio.rs crates/ahq-train/src/trainer.rs
+
+crates/ahq-train/src/lib.rs:
+crates/ahq-train/src/artifact.rs:
+crates/ahq-train/src/evaluate.rs:
+crates/ahq-train/src/genome.rs:
+crates/ahq-train/src/portfolio.rs:
+crates/ahq-train/src/trainer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ahq_workloads-055d4704748fd4e5.d: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libahq_workloads-055d4704748fd4e5.rlib: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libahq_workloads-055d4704748fd4e5.rmeta: crates/ahq-workloads/src/lib.rs crates/ahq-workloads/src/load.rs crates/ahq-workloads/src/mixes.rs crates/ahq-workloads/src/profiles.rs crates/ahq-workloads/src/zipf.rs
+
+crates/ahq-workloads/src/lib.rs:
+crates/ahq-workloads/src/load.rs:
+crates/ahq-workloads/src/mixes.rs:
+crates/ahq-workloads/src/profiles.rs:
+crates/ahq-workloads/src/zipf.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/perf_smoke-49449ad2b9975881.d: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+/root/repo/target/release/deps/perf_smoke-49449ad2b9975881: crates/bench/src/bin/perf_smoke.rs crates/bench/src/bin/../../BENCH_node.json
+
+crates/bench/src/bin/perf_smoke.rs:
+crates/bench/src/bin/../../BENCH_node.json:

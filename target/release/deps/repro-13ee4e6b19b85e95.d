@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-13ee4e6b19b85e95.d: crates/ahq-experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-13ee4e6b19b85e95: crates/ahq-experiments/src/bin/repro.rs
+
+crates/ahq-experiments/src/bin/repro.rs:

@@ -71,11 +71,18 @@ fn end_to_end_determinism() {
 #[test]
 fn run_results_serialize_and_deserialize() {
     let result = run_stack(StrategyKind::Arq, 5, 10);
-    let json = serde_json::to_string(&result).expect("serializable");
-    let back: RunResult = serde_json::from_str(&json).expect("deserializable");
+    let json = ahq_core::json::to_string(&result);
+    let back: RunResult = ahq_core::json::from_str(&json).expect("deserializable");
     assert_eq!(back.strategy, result.strategy);
     assert_eq!(back.observations, result.observations);
     assert_eq!(back.partitions, result.partitions);
+    assert_eq!(back.entropy, result.entropy);
+    assert_eq!(back.violations, result.violations);
+    assert_eq!(back.adjustments, result.adjustments);
+    // The pretty form is what artifacts on disk use; it must agree.
+    let pretty: RunResult = ahq_core::json::from_str(&ahq_core::json::to_string_pretty(&result))
+        .expect("pretty form deserializable");
+    assert_eq!(pretty.observations, result.observations);
 }
 
 #[test]

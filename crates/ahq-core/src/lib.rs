@@ -62,6 +62,7 @@
 mod entropy;
 mod equivalence;
 mod error;
+pub mod hash;
 pub mod json;
 mod measurement;
 mod seed;
@@ -71,6 +72,7 @@ mod weighted;
 pub use entropy::{EntropyModel, EntropyReport, LcAppReport, RelativeImportance};
 pub use equivalence::{isentropic_resource, resource_equivalence, EquivalencePoint};
 pub use error::TheoryError;
+pub use hash::{stable_hash128, stable_hash128_salted};
 pub use measurement::{BeMeasurement, LcMeasurement, QosElasticity};
 pub use seed::derive_seed;
 pub use series::EntropySeries;

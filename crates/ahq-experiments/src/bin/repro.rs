@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE]
-//!       [--timings FILE] [--nodes N] [--rounds N] [--fidelity MODE]
-//!       [--pop N] [--gens N] [--train-out FILE] [--artifact FILE]
-//!       [all | <ids>...]
+//!       [--timings FILE] [--cache-dir DIR] [--cache-max-mb N]
+//!       [--nodes N] [--rounds N] [--fidelity MODE]
+//!       [--pop N] [--gens N] [--eval MODE] [--train-out FILE]
+//!       [--artifact FILE] [all | <ids>...]
 //! repro --list
 //! ```
 //!
@@ -16,12 +17,21 @@
 //! (default: one per available core; output is byte-identical for any N).
 //! `--timings FILE` writes a JSON timing/cache profile of the invocation.
 //!
+//! `--cache-dir DIR` attaches the persistent tier-2 run cache (DESIGN.md
+//! §14): results are content-addressed on disk and survive the process,
+//! so a rerun of the same experiments warm-starts. `--cache-max-mb N`
+//! bounds the store; the budget is enforced (oldest entries first) when
+//! the invocation finishes. Output bytes are identical with the cache
+//! off, cold, or warm.
+//!
 //! `--nodes N` switches the `cluster` experiment from its placement grid
 //! to one scaled scenario at `N` nodes (`--rounds` rounds, default 1000);
 //! `--fidelity ladder` enables the HI-FI/LO-FI fidelity ladder
 //! (DESIGN.md §8), which is what makes `--nodes 10000` tractable.
 //!
 //! `--pop N` / `--gens N` size the `train` experiment's search budget;
+//! `--eval full|ladder` forces full-fidelity evaluation or the
+//! successive-halving screening ladder (the default);
 //! `--train-out FILE` saves the trained policy artifact, and
 //! `--artifact FILE` is what the `replay` experiment loads back.
 
@@ -94,12 +104,15 @@ struct TimingsReport {
     rate_cache_misses: u64,
     /// `rate_cache_hits / (hits + misses)`, in `[0, 1]`.
     rate_cache_hit_rate: f64,
+    /// Tier-2 (persistent disk) cache counters; present only when
+    /// `--cache-dir` was given.
+    disk: Option<ahq_experiments::DiskCacheStats>,
     experiments: Vec<ExperimentTiming>,
 }
 
 impl ToJson for TimingsReport {
     fn to_json(&self) -> JsonValue {
-        JsonValue::object(vec![
+        let mut fields = vec![
             ("jobs", self.jobs.to_json()),
             ("quick", self.quick.to_json()),
             ("seed", self.seed.to_json()),
@@ -112,8 +125,20 @@ impl ToJson for TimingsReport {
             ("rate_cache_hits", self.rate_cache_hits.to_json()),
             ("rate_cache_misses", self.rate_cache_misses.to_json()),
             ("rate_cache_hit_rate", self.rate_cache_hit_rate.to_json()),
-            ("experiments", self.experiments.to_json()),
-        ])
+        ];
+        if let Some(disk) = &self.disk {
+            fields.extend([
+                ("disk_hits", disk.hits.to_json()),
+                ("disk_misses", disk.misses.to_json()),
+                ("disk_hit_rate", disk.hit_rate().to_json()),
+                ("disk_bytes_read", disk.bytes_read.to_json()),
+                ("disk_bytes_written", disk.bytes_written.to_json()),
+                ("disk_evicted_files", disk.evicted_files.to_json()),
+                ("disk_evicted_bytes", disk.evicted_bytes.to_json()),
+            ]);
+        }
+        fields.push(("experiments", self.experiments.to_json()));
+        JsonValue::object(fields)
     }
 }
 
@@ -124,6 +149,8 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
     let mut timings: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_max_mb: Option<u64> = None;
     let mut cluster = ClusterOpts::default();
     let mut train = TrainOpts::default();
     let mut picks: Vec<String> = Vec::new();
@@ -163,6 +190,14 @@ fn main() -> ExitCode {
                 Some(file) => timings = Some(PathBuf::from(file)),
                 None => return usage("--timings needs a file path"),
             },
+            "--cache-dir" => match args.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => return usage("--cache-dir needs a directory"),
+            },
+            "--cache-max-mb" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cache_max_mb = Some(n),
+                None => return usage("--cache-max-mb needs an integer (MiB)"),
+            },
             "--pop" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 2 => train.population = Some(n),
                 _ => return usage("--pop needs an integer >= 2"),
@@ -170,6 +205,11 @@ fn main() -> ExitCode {
             "--gens" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n > 0 => train.generations = Some(n),
                 _ => return usage("--gens needs a positive integer"),
+            },
+            "--eval" => match args.next().as_deref() {
+                Some("full") => train.ladder = Some(false),
+                Some("ladder") => train.ladder = Some(true),
+                _ => return usage("--eval needs a mode: full | ladder"),
             },
             "--train-out" => match args.next() {
                 Some(file) => train.out = Some(PathBuf::from(file)),
@@ -220,6 +260,16 @@ fn main() -> ExitCode {
     let mut cfg = ExpContext::with_jobs(ExpConfig { quick, seed }, jobs);
     cfg.cluster = cluster;
     cfg.train = train;
+    if let Some(dir) = &cache_dir {
+        let max_bytes = cache_max_mb.map(|mb| mb.saturating_mul(1024 * 1024));
+        match ahq_experiments::DiskCache::open(dir, max_bytes) {
+            Ok(disk) => cfg.engine_mut().set_disk_cache(disk),
+            Err(e) => {
+                eprintln!("cannot open cache dir {dir:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(dir) = &out {
         if let Err(e) = fs::create_dir_all(dir) {
             eprintln!("cannot create {dir:?}: {e}");
@@ -280,6 +330,23 @@ fn main() -> ExitCode {
         sim.rate_misses,
         rate_hit_rate * 100.0,
     );
+    // Seal the persistent tier: sweep stale tmp files, enforce the byte
+    // budget, then report the disk counters (eviction included).
+    let disk_stats = cfg.engine().disk_cache().map(|disk| {
+        disk.enforce_limit();
+        let d = disk.stats();
+        eprintln!(
+            "=== disk cache {:?}: {} hits / {} misses ({:.1} % hit rate); {} B read, {} B written, {} entries evicted",
+            disk.root(),
+            d.hits,
+            d.misses,
+            d.hit_rate() * 100.0,
+            d.bytes_read,
+            d.bytes_written,
+            d.evicted_files,
+        );
+        d
+    });
 
     if let Some(file) = &json {
         match serde_json::to_string_pretty(&reports) {
@@ -309,6 +376,7 @@ fn main() -> ExitCode {
             rate_cache_hits: sim.rate_hits,
             rate_cache_misses: sim.rate_misses,
             rate_cache_hit_rate: rate_hit_rate,
+            disk: disk_stats,
             experiments: experiment_timings,
         };
         if let Err(e) = fs::write(file, ahq_core::json::to_string_pretty(&doc) + "\n") {
@@ -325,9 +393,10 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--quick] [--seed N] [--jobs N] [--out DIR] [--json FILE] \
-         [--timings FILE] [--nodes N] [--rounds N] [--fidelity full|ladder] \
-         [--pop N] [--gens N] [--train-out FILE] [--artifact FILE] \
-         [all | <ids>...]"
+         [--timings FILE] [--cache-dir DIR] [--cache-max-mb N] \
+         [--nodes N] [--rounds N] [--fidelity full|ladder] \
+         [--pop N] [--gens N] [--eval full|ladder] [--train-out FILE] \
+         [--artifact FILE] [all | <ids>...]"
     );
     eprintln!("       repro --list");
     if error.is_empty() {

@@ -1,0 +1,485 @@
+//! Tier 2 of the run cache: a sharded, content-addressed on-disk store
+//! of [`RunResult`]s, so repeated `repro` invocations (training reruns,
+//! CI smoke jobs, replay after train) warm-start across processes.
+//!
+//! # Addressing
+//!
+//! Each entry is addressed by the stable 128-bit FNV-1a hash
+//! ([`ahq_core::stable_hash128_salted`]) of the spec's canonical cache
+//! document — a JSON object carrying the cache schema version and the
+//! canonical [`RunKey`] rendering of the [`RunSpec`](crate::RunSpec).
+//! The hash only picks the file name
+//! (`<root>/<2-hex-shard>/<32-hex>.json`); the shard itself stores the
+//! full canonical key and is only accepted when it matches the requested
+//! key byte-for-byte, so even a hash collision degrades to a miss, never
+//! to a wrong result.
+//!
+//! # Robustness
+//!
+//! Every failure on the read path — unreadable file, truncated or
+//! corrupt JSON, schema-version mismatch, key mismatch, result decode
+//! error — is a *miss*, never a panic: the engine simply re-executes and
+//! overwrites the shard. Writes go to a process-unique `*.tmp` sibling
+//! and are published with an atomic rename, so concurrent writers (many
+//! `--jobs`, many processes, one shared `--cache-dir`) can only ever
+//! race identical bytes into place.
+//!
+//! # Eviction
+//!
+//! [`DiskCache::enforce_limit`] (wired to `--cache-max-mb`) trims the
+//! store to the byte budget, oldest modification time first (ties broken
+//! by file name), at the end of an invocation. Determinism of *results*
+//! never depends on eviction: an evicted entry is just a future miss.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ahq_core::json::{FromJson, JsonValue, ToJson};
+use ahq_core::stable_hash128_salted;
+use ahq_sched::RunResult;
+
+use crate::exec::RunKey;
+
+/// Counters of the on-disk tier, reported via `--timings` and stderr.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Lookups answered from a valid shard.
+    pub hits: u64,
+    /// Lookups that found no shard or rejected one (corrupt, stale
+    /// schema, key mismatch).
+    pub misses: u64,
+    /// Bytes read by successful lookups.
+    pub bytes_read: u64,
+    /// Bytes written by stores (tmp file payloads that were published).
+    pub bytes_written: u64,
+    /// Shards deleted by [`DiskCache::enforce_limit`].
+    pub evicted_files: u64,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+}
+
+impl DiskCacheStats {
+    /// Fraction of lookups answered from disk, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded on-disk run store. See the module docs for the format.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+    /// Byte budget enforced by [`DiskCache::enforce_limit`]; `None` is
+    /// unbounded.
+    max_bytes: Option<u64>,
+    /// Schema salt mixed into every address; bumping it (or overriding
+    /// it in tests) re-addresses the whole store.
+    schema: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    evicted_files: AtomicU64,
+    evicted_bytes: AtomicU64,
+    /// Process-unique discriminator for tmp file names.
+    tmp_tag: u64,
+    tmp_counter: AtomicU64,
+}
+
+impl DiskCache {
+    /// Current on-disk schema version. Bump on any change to the shard
+    /// document shape *or* to the semantics of the canonical spec key
+    /// (a `RunSpec` field addition changes the `Debug` rendering and
+    /// re-addresses entries on its own; bump anyway when semantics shift
+    /// without a rendering change): stale entries then simply miss.
+    pub const SCHEMA: u32 = 1;
+
+    /// Opens (creating if needed) a cache rooted at `root`, bounded to
+    /// `max_bytes` on-disk bytes (`None` = unbounded).
+    ///
+    /// # Errors
+    ///
+    /// The `create_dir_all` error when the root cannot be created.
+    pub fn open(root: impl Into<PathBuf>, max_bytes: Option<u64>) -> std::io::Result<Self> {
+        Self::open_with_schema(root, max_bytes, Self::SCHEMA)
+    }
+
+    /// [`DiskCache::open`] with an explicit schema version — the hook the
+    /// invalidation tests use to simulate a schema bump.
+    ///
+    /// # Errors
+    ///
+    /// The `create_dir_all` error when the root cannot be created.
+    pub fn open_with_schema(
+        root: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+        schema: u32,
+    ) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskCache {
+            root,
+            max_bytes,
+            schema,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            evicted_files: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            tmp_tag: process::id() as u64,
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            evicted_files: self.evicted_files.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The canonical cache document of a spec key: what gets hashed into
+    /// the address and verified inside the shard. Rendering is
+    /// deterministic (ordered object, shortest-round-trip numbers), so
+    /// the address is a pure function of `(schema, key)`.
+    fn canonical_document(&self, key: &RunKey) -> String {
+        JsonValue::object(vec![
+            ("schema", JsonValue::Number(self.schema as f64)),
+            ("spec", key.as_str().to_json()),
+        ])
+        .render()
+    }
+
+    /// The shard path of a key: 2-hex-digit subdirectory (256 shards)
+    /// then the full 32-hex-digit address.
+    fn shard_path(&self, key: &RunKey) -> PathBuf {
+        let doc = self.canonical_document(key);
+        let hash = stable_hash128_salted(b"ahq-run-cache", doc.as_bytes());
+        let hex = format!("{hash:032x}");
+        self.root.join(&hex[..2]).join(format!("{hex}.json"))
+    }
+
+    /// Looks `key` up. Any invalid shard — unreadable, truncated,
+    /// corrupt, stale schema, mismatched key, undecodable result — is a
+    /// miss, never an error.
+    pub fn load(&self, key: &RunKey) -> Option<RunResult> {
+        let path = self.shard_path(key);
+        let result = self.load_validated(&path, key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn load_validated(&self, path: &Path, key: &RunKey) -> Option<RunResult> {
+        let text = fs::read_to_string(path).ok()?;
+        let doc = JsonValue::parse(&text).ok()?;
+        let schema: u32 = doc.req("schema").ok()?;
+        if schema != self.schema {
+            return None;
+        }
+        let stored_key = doc.get("key")?.as_str().ok()?;
+        if stored_key != key.as_str() {
+            return None; // hash collision or stale address: not our entry
+        }
+        let result = RunResult::from_json(doc.get("result")?).ok()?;
+        self.bytes_read
+            .fetch_add(text.len() as u64, Ordering::Relaxed);
+        Some(result)
+    }
+
+    /// Stores `result` under `key`, atomically (tmp + rename). Storage
+    /// is best-effort: an I/O failure leaves the cache without the entry
+    /// and the caller none the wiser — results never depend on a store
+    /// succeeding.
+    pub fn store(&self, key: &RunKey, result: &RunResult) {
+        let path = self.shard_path(key);
+        let Some(parent) = path.parent() else { return };
+        if fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let body = JsonValue::object(vec![
+            ("schema", JsonValue::Number(self.schema as f64)),
+            ("key", key.as_str().to_json()),
+            ("result", result.to_json()),
+        ])
+        .render();
+        let tmp = path.with_extension(format!(
+            "tmp-{}-{}",
+            self.tmp_tag,
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .and_then(|()| fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => {
+                self.bytes_written
+                    .fetch_add(body.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Trims the store to the configured byte budget, deleting whole
+    /// shards oldest-mtime-first with file name as the deterministic
+    /// tie-break. Leftover `*.tmp-*` files (from crashed writers) are
+    /// always removed, budget or not.
+    pub fn enforce_limit(&self) {
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                let Ok(meta) = file.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                if is_tmp(&path) {
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                total += meta.len();
+                entries.push((mtime, path, meta.len()));
+            }
+        }
+        let Some(budget) = self.max_bytes else { return };
+        if total <= budget {
+            return;
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, path, len) in entries {
+            if total <= budget {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evicted_files.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(len, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total bytes currently held in published shards (tmp files
+    /// excluded) — the quantity [`DiskCache::enforce_limit`] budgets.
+    pub fn size_bytes(&self) -> u64 {
+        let Ok(shards) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        let mut total = 0;
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let Ok(meta) = file.metadata() else { continue };
+                if meta.is_file() && !is_tmp(&file.path()) {
+                    total += meta.len();
+                }
+            }
+        }
+        total
+    }
+}
+
+fn is_tmp(path: &Path) -> bool {
+    path.extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.starts_with("tmp-"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::RunSpec;
+    use crate::runs::ExpConfig;
+    use crate::strategy::StrategyKind;
+    use ahq_core::json;
+    use ahq_sim::MachineConfig;
+    use ahq_workloads::mixes;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("ahq-disk-cache-{tag}-{}", process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn tiny_result(seed: u64) -> (RunKey, RunResult) {
+        let cfg = ExpConfig { quick: true, seed };
+        let mix = mixes::fluidanimate_mix();
+        let spec = RunSpec {
+            windows: 2,
+            ..RunSpec::strategy(
+                &cfg,
+                MachineConfig::paper_xeon(),
+                &mix,
+                &[("xapian", 0.3)],
+                StrategyKind::Unmanaged,
+            )
+        };
+        (spec.key(), spec.execute())
+    }
+
+    fn same_result(a: &RunResult, b: &RunResult) -> bool {
+        json::to_string(a) == json::to_string(b)
+    }
+
+    #[test]
+    fn round_trip_is_exact_and_counted() {
+        let root = temp_root("roundtrip");
+        let cache = DiskCache::open(&root, None).unwrap();
+        let (key, result) = tiny_result(3);
+        assert!(cache.load(&key).is_none(), "empty cache misses");
+        cache.store(&key, &result);
+        let back = cache.load(&key).expect("stored entry loads");
+        assert!(same_result(&back, &result), "disk round trip must be exact");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.bytes_written > 0 && stats.bytes_read > 0);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_truncated_and_garbage_shards_are_misses() {
+        let root = temp_root("corrupt");
+        let cache = DiskCache::open(&root, None).unwrap();
+        let (key, result) = tiny_result(5);
+        cache.store(&key, &result);
+        let path = cache.shard_path(&key);
+
+        // Truncate to half: invalid JSON.
+        let body = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert!(cache.load(&key).is_none(), "truncated shard must miss");
+
+        // Valid JSON, wrong shape.
+        fs::write(&path, "{\"schema\": 1}").unwrap();
+        assert!(cache.load(&key).is_none(), "shapeless shard must miss");
+
+        // Binary garbage.
+        fs::write(&path, [0u8, 159, 146, 150]).unwrap();
+        assert!(cache.load(&key).is_none(), "garbage shard must miss");
+
+        // Overwriting repairs it.
+        cache.store(&key, &result);
+        assert!(same_result(&cache.load(&key).unwrap(), &result));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn schema_bump_invalidates_every_entry() {
+        let root = temp_root("schema");
+        let (key, result) = tiny_result(7);
+        {
+            let v1 = DiskCache::open_with_schema(&root, None, 1).unwrap();
+            v1.store(&key, &result);
+            assert!(v1.load(&key).is_some());
+        }
+        let v2 = DiskCache::open_with_schema(&root, None, 2).unwrap();
+        assert!(
+            v2.load(&key).is_none(),
+            "a schema bump must re-address (invalidate) old entries"
+        );
+        // And the stale v1 entry is still intact for a v1 reader.
+        let v1 = DiskCache::open_with_schema(&root, None, 1).unwrap();
+        assert!(v1.load(&key).is_some());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn key_mismatch_inside_a_shard_is_a_miss() {
+        let root = temp_root("collision");
+        let cache = DiskCache::open(&root, None).unwrap();
+        let (key_a, result) = tiny_result(11);
+        let (key_b, _) = tiny_result(12);
+        // Simulate a hash collision: key_b's shard holds key_a's document.
+        cache.store(&key_a, &result);
+        let body = fs::read_to_string(cache.shard_path(&key_a)).unwrap();
+        let b_path = cache.shard_path(&key_b);
+        fs::create_dir_all(b_path.parent().unwrap()).unwrap();
+        fs::write(&b_path, body).unwrap();
+        assert!(
+            cache.load(&key_b).is_none(),
+            "a shard whose stored key disagrees must be rejected"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn eviction_respects_the_byte_budget_and_keeps_newest() {
+        let root = temp_root("evict");
+        let (key_old, result_old) = tiny_result(21);
+        let (key_new, result_new) = tiny_result(22);
+        let one_entry;
+        {
+            let unbounded = DiskCache::open(&root, None).unwrap();
+            unbounded.store(&key_old, &result_old);
+            one_entry = unbounded.size_bytes();
+            assert!(one_entry > 0);
+            // Strictly newer mtime for the second entry.
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            unbounded.store(&key_new, &result_new);
+            assert!(unbounded.size_bytes() > one_entry);
+        }
+        // Budget fits one entry but not two: the oldest must go.
+        let bounded = DiskCache::open(&root, Some(one_entry + one_entry / 2)).unwrap();
+        bounded.enforce_limit();
+        let stats = bounded.stats();
+        assert_eq!(stats.evicted_files, 1, "exactly one shard evicted");
+        assert!(stats.evicted_bytes > 0);
+        assert!(bounded.size_bytes() <= one_entry + one_entry / 2);
+        assert!(
+            bounded.load(&key_new).is_some(),
+            "the newest entry survives eviction"
+        );
+        assert!(
+            bounded.load(&key_old).is_none(),
+            "the oldest entry is evicted first"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn enforce_limit_sweeps_stale_tmp_files_even_unbounded() {
+        let root = temp_root("tmpsweep");
+        let cache = DiskCache::open(&root, None).unwrap();
+        let (key, result) = tiny_result(31);
+        cache.store(&key, &result);
+        let shard_dir = cache.shard_path(&key).parent().unwrap().to_path_buf();
+        let stale = shard_dir.join("deadbeef.tmp-999-0");
+        fs::write(&stale, "half-written").unwrap();
+        cache.enforce_limit();
+        assert!(!stale.exists(), "stale tmp files are swept");
+        assert!(cache.load(&key).is_some(), "published shards survive");
+        fs::remove_dir_all(&root).ok();
+    }
+}

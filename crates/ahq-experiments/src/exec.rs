@@ -190,6 +190,14 @@ impl RunSpec {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunKey(String);
 
+impl RunKey {
+    /// The canonical key text — what the disk tier hashes into an address
+    /// and stores inside each shard for verification.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
 /// Hit/miss counters of an [`Engine`]'s run cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -212,11 +220,16 @@ impl CacheStats {
     }
 }
 
-/// The parallel run engine: a scoped-thread worker pool plus a memoized
-/// result cache keyed by canonical [`RunSpec`].
+/// The parallel run engine: a scoped-thread worker pool plus a two-tier
+/// memoized result cache keyed by canonical [`RunSpec`]. Tier 1 is the
+/// in-process map below; tier 2 is an optional persistent
+/// [`DiskCache`](crate::cache::DiskCache) attached via
+/// [`Engine::set_disk_cache`], probed on tier-1 misses and written
+/// through after every execution so results survive the process.
 pub struct Engine {
     jobs: usize,
     cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    disk: Option<crate::cache::DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     // Aggregated simulator work counters over every *executed* run
@@ -240,6 +253,7 @@ impl Engine {
         Engine {
             jobs,
             cache: Mutex::new(HashMap::new()),
+            disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             sim_events: AtomicU64::new(0),
@@ -251,6 +265,22 @@ impl Engine {
     /// The worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Attaches the persistent tier-2 store. Tier-1 misses are probed on
+    /// disk before executing, and every executed result is written back.
+    pub fn set_disk_cache(&mut self, disk: crate::cache::DiskCache) {
+        self.disk = Some(disk);
+    }
+
+    /// The attached tier-2 store, if any.
+    pub fn disk_cache(&self) -> Option<&crate::cache::DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Tier-2 counters, when a disk cache is attached.
+    pub fn disk_stats(&self) -> Option<crate::cache::DiskCacheStats> {
+        self.disk.as_ref().map(|d| d.stats())
     }
 
     /// Current cache counters.
@@ -314,22 +344,41 @@ impl Engine {
                 } else {
                     owner_of.insert(key, pending.len());
                     pending.push(i);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
 
+        // Tier 2: probe the disk store for each tier-1 miss (no lock
+        // held — this is I/O). A disk hit fills its slot up front and
+        // counts as a cache hit; only true misses execute.
         let slots: Vec<Mutex<Option<RunResult>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.jobs.min(pending.len());
-        if workers <= 1 {
+        let mut to_run: Vec<usize> = Vec::with_capacity(pending.len());
+        if let Some(disk) = &self.disk {
             for (slot, &spec_index) in pending.iter().enumerate() {
-                let (result, sim_stats) = specs[spec_index].execute_with_stats();
+                if let Some(result) = disk.load(&keys[spec_index]) {
+                    *slots[slot].lock() = Some(result);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    to_run.push(slot);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            to_run.extend(0..pending.len());
+            self.misses
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        }
+
+        let workers = self.jobs.min(to_run.len());
+        if workers <= 1 {
+            for &slot in &to_run {
+                let (result, sim_stats) = specs[pending[slot]].execute_with_stats();
                 self.record_sim_stats(sim_stats);
                 *slots[slot].lock() = Some(result);
             }
         } else {
-            let queue: Mutex<VecDeque<usize>> = Mutex::new((0..pending.len()).collect());
+            let queue: Mutex<VecDeque<usize>> = Mutex::new(to_run.iter().copied().collect());
             thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
@@ -342,6 +391,16 @@ impl Engine {
                     });
                 }
             });
+        }
+
+        // Write-through: persist freshly executed results (disk hits are
+        // already on disk) before sealing tier 1.
+        if let Some(disk) = &self.disk {
+            for &slot in &to_run {
+                if let Some(result) = slots[slot].lock().as_ref() {
+                    disk.store(&keys[pending[slot]], result);
+                }
+            }
         }
 
         {
@@ -396,6 +455,12 @@ impl ExpContext {
     /// The shared engine (and its run cache).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Mutable engine access, for attaching the persistent disk cache
+    /// before any experiment runs.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
     }
 
     /// Runs one `(machine, mix, loads, strategy)` configuration through

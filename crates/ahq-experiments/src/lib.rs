@@ -40,6 +40,7 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod cache;
 pub mod cluster;
 pub mod error;
 pub mod exec;
@@ -65,6 +66,7 @@ pub mod table2;
 pub mod table4;
 pub mod train;
 
+pub use cache::{DiskCache, DiskCacheStats};
 pub use cluster::{ClusterOpts, EngineRunner};
 pub use error::{classify_reachability, ExperimentError, Reachability};
 pub use exec::{CacheStats, Engine, ExpContext, RunKey, RunSpec, SchedSpec};

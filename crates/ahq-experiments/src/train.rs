@@ -41,6 +41,11 @@ pub struct TrainOpts {
     /// The artifact `replay` loads (`--artifact`); falls back to
     /// `--train-out`, then to training in-process.
     pub artifact: Option<PathBuf>,
+    /// `--eval full|ladder`: force every genome through full-fidelity
+    /// evaluation (`Some(false)`) or through the successive-halving
+    /// screening ladder (`Some(true)`). `None` keeps the trainer's
+    /// default (the ladder).
+    pub ladder: Option<bool>,
 }
 
 /// The search configuration for this invocation: the default portfolio
@@ -59,6 +64,11 @@ pub fn train_config(cfg: &ExpContext) -> TrainConfig {
     }
     if let Some(generations) = cfg.train.generations {
         config.generations = generations.max(1);
+    }
+    match cfg.train.ladder {
+        Some(false) => config.ladder = None,
+        Some(true) => config.ladder = Some(ahq_train::LadderSpec::default()),
+        None => {}
     }
     config
 }
@@ -153,6 +163,22 @@ pub fn run(cfg: &ExpContext) -> ExperimentReport {
     report.metrics.push(Metric {
         name: "train_unique_genomes".into(),
         value: outcome.unique_genomes as f64,
+    });
+    if artifact.ladder {
+        report.note(format!(
+            "evaluation ladder: {} full-fidelity evaluations + {} cheap \
+             screening evaluations (full fidelity reserved for promoted \
+             candidates)",
+            outcome.full_evaluations, outcome.screen_evaluations,
+        ));
+    }
+    report.metrics.push(Metric {
+        name: "train_full_evaluations".into(),
+        value: outcome.full_evaluations as f64,
+    });
+    report.metrics.push(Metric {
+        name: "train_screen_evaluations".into(),
+        value: outcome.screen_evaluations as f64,
     });
 
     if let Some(path) = &cfg.train.out {
@@ -330,6 +356,16 @@ mod tests {
         let report = run_replay(&cfg);
         assert!(report.tables.is_empty());
         assert!(report.notes.iter().any(|n| n.contains("REPLAY SKIPPED")));
+    }
+
+    #[test]
+    fn eval_mode_override_controls_the_ladder() {
+        let mut cfg = quick_cfg();
+        assert!(train_config(&cfg).ladder.is_some(), "ladder is the default");
+        cfg.train.ladder = Some(false);
+        assert!(train_config(&cfg).ladder.is_none(), "--eval full");
+        cfg.train.ladder = Some(true);
+        assert!(train_config(&cfg).ladder.is_some(), "--eval ladder");
     }
 
     #[test]

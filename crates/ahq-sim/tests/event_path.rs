@@ -1,7 +1,10 @@
 //! Pinned end-to-end test of the event path: a 20-window 2LC+2BE run on
 //! the paper machine, with mid-run load, partition and policy changes,
-//! rendered to a canonical text form and compared against a golden file
-//! generated before the memoized rate cache and zero-alloc solver landed.
+//! rendered to a canonical text form and compared against a golden file.
+//! The pin was first generated before the memoized rate cache and
+//! zero-alloc solver landed (which intentionally preserved it), and last
+//! regenerated after the struct-of-arrays hot path and scheduled memory
+//! bandwidth intentionally changed the per-event arithmetic.
 //!
 //! Any change to the per-event arithmetic, the RNG draw sequence, the
 //! completion dispatch order or the rate solver shows up here as a diff.

@@ -26,6 +26,9 @@ pub struct PolicyArtifact {
     pub generations: usize,
     /// Whether the GP/EI refinement pass ran after the GA.
     pub refined: bool,
+    /// Whether generations were ranked on the multi-fidelity screening
+    /// rung, with only the top fraction promoted to full evaluation.
+    pub ladder: bool,
     /// Names of the portfolio scenarios the policy was scored on.
     pub portfolio: Vec<String>,
     /// The trained policy.
@@ -75,6 +78,7 @@ impl ToJson for PolicyArtifact {
             ("population", self.population.to_json()),
             ("generations", self.generations.to_json()),
             ("refined", self.refined.to_json()),
+            ("ladder", self.ladder.to_json()),
             ("portfolio", self.portfolio.to_json()),
             ("genome", self.genome.to_json()),
             ("fitness", self.fitness.to_json()),
@@ -92,6 +96,9 @@ impl FromJson for PolicyArtifact {
             population: value.req("population")?,
             generations: value.req("generations")?,
             refined: value.req("refined")?,
+            // Absent in artifacts written before the evaluation ladder
+            // landed; those trained at full fidelity.
+            ladder: value.opt("ladder")?.unwrap_or(false),
             portfolio: value.req("portfolio")?,
             genome: value.req("genome")?,
             fitness: value.req("fitness")?,
@@ -139,6 +146,7 @@ mod tests {
             population: 8,
             generations: 4,
             refined: true,
+            ladder: true,
             portfolio: vec!["churn-16n-8r@2a".into()],
             genome: Genome::default(),
             fitness: Fitness {

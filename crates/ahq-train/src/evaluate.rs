@@ -83,6 +83,33 @@ impl FromJson for Fitness {
 /// steady-state statistics are averaged. Runs execute through `runner`,
 /// so a memoizing engine dedupes node jobs shared between candidates.
 pub fn evaluate(genome: &Genome, portfolio: &[Scenario], runner: &dyn NodeBatchRunner) -> Fitness {
+    evaluate_inner(genome, portfolio, runner, false)
+}
+
+/// Screening-rung variant of [`evaluate`] for the multi-fidelity ladder:
+/// identical runs, but the entropy statistics cover *every* window
+/// instead of only the steady-state half. Under [`FidelityMode::Ladder`]
+/// the tail windows are LO-FI surrogate replays of a demoted node's
+/// frozen partition — policy-blind by construction — so a steady-half
+/// score would collapse to a genome-independent constant. The HI-FI
+/// warm-up round carries the genome signal; including it keeps the
+/// screen informative enough to *rank* a generation.
+///
+/// [`FidelityMode::Ladder`]: ahq_cluster::FidelityMode::Ladder
+pub fn evaluate_screen(
+    genome: &Genome,
+    portfolio: &[Scenario],
+    runner: &dyn NodeBatchRunner,
+) -> Fitness {
+    evaluate_inner(genome, portfolio, runner, true)
+}
+
+fn evaluate_inner(
+    genome: &Genome,
+    portfolio: &[Scenario],
+    runner: &dyn NodeBatchRunner,
+    screen: bool,
+) -> Fitness {
     assert!(!portfolio.is_empty(), "portfolio must not be empty");
     let mut total = Fitness {
         mean_es: 0.0,
@@ -96,7 +123,11 @@ pub fn evaluate(genome: &Genome, portfolio: &[Scenario], runner: &dyn NodeBatchR
         let mut sim = ClusterSim::new(config);
         sim.set_placer(Box::new(genome.placer()));
         let report = sim.run(runner);
-        let steady = (report.rounds * report.windows_per_round) / 2;
+        // `steady` counts the trailing windows the entropy statistics
+        // cover: the steady-state half normally, every window on the
+        // screening rung (see [`evaluate_screen`]).
+        let all = report.rounds * report.windows_per_round;
+        let steady = if screen { all } else { all / 2 };
         total.mean_es += report.steady_mean_entropy(steady);
         total.p95_es += report.steady_p95_entropy(steady);
         total.violations += report.violations as f64 / report.windows().max(1) as f64;

@@ -41,7 +41,7 @@ pub mod portfolio;
 mod trainer;
 
 pub use artifact::{ArtifactError, PolicyArtifact};
-pub use evaluate::{evaluate, Fitness};
+pub use evaluate::{evaluate, evaluate_screen, Fitness};
 pub use genome::{Genome, GenomeBounds, GENES, GENE_NAMES};
 pub use portfolio::Scenario;
-pub use trainer::{train, GenerationStat, TrainConfig, TrainOutcome};
+pub use trainer::{train, GenerationStat, LadderSpec, TrainConfig, TrainOutcome};

@@ -4,7 +4,7 @@
 //! come from the policy alone, and identical node jobs across
 //! candidates hit the shared run cache.
 
-use ahq_cluster::{ChurnConfig, ClusterConfig, LocalSched, PlacerKind};
+use ahq_cluster::{ChurnConfig, ClusterConfig, FidelityMode, LocalSched, PlacerKind};
 use ahq_core::derive_seed;
 
 /// One member of the training portfolio: a named, fully closed cluster
@@ -16,6 +16,25 @@ pub struct Scenario {
     pub name: String,
     /// The closed cluster configuration.
     pub config: ClusterConfig,
+}
+
+impl Scenario {
+    /// The cheap screening rung of this scenario for the multi-fidelity
+    /// evaluation ladder: a shortened horizon — half the rounds, but
+    /// never below three, because churn pressure (and with it the
+    /// policy-sensitive entropy signal) only builds up from round two —
+    /// with the HI-FI/LO-FI fidelity ladder enabled, so a generation can
+    /// be *ranked* at a fraction of the full-fidelity cost. Still fully
+    /// deterministic — a pure function of the parent scenario.
+    pub fn screened(&self) -> Scenario {
+        let mut config = self.config.clone();
+        config.rounds = (self.config.rounds / 2).max(3).min(self.config.rounds);
+        config.fidelity = FidelityMode::Ladder;
+        Scenario {
+            name: format!("{}#screen", self.name),
+            config,
+        }
+    }
 }
 
 /// The standard churned scenario at `nodes` nodes — same fleet and churn
@@ -62,6 +81,21 @@ pub fn default_portfolio(seed: u64, quick: bool) -> Vec<Scenario> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn screened_rung_is_shorter_laddered_and_deterministic() {
+        let full = churned(16, 8, 3, 7);
+        let screen = full.screened();
+        assert_eq!(screen.name, format!("{}#screen", full.name));
+        assert_eq!(screen.config.rounds, 4, "half the horizon");
+        assert_eq!(screen.config.fidelity, FidelityMode::Ladder);
+        assert_eq!(screen.config.seed, full.config.seed);
+        // The floor: the screen keeps at least three rounds (the entropy
+        // signal needs churn pressure), but never exceeds the parent.
+        assert_eq!(churned(8, 2, 2, 7).screened().config.rounds, 2);
+        assert_eq!(churned(8, 3, 2, 7).screened().config.rounds, 3);
+        assert_eq!(churned(8, 4, 2, 7).screened().config.rounds, 3);
+    }
 
     #[test]
     fn portfolio_scenarios_are_distinct_and_deterministic() {

@@ -5,6 +5,22 @@
 //! evaluation goes through the caller's [`NodeBatchRunner`], so the
 //! whole search is a pure function of `(TrainConfig, portfolio)` —
 //! byte-identical however many workers the runner fans out over.
+//!
+//! # The evaluation ladder
+//!
+//! With [`TrainConfig::ladder`] set (the default), each generation is
+//! first *ranked* on a cheap screening rung — every portfolio scenario
+//! at a shortened horizon with the HI-FI/LO-FI fidelity ladder enabled
+//! ([`Scenario::screened`]), scored over all windows
+//! ([`evaluate_screen`]) — and only the top [`LadderSpec`] fraction
+//! is promoted to full-fidelity evaluation. Successive halving for a
+//! GA: most candidates are eliminated for a fraction of the cost, and
+//! the full-fidelity budget concentrates on plausible winners. The
+//! promotion rule is deterministic (screen fitness with submission
+//! index as tie-break), the best-ever policy and the reported baseline
+//! come from *full* evaluations only, and every random draw count is
+//! independent of rung outcomes — so artifacts stay byte-identical for
+//! any worker count, with or without a warm run cache.
 
 use std::collections::HashMap;
 
@@ -16,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::artifact::PolicyArtifact;
-use crate::evaluate::{evaluate, Fitness};
+use crate::evaluate::{evaluate, evaluate_screen, Fitness};
 use crate::genome::{Genome, GenomeBounds, GENES};
 use crate::portfolio::Scenario;
 
@@ -43,8 +59,41 @@ pub struct TrainConfig {
     pub refine_iters: usize,
     /// Candidate neighborhood size the refinement scores EI over.
     pub refine_candidates: usize,
+    /// Multi-fidelity evaluation ladder; `None` evaluates every
+    /// candidate at full fidelity (the pre-ladder behavior).
+    pub ladder: Option<LadderSpec>,
     /// Scenarios every candidate is evaluated on.
     pub portfolio: Vec<Scenario>,
+}
+
+/// Successive-halving knobs of the evaluation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderSpec {
+    /// Fraction of each generation promoted from the screening rung to
+    /// full-fidelity evaluation (rounded up).
+    pub promote_fraction: f64,
+    /// Promotion floor — at least this many candidates reach full
+    /// fidelity each generation, so the best-ever update never starves.
+    pub min_promote: usize,
+}
+
+impl Default for LadderSpec {
+    fn default() -> Self {
+        LadderSpec {
+            promote_fraction: 1.0 / 3.0,
+            min_promote: 1,
+        }
+    }
+}
+
+impl LadderSpec {
+    /// How many of `population` candidates are promoted to full
+    /// fidelity: `max(min_promote, ceil(population × fraction))`,
+    /// clamped to the population and never below one.
+    pub fn promote_count(&self, population: usize) -> usize {
+        let by_fraction = (population as f64 * self.promote_fraction).ceil() as usize;
+        by_fraction.max(self.min_promote).clamp(1, population)
+    }
 }
 
 impl TrainConfig {
@@ -63,6 +112,7 @@ impl TrainConfig {
             mutation_sigma: 0.2,
             refine_iters: 6,
             refine_candidates: 24,
+            ladder: Some(LadderSpec::default()),
             portfolio,
         }
     }
@@ -101,22 +151,41 @@ impl FromJson for GenerationStat {
 }
 
 /// What [`train`] returns beyond the artifact: evaluation accounting
-/// for cache-effectiveness reporting.
+/// for cache-effectiveness and ladder-efficiency reporting.
 #[derive(Debug, Clone)]
 pub struct TrainOutcome {
     /// The trained policy plus its provenance, ready to save.
     pub artifact: PolicyArtifact,
     /// Evaluations requested by the search (incl. memoized repeats).
     pub evaluations: usize,
-    /// Distinct genomes actually simulated.
+    /// Distinct (rung, genome) pairs actually simulated.
     pub unique_genomes: usize,
+    /// Distinct genomes simulated at full portfolio fidelity — the
+    /// expensive count the evaluation ladder exists to shrink.
+    pub full_evaluations: usize,
+    /// Distinct genomes simulated on the screening rung only.
+    pub screen_evaluations: usize,
 }
 
-/// Memoizes fitness per genome (keyed on exact gene bit patterns) so
-/// elites and re-suggested candidates cost nothing the second time.
+/// Which rung of the evaluation ladder a memo entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Rung {
+    /// Cheap ranking rung: shortened horizon, fidelity ladder on.
+    Screen,
+    /// The real objective: the full portfolio at full fidelity.
+    Full,
+}
+
+/// Memoizes fitness per `(rung, genome)` (genomes keyed on exact gene
+/// bit patterns) so elites and re-suggested candidates cost nothing the
+/// second time. Screen and full scores never mix: the same genome is a
+/// separate entry per rung.
 struct Memo {
-    cache: HashMap<Vec<u64>, Fitness>,
+    cache: HashMap<(Rung, Vec<u64>), Fitness>,
     requested: usize,
+    /// Unique full-fidelity evaluations in execution order — the
+    /// deterministic seed set for the GP refinement pass.
+    full_log: Vec<(Genome, Fitness)>,
 }
 
 impl Memo {
@@ -124,6 +193,7 @@ impl Memo {
         Memo {
             cache: HashMap::new(),
             requested: 0,
+            full_log: Vec::new(),
         }
     }
 
@@ -131,6 +201,7 @@ impl Memo {
         genome.to_vec().iter().map(|x| x.to_bits()).collect()
     }
 
+    /// Full-fidelity fitness (memoized).
     fn fitness(
         &mut self,
         genome: &Genome,
@@ -138,13 +209,38 @@ impl Memo {
         runner: &dyn NodeBatchRunner,
     ) -> Fitness {
         self.requested += 1;
-        let key = Self::key(genome);
+        let key = (Rung::Full, Self::key(genome));
         if let Some(&hit) = self.cache.get(&key) {
             return hit;
         }
         let fit = evaluate(genome, portfolio, runner);
         self.cache.insert(key, fit);
+        self.full_log.push((genome.clone(), fit));
         fit
+    }
+
+    /// Screening-rung fitness (memoized separately from full).
+    fn screen_fitness(
+        &mut self,
+        genome: &Genome,
+        screen_portfolio: &[Scenario],
+        runner: &dyn NodeBatchRunner,
+    ) -> Fitness {
+        self.requested += 1;
+        let key = (Rung::Screen, Self::key(genome));
+        if let Some(&hit) = self.cache.get(&key) {
+            return hit;
+        }
+        let fit = evaluate_screen(genome, screen_portfolio, runner);
+        self.cache.insert(key, fit);
+        fit
+    }
+
+    fn screen_count(&self) -> usize {
+        self.cache
+            .keys()
+            .filter(|(r, _)| *r == Rung::Screen)
+            .count()
     }
 }
 
@@ -161,6 +257,27 @@ fn tournament_pick<'a>(
         }
     }
     &scored[best].0
+}
+
+/// Tournament over an already-ranked list (index 0 is best): the lowest
+/// drawn index wins. Used on the ladder path, where entries mix full
+/// and screen fitness values — ranks compare cleanly across rungs where
+/// raw scalars would not. Draws exactly as many RNG values as
+/// [`tournament_pick`], so the evaluation mode never shifts the
+/// downstream random stream structure.
+fn tournament_pick_ranked<'a>(
+    rng: &mut StdRng,
+    ranked: &'a [(Genome, Fitness)],
+    size: usize,
+) -> &'a Genome {
+    let mut best = rng.gen_range(0..ranked.len());
+    for _ in 1..size.max(1) {
+        let challenger = rng.gen_range(0..ranked.len());
+        if challenger < best {
+            best = challenger;
+        }
+    }
+    &ranked[best].0
 }
 
 fn crossover(rng: &mut StdRng, a: &Genome, b: &Genome) -> Vec<f64> {
@@ -232,12 +349,59 @@ pub fn train(config: &TrainConfig, runner: &dyn NodeBatchRunner) -> TrainOutcome
     let mut best: (Genome, Fitness) = (incumbent.clone(), baseline);
     let mut history = Vec::new();
 
+    // The screening rung of every scenario, precomputed once; `None`
+    // means every candidate pays full fidelity (the pre-ladder path).
+    let screen_portfolio: Option<Vec<Scenario>> = config
+        .ladder
+        .as_ref()
+        .map(|_| config.portfolio.iter().map(Scenario::screened).collect());
+
     for generation in 0..config.generations {
-        let mut scored: Vec<(Genome, Fitness)> = population
-            .iter()
-            .map(|g| (g.clone(), memo.fitness(g, &config.portfolio, runner)))
-            .collect();
-        scored.sort_by(|a, b| a.1.cmp_key(&b.1));
+        // `scored` is ranked best-first. On the ladder path the top
+        // `promote` entries carry full-fidelity fitness and the tail
+        // carries screen fitness; on the full path everything is full.
+        let scored: Vec<(Genome, Fitness)> = match (&config.ladder, &screen_portfolio) {
+            (Some(ladder), Some(screen)) => {
+                // Rung 1: rank the whole generation cheaply. Submission
+                // index breaks exact-score ties, so promotion is a pure
+                // function of the (deterministic) screen scores.
+                let mut by_screen: Vec<(usize, Fitness)> = population
+                    .iter()
+                    .enumerate()
+                    .map(|(i, g)| (i, memo.screen_fitness(g, screen, runner)))
+                    .collect();
+                by_screen.sort_by(|a, b| a.1.cmp_key(&b.1).then(a.0.cmp(&b.0)));
+                // Rung 2: promote the top fraction to the real objective.
+                let promote = ladder.promote_count(config.population);
+                let mut promoted: Vec<(Genome, Fitness)> = by_screen
+                    .iter()
+                    .take(promote)
+                    .map(|&(i, _)| {
+                        let genome = population[i].clone();
+                        let fit = memo.fitness(&genome, &config.portfolio, runner);
+                        (genome, fit)
+                    })
+                    .collect();
+                promoted.sort_by(|a, b| a.1.cmp_key(&b.1));
+                promoted.extend(
+                    by_screen
+                        .iter()
+                        .skip(promote)
+                        .map(|&(i, f)| (population[i].clone(), f)),
+                );
+                promoted
+            }
+            _ => {
+                let mut scored: Vec<(Genome, Fitness)> = population
+                    .iter()
+                    .map(|g| (g.clone(), memo.fitness(g, &config.portfolio, runner)))
+                    .collect();
+                scored.sort_by(|a, b| a.1.cmp_key(&b.1));
+                scored
+            }
+        };
+        // `scored[0]` holds full-fidelity fitness on both paths, so the
+        // best-ever policy is only ever claimed from full evaluations.
         if scored[0].1.cmp_key(&best.1).is_lt() {
             best = scored[0].clone();
         }
@@ -256,8 +420,16 @@ pub fn train(config: &TrainConfig, runner: &dyn NodeBatchRunner) -> TrainOutcome
             .map(|(g, _)| g.clone())
             .collect();
         while next.len() < config.population {
-            let a = tournament_pick(&mut rng, &scored, config.tournament).clone();
-            let b = tournament_pick(&mut rng, &scored, config.tournament).clone();
+            let (a, b) = if config.ladder.is_some() {
+                // Mixed-rung list: select by rank, not by raw scalar.
+                let a = tournament_pick_ranked(&mut rng, &scored, config.tournament).clone();
+                let b = tournament_pick_ranked(&mut rng, &scored, config.tournament).clone();
+                (a, b)
+            } else {
+                let a = tournament_pick(&mut rng, &scored, config.tournament).clone();
+                let b = tournament_pick(&mut rng, &scored, config.tournament).clone();
+                (a, b)
+            };
             let mut genes = if rng.gen::<f64>() < config.crossover_prob {
                 crossover(&mut rng, &a, &b)
             } else {
@@ -287,18 +459,13 @@ pub fn train(config: &TrainConfig, runner: &dyn NodeBatchRunner) -> TrainOutcome
             1,
             derive_seed(config.seed, 0x5245_4649), // "REFI"
         );
-        // HashMap iteration order is unspecified; seed the GP from a
-        // deterministic walk (incumbent, final population, best-ever)
-        // instead, deduping the elites that repeat across generations.
-        let mut dedup = std::collections::HashSet::new();
-        for genome in std::iter::once(&incumbent)
-            .chain(population.iter())
-            .chain(std::iter::once(&best.0))
-        {
-            if dedup.insert(Memo::key(genome)) {
-                let fit = memo.fitness(genome, &config.portfolio, runner);
-                opt.observe(normalize(genome, &bounds), -fit.scalar());
-            }
+        // HashMap iteration order is unspecified; seed the GP from the
+        // memo's full-fidelity evaluation log instead — every unique
+        // full evaluation in execution order. Deterministic, and on the
+        // ladder path it costs nothing extra: screen-only genomes are
+        // *not* promoted just to feed the surrogate model.
+        for (genome, fit) in memo.full_log.clone() {
+            opt.observe(normalize(&genome, &bounds), -fit.scalar());
         }
         let mut candidates: Vec<Vec<f64>> = Vec::new();
         let mut candidate_genomes: Vec<Genome> = Vec::new();
@@ -341,16 +508,20 @@ pub fn train(config: &TrainConfig, runner: &dyn NodeBatchRunner) -> TrainOutcome
         population: config.population,
         generations: config.generations,
         refined,
+        ladder: config.ladder.is_some(),
         portfolio: config.portfolio.iter().map(|s| s.name.clone()).collect(),
         genome: best.0,
         fitness: best.1,
         baseline,
         history,
     };
+    let screen_evaluations = memo.screen_count();
     TrainOutcome {
         artifact,
         evaluations: memo.requested,
         unique_genomes: memo.cache.len(),
+        full_evaluations: memo.full_log.len(),
+        screen_evaluations,
     }
 }
 
@@ -391,6 +562,53 @@ mod tests {
         for pair in out.artifact.history.windows(2) {
             assert!(pair[1].best <= pair[0].best);
         }
+    }
+
+    #[test]
+    fn ladder_cuts_full_evaluations_and_keeps_the_invariants() {
+        let mut full_cfg = tiny_config(5);
+        full_cfg.ladder = None;
+        let ladder_cfg = tiny_config(5); // TrainConfig::new defaults the ladder on
+        assert!(ladder_cfg.ladder.is_some());
+        let runner = SequentialRunner::new();
+        let full = train(&full_cfg, &runner);
+        let lad = train(&ladder_cfg, &runner);
+        assert_eq!(full.screen_evaluations, 0);
+        assert!(lad.screen_evaluations > 0);
+        assert!(
+            lad.full_evaluations < full.full_evaluations,
+            "the ladder must shrink the full-fidelity evaluation count \
+             ({} vs {})",
+            lad.full_evaluations,
+            full.full_evaluations,
+        );
+        // The expensive invariants survive the cheap rung: the winner is
+        // claimed from full evaluations only and never loses to the
+        // (full-fidelity) baseline.
+        assert!(lad.artifact.fitness.scalar() <= lad.artifact.baseline.scalar());
+        assert!(lad.artifact.ladder && !full.artifact.ladder);
+        // Determinism holds on the ladder path too.
+        let again = train(&ladder_cfg, &runner);
+        assert_eq!(lad.artifact.genome, again.artifact.genome);
+        assert_eq!(lad.full_evaluations, again.full_evaluations);
+    }
+
+    #[test]
+    fn promote_count_is_clamped_and_floored() {
+        let spec = LadderSpec::default();
+        assert_eq!(spec.promote_count(6), 2); // ceil(6/3)
+        assert_eq!(spec.promote_count(10), 4); // ceil(10/3)
+        assert_eq!(spec.promote_count(1), 1);
+        let tiny = LadderSpec {
+            promote_fraction: 0.01,
+            min_promote: 1,
+        };
+        assert_eq!(tiny.promote_count(4), 1, "floor of one full eval");
+        let all = LadderSpec {
+            promote_fraction: 2.0,
+            min_promote: 1,
+        };
+        assert_eq!(all.promote_count(4), 4, "clamped to the population");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Measures the multi-fidelity evaluation ladder against full-fidelity
+//! training on the standard quick search (seed 42, population 6, three
+//! generations — the `tests/train.rs` budget) and prints the JSON pinned
+//! in `BENCH_train.json`: full-fidelity evaluation counts for both
+//! modes, wall-clock, and the 256-churned-node replay margin of the
+//! ladder-trained policy over the hand-tuned incumbent.
+//!
+//! ```text
+//! cargo run --release -p ahq-bench --bin train_smoke
+//! ```
+
+use std::time::Instant;
+
+use ahq_experiments::train::{run_replay_arm, run_search};
+use ahq_experiments::{ExpConfig, ExpContext};
+
+fn ctx(ladder: Option<bool>) -> ExpContext {
+    let mut cfg = ExpContext::with_jobs(
+        ExpConfig {
+            quick: true,
+            seed: 42,
+        },
+        4,
+    );
+    cfg.train.population = Some(6);
+    cfg.train.generations = Some(3);
+    cfg.train.ladder = ladder;
+    cfg
+}
+
+fn main() {
+    let full_cfg = ctx(Some(false));
+    let t0 = Instant::now();
+    let full = run_search(&full_cfg);
+    let full_secs = t0.elapsed().as_secs_f64();
+
+    let ladder_cfg = ctx(Some(true));
+    let t1 = Instant::now();
+    let ladder = run_search(&ladder_cfg);
+    let ladder_secs = t1.elapsed().as_secs_f64();
+
+    // The acceptance margin: the ladder-trained policy replayed on a
+    // fleet size the search never saw, against the hand-tuned incumbent.
+    let nodes = 256;
+    let hand_tuned = run_replay_arm(&ladder_cfg, nodes, None);
+    let trained = run_replay_arm(&ladder_cfg, nodes, Some(&ladder.artifact.genome));
+    let steady = (hand_tuned.rounds * hand_tuned.windows_per_round) / 2;
+    let base_es = hand_tuned.steady_mean_entropy(steady);
+    let trained_es = trained.steady_mean_entropy(steady);
+
+    println!("{{");
+    println!("  \"bench\": \"train_ladder_vs_full\",");
+    println!(
+        "  \"full_eval_count_full_mode\": {},",
+        full.full_evaluations
+    );
+    println!(
+        "  \"full_eval_count_ladder_mode\": {},",
+        ladder.full_evaluations
+    );
+    println!(
+        "  \"screen_eval_count_ladder_mode\": {},",
+        ladder.screen_evaluations
+    );
+    println!(
+        "  \"full_eval_ratio\": {:.4},",
+        ladder.full_evaluations as f64 / full.full_evaluations.max(1) as f64
+    );
+    println!("  \"full_mode_secs\": {full_secs:.2},");
+    println!("  \"ladder_mode_secs\": {ladder_secs:.2},");
+    println!("  \"replay_nodes\": {nodes},");
+    println!("  \"hand_tuned_steady_mean_es_256\": {base_es},");
+    println!("  \"ladder_trained_steady_mean_es_256\": {trained_es},");
+    println!(
+        "  \"ladder_fitness_scalar\": {},",
+        ladder.artifact.fitness.scalar()
+    );
+    println!(
+        "  \"full_fitness_scalar\": {}",
+        full.artifact.fitness.scalar()
+    );
+    println!("}}");
+}

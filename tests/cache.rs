@@ -1,0 +1,186 @@
+//! Cross-crate integration tests for the persistent tier-2 run cache:
+//! training warm-starts across *processes* (modelled here as fresh
+//! engines over a shared cache directory) must be byte-identical to
+//! cold runs, robust to corrupted shards, and independent of the
+//! worker count writing the shards.
+
+use std::path::{Path, PathBuf};
+
+use ahq_experiments::train::run_search;
+use ahq_experiments::{DiskCache, ExpConfig, ExpContext};
+
+fn train_ctx(jobs: usize) -> ExpContext {
+    let mut cfg = ExpContext::with_jobs(
+        ExpConfig {
+            quick: true,
+            seed: 42,
+        },
+        jobs,
+    );
+    cfg.train.population = Some(4);
+    cfg.train.generations = Some(2);
+    cfg
+}
+
+fn train_ctx_with_cache(jobs: usize, dir: &Path) -> ExpContext {
+    let mut cfg = train_ctx(jobs);
+    let disk = DiskCache::open(dir, None).expect("cache dir must open");
+    cfg.engine_mut().set_disk_cache(disk);
+    cfg
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ahq-cache-integration-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every shard file currently in the cache directory.
+fn shards(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        if entry.path().is_dir() {
+            for shard in std::fs::read_dir(entry.path()).unwrap().flatten() {
+                if shard.path().extension().is_some_and(|e| e == "json") {
+                    out.push(shard.path());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn warm_start_is_byte_identical_and_answered_from_disk() {
+    let dir = fresh_dir("warm");
+
+    // The reference: the same search with no disk cache at all.
+    let uncached = run_search(&train_ctx(4)).artifact.to_json_string();
+
+    // Cold run: populates the shared directory, every probe misses.
+    let cold_cfg = train_ctx_with_cache(4, &dir);
+    let cold = run_search(&cold_cfg).artifact.to_json_string();
+    let cold_stats = cold_cfg.engine().disk_stats().unwrap();
+    assert_eq!(cold.len(), uncached.len());
+    assert_eq!(cold, uncached, "attaching a cache must not change output");
+    assert_eq!(cold_stats.hits, 0, "an empty cache cannot hit");
+    assert!(cold_stats.misses > 0 && cold_stats.bytes_written > 0);
+    assert!(!shards(&dir).is_empty(), "cold run must persist shards");
+
+    // Warm run: a fresh engine (fresh tier 1) over the same directory
+    // answers every unique job from disk and re-executes nothing.
+    let warm_cfg = train_ctx_with_cache(8, &dir);
+    let warm = run_search(&warm_cfg).artifact.to_json_string();
+    let warm_stats = warm_cfg.engine().disk_stats().unwrap();
+    assert_eq!(warm, cold, "warm-start output must match the cold run");
+    assert!(warm_stats.hits > 0, "warm run never touched the disk tier");
+    assert_eq!(warm_stats.misses, 0, "warm run re-executed a cached job");
+    assert_eq!(warm_stats.bytes_written, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_shards_degrade_to_misses_not_wrong_results() {
+    let dir = fresh_dir("corrupt");
+    let cold = run_search(&train_ctx_with_cache(2, &dir))
+        .artifact
+        .to_json_string();
+
+    // Vandalize a few shards three different ways: truncation, garbage
+    // bytes, and an empty file.
+    let victims = shards(&dir);
+    assert!(victims.len() >= 3, "need a few shards to corrupt");
+    let text = std::fs::read_to_string(&victims[0]).unwrap();
+    std::fs::write(&victims[0], &text[..text.len() / 2]).unwrap();
+    std::fs::write(&victims[1], b"{not json").unwrap();
+    std::fs::write(&victims[2], b"").unwrap();
+
+    let warm_cfg = train_ctx_with_cache(2, &dir);
+    let warm = run_search(&warm_cfg).artifact.to_json_string();
+    let stats = warm_cfg.engine().disk_stats().unwrap();
+    assert_eq!(warm, cold, "corruption must never change results");
+    assert_eq!(stats.misses, 3, "each corrupt shard re-executes once");
+    assert!(stats.hits > 0, "intact shards still hit");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_count_never_leaks_into_the_cache_or_the_artifact() {
+    let dir1 = fresh_dir("jobs1");
+    let dir8 = fresh_dir("jobs8");
+
+    // Cold at jobs=1 and jobs=8 into separate directories: identical
+    // artifacts and identical shard sets (same file names, same bytes).
+    let a = run_search(&train_ctx_with_cache(1, &dir1))
+        .artifact
+        .to_json_string();
+    let b = run_search(&train_ctx_with_cache(8, &dir8))
+        .artifact
+        .to_json_string();
+    assert_eq!(a, b, "artifact must be byte-identical for any --jobs");
+
+    let s1 = shards(&dir1);
+    let s8 = shards(&dir8);
+    let names = |v: &[PathBuf]| -> Vec<String> {
+        v.iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect()
+    };
+    assert_eq!(names(&s1), names(&s8), "same content-addressed shard set");
+    for (p1, p8) in s1.iter().zip(&s8) {
+        assert_eq!(
+            std::fs::read(p1).unwrap(),
+            std::fs::read(p8).unwrap(),
+            "shard bytes must not depend on the worker count"
+        );
+    }
+
+    // Cross-warm: jobs=8 warm-started from the jobs=1 directory.
+    let cross_cfg = train_ctx_with_cache(8, &dir1);
+    let cross = run_search(&cross_cfg).artifact.to_json_string();
+    assert_eq!(cross, a);
+    assert_eq!(cross_cfg.engine().disk_stats().unwrap().misses, 0);
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir8).ok();
+}
+
+#[test]
+fn byte_budget_is_enforced_across_runs() {
+    let dir = fresh_dir("budget");
+    let cold_cfg = train_ctx_with_cache(4, &dir);
+    run_search(&cold_cfg);
+    let full_size: u64 = shards(&dir)
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .sum();
+    assert!(full_size > 0);
+
+    // Re-open with a budget of half the populated size and enforce it:
+    // the store must shrink under the cap but keep valid shards.
+    let bounded = DiskCache::open(&dir, Some(full_size / 2)).unwrap();
+    bounded.enforce_limit();
+    let kept: u64 = shards(&dir)
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .sum();
+    assert!(
+        kept <= full_size / 2,
+        "eviction must respect the byte budget"
+    );
+    assert!(!shards(&dir).is_empty(), "newest shards survive");
+
+    // A warm run over the evicted store still reproduces the artifact —
+    // evicted entries are recomputed, surviving ones hit.
+    let warm_cfg = train_ctx_with_cache(4, &dir);
+    let warm = run_search(&warm_cfg).artifact.to_json_string();
+    let stats = warm_cfg.engine().disk_stats().unwrap();
+    assert_eq!(warm, run_search(&train_ctx(4)).artifact.to_json_string());
+    assert!(stats.hits > 0 && stats.misses > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
